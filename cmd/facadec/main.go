@@ -1,0 +1,148 @@
+// Command facadec is the standalone FACADE compiler driver: it compiles
+// FJ source files, applies the FACADE transform for a user-provided data
+// class list (§3.1's user obligation), and reports what the paper's
+// compiler reports — the detected data-class closure, the per-type facade
+// pool bounds, the synthesized conversion functions, and the compilation
+// speed in instructions per second.
+//
+// Usage:
+//
+//	facadec -data Vertex,Edge [-dump] [-run Main.main] file.fj...
+//
+// Flags:
+//
+//	-data C1,C2   seed data classes (required unless -check-only)
+//	-strict       disable closure expansion; report assumption violations
+//	-dump         print the transformed IR of facade classes
+//	-run KEY      execute the given entry point in both P and P' and
+//	              compare outputs
+//	-heap N       heap size in MiB for -run (default 64)
+//	-check-only   parse and type-check only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/facade"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+func main() {
+	dataList := flag.String("data", "", "comma-separated data classes")
+	strict := flag.Bool("strict", false, "disable closure expansion (report violations)")
+	dump := flag.Bool("dump", false, "dump transformed facade IR")
+	run := flag.String("run", "", "entry point to execute in P and P'")
+	heapMB := flag.Int("heap", 64, "heap size in MiB for -run")
+	checkOnly := flag.Bool("check-only", false, "parse and type-check only")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: facadec -data C1,C2 [flags] file.fj...")
+		os.Exit(2)
+	}
+	sources := map[string]string{}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources[path] = string(data)
+	}
+	prog, err := facade.Compile(sources)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compiled %d classes, %d functions, %d IR instructions\n",
+		len(prog.H.ClassList), len(prog.FuncList), prog.NumInstrs())
+	if *checkOnly {
+		return
+	}
+	if *dataList == "" {
+		fatal(fmt.Errorf("-data is required (the user-provided data class list, §3.1)"))
+	}
+	classes := strings.Split(*dataList, ",")
+	start := time.Now()
+	p2, err := facade.Transform(prog, core.Options{DataClasses: classes, NoAutoClose: *strict})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	n := prog.InstrsInClasses(sortedKeys(p2.DataClasses))
+	fmt.Printf("transformed %d data-path instructions in %v (%.0f instr/sec)\n",
+		n, elapsed, float64(n)/elapsed.Seconds())
+
+	var names []string
+	for c := range p2.DataClasses {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	fmt.Printf("data-class closure (%d): %s\n", len(names), strings.Join(names, ", "))
+	fmt.Println("facade pool bounds (§3.3):")
+	var bnames []string
+	for c := range p2.Bounds {
+		bnames = append(bnames, c)
+	}
+	sort.Strings(bnames)
+	for _, c := range bnames {
+		fmt.Printf("  %-20s %d\n", core.FacadeName(c), p2.Bounds[c])
+	}
+	conv := 0
+	for _, f := range p2.FuncList {
+		if f.Class != nil && f.Class.Name == "FacadeBridge" {
+			conv++
+		}
+	}
+	fmt.Printf("synthesized conversion functions: %d\n", conv)
+
+	if *dump {
+		for _, f := range p2.FuncList {
+			if f.Class != nil && strings.HasSuffix(f.Class.Name, "Facade") {
+				fmt.Println()
+				fmt.Print(f.String())
+			}
+		}
+	}
+
+	if *run != "" {
+		outP, resP, err := facade.RunMain(prog, facade.RunConfig{Entry: *run, HeapSize: *heapMB << 20})
+		if err != nil {
+			fatal(fmt.Errorf("running P: %w", err))
+		}
+		resP.Close()
+		outP2, resP2, err := facade.RunMain(p2, facade.RunConfig{Entry: *run, HeapSize: *heapMB << 20})
+		if err != nil {
+			fatal(fmt.Errorf("running P': %w", err))
+		}
+		resP2.Close()
+		fmt.Printf("\n--- P output ---\n%s", outP)
+		fmt.Printf("--- P' output ---\n%s", outP2)
+		if outP == outP2 {
+			fmt.Println("outputs IDENTICAL")
+		} else {
+			fmt.Println("outputs DIFFER")
+			os.Exit(1)
+		}
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "facadec: %v\n", err)
+	os.Exit(1)
+}
+
+var _ = ir.NoReg // keep ir linked for the dump format

@@ -1,0 +1,13 @@
+package main
+
+import (
+	"repro/internal/gps"
+	"repro/internal/hyracks"
+)
+
+func extraSpeedTargets() []speedTarget {
+	return []speedTarget{
+		{"Hyracks", map[string]string{"hyracks.fj": hyracks.Source}, hyracks.DataClasses},
+		{"GPS", map[string]string{"gps.fj": gps.Source}, gps.DataClasses},
+	}
+}

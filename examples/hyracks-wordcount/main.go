@@ -1,0 +1,69 @@
+// Hyracks word-count example: a MapReduce-style job on the simulated
+// shared-nothing cluster. Each node tokenizes its text partition in the
+// data path, counts words in an FJ HashMap, shuffles by word hash, and
+// reduces. Run with a deliberately small per-node heap to watch program P
+// fail with OutOfMemoryError while the FACADE-transformed P' finishes.
+//
+//	go run ./examples/hyracks-wordcount
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/dfs"
+	"repro/internal/hyracks"
+)
+
+func main() {
+	const (
+		nodes       = 2
+		heapPerNode = 2 << 20 // deliberately tight
+		corpusBytes = 700_000
+		uniquePerK  = 300 // fresh identifiers per 1000 words (web data)
+	)
+	corpus := datagen.CorpusSkewed(corpusBytes, uniquePerK, 7)
+	parts := datagen.Partition(corpus, nodes)
+	fmt.Printf("word count over %d KB of text on %d nodes, %d MB heap per node\n\n",
+		corpusBytes>>10, nodes, heapPerNode>>20)
+
+	p, p2, err := hyracks.BuildPrograms()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fsP := dfs.New()
+	resP, err := hyracks.RunJob(p, hyracks.WordCountJob{}, parts,
+		cluster.Config{NumNodes: nodes, HeapPerNode: heapPerNode}, 0, fsP)
+	if err != nil {
+		log.Fatalf("P: %v", err)
+	}
+	fsP2 := dfs.New()
+	resP2, err := hyracks.RunJob(p2, hyracks.WordCountJob{}, parts,
+		cluster.Config{NumNodes: nodes, HeapPerNode: heapPerNode}, int64(heapPerNode)*8, fsP2)
+	if err != nil {
+		log.Fatalf("P': %v", err)
+	}
+
+	describe := func(label string, r *hyracks.Result, fs *dfs.FS) {
+		if r.OME {
+			fmt.Printf("%-4s OutOfMemoryError after %.2fs (peak heap %.1f MB)\n",
+				label, r.OMEAt.Seconds(), float64(r.HeapPeak)/(1<<20))
+			return
+		}
+		fmt.Printf("%-4s finished in %.2fs  GC %.3fs  peak heap %.1f MB  native %.1f MB\n",
+			label, r.ET.Seconds(), r.GT.Seconds(),
+			float64(r.HeapPeak)/(1<<20), float64(r.NativePeak)/(1<<20))
+		var lines int
+		for _, path := range fs.List("/out/WC/") {
+			data, _ := fs.Read(path)
+			lines += strings.Count(string(data), "\n")
+		}
+		fmt.Printf("     distinct words: %d\n", lines)
+	}
+	describe("P", resP, fsP)
+	describe("P'", resP2, fsP2)
+}

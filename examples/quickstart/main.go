@@ -1,0 +1,97 @@
+// Quickstart: compile an FJ program, run it as-is (program P, data on the
+// managed heap under the generational collector), apply the FACADE
+// transform, run the result (program P', data in off-heap pages behind
+// bounded facade pools), and compare what the memory system did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/facade"
+)
+
+const src = `
+// A tuple class and a tiny aggregation over many instances — the shape of
+// a Big Data data path.
+class Tuple {
+    int key;
+    double value;
+    Tuple(int key, double value) {
+        this.key = key;
+        this.value = value;
+    }
+    double weighted() { return this.value * 1.5; }
+}
+
+class Main {
+    static void main() {
+        double total = 0.0;
+        for (int iter = 0; iter < 10; iter = iter + 1) {
+            Sys.iterStart();                    // iteration boundary (§3.6)
+            Tuple[] batch = new Tuple[20000];
+            for (int i = 0; i < batch.length; i = i + 1) {
+                batch[i] = new Tuple(i, 1.0 / (i + 1));
+            }
+            for (int i = 0; i < batch.length; i = i + 1) {
+                total = total + batch[i].weighted();
+            }
+            Sys.iterEnd();                      // bulk page reclamation
+        }
+        Sys.println(total);
+    }
+}
+`
+
+func main() {
+	// 1. Compile FJ to IR: this is program P.
+	prog, err := facade.Compile(map[string]string{"quickstart.fj": src})
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+
+	// 2. Run P on the managed heap (16 MB budget).
+	outP, resP, err := facade.RunMain(prog, facade.RunConfig{HeapSize: 16 << 20})
+	if err != nil {
+		log.Fatalf("run P: %v", err)
+	}
+	defer resP.Close()
+
+	// 3. FACADE-transform the data path: this is program P'.
+	p2, err := facade.Transform(prog, facade.TransformOptions{
+		DataClasses: []string{"Tuple", "Main"},
+	})
+	if err != nil {
+		log.Fatalf("transform: %v", err)
+	}
+
+	// 4. Run P' with the same heap budget.
+	outP2, resP2, err := facade.RunMain(p2, facade.RunConfig{HeapSize: 16 << 20})
+	if err != nil {
+		log.Fatalf("run P': %v", err)
+	}
+	defer resP2.Close()
+
+	fmt.Printf("P  output: %s", outP)
+	fmt.Printf("P' output: %s", outP2)
+	if outP != outP2 {
+		log.Fatal("outputs differ — the transform must be semantics-preserving")
+	}
+
+	hs, hs2 := resP.VM.Heap.Stats(), resP2.VM.Heap.Stats()
+	tupleP := resP.VM.Heap.ClassAllocCount(prog.H.Class("Tuple"))
+	tupleP2 := resP2.VM.Heap.ClassAllocCount(p2.H.Class("TupleFacade"))
+	fmt.Println()
+	fmt.Printf("%-34s %12s %12s\n", "", "P (heap)", "P' (facade)")
+	fmt.Printf("%-34s %12d %12d\n", "Tuple heap objects allocated", tupleP, tupleP2)
+	fmt.Printf("%-34s %12d %12d\n", "collections (minor+full)", hs.MinorGCs+hs.FullGCs, hs2.MinorGCs+hs2.FullGCs)
+	fmt.Printf("%-34s %12.1f %12.1f\n", "GC time (ms)", float64(hs.GCTime.Microseconds())/1000, float64(hs2.GCTime.Microseconds())/1000)
+	if resP2.VM.RT != nil {
+		ns := resP2.VM.RT.Stats()
+		fmt.Printf("%-34s %12s %12d\n", "native pages (32 KB, recycled)", "-", ns.PagesCreated)
+		fmt.Printf("%-34s %12s %12d\n", "page records allocated", "-", ns.Records)
+	}
+	fmt.Printf("%-34s %12d %12d\n", "pool bound for Tuple (§3.3)", 0, p2.Bounds["Tuple"])
+}

@@ -1,0 +1,134 @@
+package facade
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompileErrorsSurface(t *testing.T) {
+	cases := map[string]string{
+		"parse":   "class {",
+		"check":   "class Main { static void main() { int x = true; } }",
+		"hier":    "class A extends A { }",
+		"unknown": "class Main { static void main() { Unknown u = null; } }",
+	}
+	for name, src := range cases {
+		if _, err := Compile(map[string]string{"x.fj": src}); err == nil {
+			t.Fatalf("%s: compile accepted invalid source", name)
+		}
+	}
+}
+
+func TestRunMainMissingEntry(t *testing.T) {
+	prog, err := Compile(map[string]string{"x.fj": "class Foo { int x; }"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = RunMain(prog, RunConfig{})
+	if err == nil || !strings.Contains(err.Error(), "Main.main") {
+		t.Fatalf("missing entry not reported: %v", err)
+	}
+}
+
+func TestRunMainCustomEntry(t *testing.T) {
+	prog, err := Compile(map[string]string{"x.fj": `
+class App {
+    static void start() { Sys.println(7); }
+}
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, res, err := RunMain(prog, RunConfig{Entry: "App.start"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if out != "7\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestTransformRequiresDataClasses(t *testing.T) {
+	prog, err := Compile(map[string]string{"x.fj": "class Main { static void main() { } }"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transform(prog, TransformOptions{}); err == nil {
+		t.Fatal("transform without data classes must fail")
+	}
+	if _, err := Transform(prog, TransformOptions{DataClasses: []string{"Nope"}}); err == nil {
+		t.Fatal("unknown data class must fail")
+	}
+}
+
+func TestEntryRemapToFacade(t *testing.T) {
+	src := `
+class Main {
+    static void main() { Sys.println(new D().get()); }
+}
+class D {
+    int get() { return 11; }
+}
+`
+	prog, err := Compile(map[string]string{"x.fj": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Transform(prog, TransformOptions{DataClasses: []string{"D", "Main"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RunMain must route "Main.main" to "MainFacade.main" automatically.
+	out, res, err := RunMain(p2, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if out != "11\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestGCStressUnderTinyHeapBothPrograms(t *testing.T) {
+	// Run a heavy allocation workload under a minimal heap: P must
+	// survive via many collections, P' via page recycling.
+	src := `
+class Rec {
+    long a;
+    long b;
+    Rec(long a) { this.a = a; this.b = a * 2L; }
+}
+class Main {
+    static void main() {
+        long acc = 0L;
+        for (int it = 0; it < 40; it = it + 1) {
+            Sys.iterStart();
+            for (int i = 0; i < 3000; i = i + 1) {
+                Rec r = new Rec(i);
+                acc = acc + r.b;
+            }
+            Sys.iterEnd();
+        }
+        Sys.println(acc);
+    }
+}
+`
+	out := runBoth(t, src, []string{"Rec", "Main"})
+	if out != "359880000\n" {
+		t.Fatalf("got %q", out)
+	}
+	// And explicitly with a 2 MiB heap for P.
+	prog, _ := Compile(map[string]string{"x.fj": src})
+	outSmall, res, err := RunMain(prog, RunConfig{HeapSize: 2 << 20})
+	if err != nil {
+		t.Fatalf("P under tiny heap: %v", err)
+	}
+	defer res.Close()
+	if outSmall != out {
+		t.Fatal("tiny-heap run diverges")
+	}
+	if res.VM.Heap.Stats().MinorGCs+res.VM.Heap.Stats().FullGCs < 5 {
+		t.Fatal("expected sustained collection activity")
+	}
+}

@@ -1,0 +1,83 @@
+package facade_test
+
+import (
+	"fmt"
+
+	"repro/facade"
+)
+
+// ExampleCompile compiles an FJ program and runs it on the managed heap
+// (program P).
+func ExampleCompile() {
+	src := `
+class Point {
+    int x;
+    int y;
+    Point(int x, int y) { this.x = x; this.y = y; }
+    int manhattan() { return this.x + this.y; }
+}
+class Main {
+    static void main() {
+        Point p = new Point(3, 4);
+        Sys.println(p.manhattan());
+    }
+}
+`
+	prog, err := facade.Compile(map[string]string{"point.fj": src})
+	if err != nil {
+		panic(err)
+	}
+	out, res, err := facade.RunMain(prog, facade.RunConfig{})
+	if err != nil {
+		panic(err)
+	}
+	defer res.Close()
+	fmt.Print(out)
+	// Output: 7
+}
+
+// ExampleTransform applies the FACADE transform and shows the object
+// bound: thousands of records, a handful of facade objects.
+func ExampleTransform() {
+	src := `
+class Point {
+    int x;
+    int y;
+    Point(int x, int y) { this.x = x; this.y = y; }
+    int manhattan() { return this.x + this.y; }
+}
+class Main {
+    static void main() {
+        long total = 0L;
+        for (int i = 0; i < 5000; i = i + 1) {
+            Point p = new Point(i, i);
+            total = total + p.manhattan();
+        }
+        Sys.println(total);
+    }
+}
+`
+	prog, err := facade.Compile(map[string]string{"point.fj": src})
+	if err != nil {
+		panic(err)
+	}
+	p2, err := facade.Transform(prog, facade.TransformOptions{
+		DataClasses: []string{"Point", "Main"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	out, res, err := facade.RunMain(p2, facade.RunConfig{})
+	if err != nil {
+		panic(err)
+	}
+	defer res.Close()
+	fmt.Print(out)
+	fmt.Println("records:", res.VM.RT.Stats().Records >= 5000)
+	facades := res.VM.Heap.ClassAllocCount(p2.H.Class("PointFacade"))
+	fmt.Println("facades bounded:", facades <= int64(p2.Bounds["Point"]+1))
+	// Output:
+	// 24995000
+	// records: true
+	// facades bounded: true
+}

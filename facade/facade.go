@@ -1,0 +1,129 @@
+// Package facade is the public API of the FACADE reproduction: compile FJ
+// data-path code to IR, apply the FACADE transform, and run either version
+// on the managed VM.
+//
+// Typical use:
+//
+//	prog, err := facade.Compile(map[string]string{"app.fj": src})
+//	p2, err := facade.Transform(prog, facade.TransformOptions{
+//	    DataClasses: []string{"Vertex", "Edge"},
+//	})
+//	out, res, err := facade.RunMain(p2, facade.RunConfig{HeapSize: 64 << 20})
+//
+// Framework integrations (GraphChi, Hyracks, GPS in internal/...) create a
+// VM directly with NewVM and drive the data path through vm.Thread's
+// boundary helpers.
+package facade
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/lower"
+	"repro/internal/stdlib"
+	"repro/internal/vm"
+)
+
+// Compile parses the given FJ sources together with the standard library,
+// type-checks them, and lowers them to IR (program P).
+func Compile(sources map[string]string) (*ir.Program, error) {
+	files, err := stdlib.ParseWith(sources)
+	if err != nil {
+		return nil, err
+	}
+	h, err := lang.BuildHierarchy(files...)
+	if err != nil {
+		return nil, err
+	}
+	if err := lang.Check(h); err != nil {
+		return nil, err
+	}
+	return lower.Program(h)
+}
+
+// TransformOptions configures the FACADE transform.
+type TransformOptions = core.Options
+
+// Transform applies the FACADE transform, producing program P'.
+func Transform(p *ir.Program, opts TransformOptions) (*ir.Program, error) {
+	return core.Transform(p, opts)
+}
+
+// RunConfig configures a program run.
+type RunConfig struct {
+	// HeapSize is the managed heap budget in bytes (default 64 MiB).
+	HeapSize int
+	// Entry is the entry function key (default "Main.main").
+	Entry string
+	// RandSeed seeds Sys.rand (default 1).
+	RandSeed int64
+}
+
+// Result carries the outcome of RunMain.
+type Result struct {
+	Value  vm.Value
+	VM     *vm.VM
+	Thread *vm.Thread
+}
+
+// RunMain creates a VM, runs the entry function on a fresh thread, and
+// returns the captured Sys.print output. The VM and thread are returned
+// for stats inspection; call Result.Close when done.
+func RunMain(p *ir.Program, cfg RunConfig) (string, *Result, error) {
+	if cfg.HeapSize == 0 {
+		cfg.HeapSize = 64 << 20
+	}
+	if cfg.Entry == "" {
+		cfg.Entry = "Main.main"
+	}
+	if cfg.RandSeed == 0 {
+		cfg.RandSeed = 1
+	}
+	var out bytes.Buffer
+	m, err := vm.New(p, vm.Config{HeapSize: cfg.HeapSize, Out: &out, RandSeed: cfg.RandSeed})
+	if err != nil {
+		return "", nil, err
+	}
+	t, err := m.NewThread(nil)
+	if err != nil {
+		return "", nil, err
+	}
+	entry := cfg.Entry
+	if p.Transformed {
+		// If the entry class was transformed, run the facade twin.
+		if dot := indexByte(entry, '.'); dot > 0 {
+			cls, meth := entry[:dot], entry[dot+1:]
+			if p.DataClasses[cls] {
+				entry = cls + "Facade." + meth
+			}
+		}
+	}
+	v, err := t.Call(entry)
+	res := &Result{Value: v, VM: m, Thread: t}
+	if err != nil {
+		return out.String(), res, fmt.Errorf("running %s: %w", entry, err)
+	}
+	return out.String(), res, nil
+}
+
+// Close releases the run's thread.
+func (r *Result) Close() {
+	if r.Thread != nil {
+		r.Thread.Close()
+	}
+}
+
+// NewVM builds a VM for a compiled or transformed program.
+func NewVM(p *ir.Program, cfg vm.Config) (*vm.VM, error) { return vm.New(p, cfg) }
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}

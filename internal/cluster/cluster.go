@@ -1,0 +1,155 @@
+// Package cluster simulates the shared-nothing cluster the paper's Hyracks
+// and GPS experiments run on: each node owns a private VM instance (its
+// own managed heap, collector, and — for transformed programs — its own
+// off-heap page store), and nodes exchange serialized byte frames through
+// an in-process network. Per-node heap budgets, per-node collections, and
+// the serialization boundary between nodes are therefore faithful; only
+// the wire is simulated.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// Node is one cluster machine: a VM plus its main worker thread.
+type Node struct {
+	ID   int
+	VM   *vm.VM
+	Main *vm.Thread
+}
+
+// Frame is one network message.
+type Frame struct {
+	From, To int
+	Tag      string
+	Data     []byte
+}
+
+// Network provides per-node mailboxes.
+type Network struct {
+	mu     sync.Mutex
+	boxes  []chan Frame
+	nBytes int64
+}
+
+// Send delivers a frame to its destination mailbox.
+func (n *Network) Send(f Frame) {
+	n.mu.Lock()
+	n.nBytes += int64(len(f.Data))
+	n.mu.Unlock()
+	n.boxes[f.To] <- f
+}
+
+// Recv receives one frame addressed to node id.
+func (n *Network) Recv(id int) Frame { return <-n.boxes[id] }
+
+// BytesSent returns total bytes shuffled.
+func (n *Network) BytesSent() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nBytes
+}
+
+// Cluster is a set of nodes running the same program.
+type Cluster struct {
+	Nodes []*Node
+	Net   *Network
+}
+
+// Config sizes the cluster.
+type Config struct {
+	NumNodes    int
+	HeapPerNode int // per-node managed heap budget (-Xmx)
+	RandSeed    int64
+}
+
+// New builds a cluster of NumNodes nodes, each with a private VM for prog.
+func New(prog *ir.Program, cfg Config) (*Cluster, error) {
+	if cfg.NumNodes <= 0 {
+		cfg.NumNodes = 1
+	}
+	c := &Cluster{Net: &Network{}}
+	for i := 0; i < cfg.NumNodes; i++ {
+		m, err := vm.New(prog, vm.Config{HeapSize: cfg.HeapPerNode, RandSeed: cfg.RandSeed + int64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		t, err := m.NewThread(nil)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d thread: %w", i, err)
+		}
+		c.Nodes = append(c.Nodes, &Node{ID: i, VM: m, Main: t})
+		c.Net.boxes = append(c.Net.boxes, make(chan Frame, 1024))
+	}
+	return c, nil
+}
+
+// Close releases node threads.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		n.Main.Close()
+	}
+}
+
+// Stats aggregates per-node memory/GC statistics.
+type Stats struct {
+	GCTime      time.Duration // summed across nodes
+	MaxHeapPeak int64         // worst node heap peak
+	MaxNative   int64         // worst node native peak
+	MaxTotal    int64         // worst node heap+native peak
+	MinorGCs    int64
+	FullGCs     int64
+}
+
+// Stats collects current counters from every node.
+func (c *Cluster) Stats() Stats {
+	var s Stats
+	for _, n := range c.Nodes {
+		hs := n.VM.Heap.Stats()
+		s.GCTime += hs.GCTime
+		s.MinorGCs += hs.MinorGCs
+		s.FullGCs += hs.FullGCs
+		total := hs.PeakUsed
+		if hs.PeakUsed > s.MaxHeapPeak {
+			s.MaxHeapPeak = hs.PeakUsed
+		}
+		if n.VM.RT != nil {
+			ns := n.VM.RT.Stats()
+			total += ns.PeakBytes
+			if ns.PeakBytes > s.MaxNative {
+				s.MaxNative = ns.PeakBytes
+			}
+		}
+		if total > s.MaxTotal {
+			s.MaxTotal = total
+		}
+	}
+	return s
+}
+
+// ParallelEach runs fn on every node concurrently and returns the first
+// error.
+func (c *Cluster) ParallelEach(fn func(*Node) error) error {
+	errs := make(chan error, len(c.Nodes))
+	var wg sync.WaitGroup
+	for _, n := range c.Nodes {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			errs <- fn(n)
+		}(n)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

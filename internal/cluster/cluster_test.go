@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/lower"
+	"repro/internal/stdlib"
+	"repro/internal/vm"
+)
+
+func testProgram(t *testing.T) *ir.Program {
+	t.Helper()
+	files, err := stdlib.ParseWith(map[string]string{"t.fj": `
+class Work {
+    static int square(int x) { return x * x; }
+}
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := lang.BuildHierarchy(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(h); err != nil {
+		t.Fatal(err)
+	}
+	p, err := lower.Program(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNodesAreIsolated(t *testing.T) {
+	p := testProgram(t)
+	cl, err := New(p, Config{NumNodes: 3, HeapPerNode: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if len(cl.Nodes) != 3 {
+		t.Fatal("node count")
+	}
+	// Shared-nothing: distinct VM and heap instances.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if cl.Nodes[i].VM == cl.Nodes[j].VM || cl.Nodes[i].VM.Heap == cl.Nodes[j].VM.Heap {
+				t.Fatal("nodes share a VM/heap")
+			}
+		}
+	}
+}
+
+func TestParallelEachRunsAllAndPropagatesErrors(t *testing.T) {
+	p := testProgram(t)
+	cl, err := New(p, Config{NumNodes: 4, HeapPerNode: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	results := make([]int64, 4)
+	err = cl.ParallelEach(func(n *Node) error {
+		v, err := n.Main.InvokeStatic("Work", "square", vm.I(int64(n.ID+2)))
+		if err != nil {
+			return err
+		}
+		results[n.ID] = int64(int32(v))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		want := int64((i + 2) * (i + 2))
+		if r != want {
+			t.Fatalf("node %d: %d want %d", i, r, want)
+		}
+	}
+	err = cl.ParallelEach(func(n *Node) error {
+		if n.ID == 2 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestNetworkDeliversAndCounts(t *testing.T) {
+	p := testProgram(t)
+	cl, err := New(p, Config{NumNodes: 2, HeapPerNode: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Net.Send(Frame{From: 0, To: 1, Tag: "x", Data: []byte("abcd")})
+	cl.Net.Send(Frame{From: 1, To: 0, Tag: "y", Data: []byte("zz")})
+	f := cl.Net.Recv(1)
+	if f.From != 0 || string(f.Data) != "abcd" {
+		t.Fatalf("frame: %+v", f)
+	}
+	g := cl.Net.Recv(0)
+	if g.Tag != "y" {
+		t.Fatalf("frame: %+v", g)
+	}
+	if cl.Net.BytesSent() != 6 {
+		t.Fatalf("bytes: %d", cl.Net.BytesSent())
+	}
+}
+
+func TestStatsAggregate(t *testing.T) {
+	p := testProgram(t)
+	cl, err := New(p, Config{NumNodes: 2, HeapPerNode: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Allocate on node 0 only.
+	err = cl.ParallelEach(func(n *Node) error {
+		if n.ID != 0 {
+			return nil
+		}
+		for i := 0; i < 100; i++ {
+			o, err := n.Main.NewArr("int", 1000)
+			if err != nil {
+				return err
+			}
+			n.Main.FreeObj(o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cl.Stats()
+	if st.MaxHeapPeak == 0 {
+		t.Fatal("no heap peak recorded")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+)
+
+const devirtSrc = `
+class Base {
+    int v;
+    int poly() { return 1; }
+    int mono() { return this.v; }
+}
+class Sub extends Base {
+    int poly() { return 2; }
+}
+class Driver {
+    int drive(Base b) {
+        return b.poly() + b.mono();
+    }
+}
+class Main { static void main() { } }
+`
+
+func TestDevirtualization(t *testing.T) {
+	p := compile(t, devirtSrc)
+	p2 := mustTransform(t, p, Options{DataClasses: []string{"Base", "Driver"}, Devirtualize: true})
+	f := p2.Funcs[ir.FuncKey("DriverFacade", "drive")]
+	var resolves, recvPools int
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			switch b.Instrs[i].Op {
+			case ir.OpResolve:
+				resolves++
+			case ir.OpRecvPool:
+				recvPools++
+				if b.Instrs[i].Cls.Name != "BaseFacade" {
+					t.Fatalf("devirt pool class %s", b.Instrs[i].Cls.Name)
+				}
+			}
+		}
+	}
+	// poly is overridden by Sub -> must keep the dynamic resolve; mono is
+	// monomorphic -> devirtualized.
+	if resolves != 1 || recvPools != 1 {
+		t.Fatalf("resolves=%d recvPools=%d (want 1/1)", resolves, recvPools)
+	}
+	// Without the option nothing is devirtualized.
+	p2off := mustTransform(t, compile(t, devirtSrc), Options{DataClasses: []string{"Base", "Driver"}})
+	foff := p2off.Funcs[ir.FuncKey("DriverFacade", "drive")]
+	for _, b := range foff.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpRecvPool {
+				t.Fatal("devirtualization ran without being enabled")
+			}
+		}
+	}
+}
+
+func TestMonomorphicAnalysis(t *testing.T) {
+	p := compile(t, devirtSrc)
+	tr := &transformer{p: p, opts: Options{DataClasses: []string{"Base"}}, data: map[string]bool{}, dataIf: map[string]bool{}}
+	if err := tr.computeDataSet(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.monomorphic(lang.ClassType("Base"), "poly") {
+		t.Fatal("poly is overridden; not monomorphic")
+	}
+	if !tr.monomorphic(lang.ClassType("Base"), "mono") {
+		t.Fatal("mono has no data-subclass override; monomorphic")
+	}
+	if tr.monomorphic(lang.ClassType("Object"), "hashCode") {
+		t.Fatal("Object receivers must never devirtualize")
+	}
+}

@@ -1,0 +1,177 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerLawGraphDeterministic(t *testing.T) {
+	a := PowerLawGraph(500, 4000, 7)
+	b := PowerLawGraph(500, 4000, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Src {
+		if a.Src[i] != b.Src[i] || a.Dst[i] != b.Dst[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c := PowerLawGraph(500, 4000, 8)
+	same := true
+	for i := range a.Src {
+		if a.Dst[i] != c.Dst[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestPowerLawGraphInvariants(t *testing.T) {
+	check := func(seed uint64) bool {
+		v := 50 + int(seed%200)
+		e := v * 8
+		g := PowerLawGraph(v, e, seed)
+		if g.NumEdges() != e {
+			return false
+		}
+		var inSum, outSum int64
+		for i := 0; i < v; i++ {
+			inSum += int64(g.InDeg[i])
+			outSum += int64(g.OutDeg[i])
+		}
+		if inSum != int64(e) || outSum != int64(e) {
+			return false
+		}
+		for i := range g.Src {
+			if g.Src[i] < 0 || int(g.Src[i]) >= v || g.Dst[i] < 0 || int(g.Dst[i]) >= v {
+				return false
+			}
+			if g.Src[i] == g.Dst[i] {
+				return false // no self loops
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g := PowerLawGraph(10000, 200000, 3)
+	// Heavy tail: the top-100 vertices by ID should hold a
+	// disproportionate share of in-edges.
+	var top, total int64
+	for v := 0; v < g.NumVertices; v++ {
+		total += int64(g.InDeg[v])
+		if v < 100 {
+			top += int64(g.InDeg[v])
+		}
+	}
+	if float64(top)/float64(total) < 0.15 {
+		t.Fatalf("top-1%% of vertices hold only %.1f%% of in-edges; not skewed",
+			100*float64(top)/float64(total))
+	}
+}
+
+func TestCorpusProperties(t *testing.T) {
+	c := Corpus(50000, 5)
+	if len(c) < 50000 {
+		t.Fatalf("corpus too short: %d", len(c))
+	}
+	words := strings.Fields(string(c))
+	if len(words) < 5000 {
+		t.Fatalf("too few words: %d", len(words))
+	}
+	// Zipf-ish: "the" must dominate.
+	freq := map[string]int{}
+	for _, w := range words {
+		freq[w]++
+	}
+	if freq["the"] < freq["scan"] {
+		t.Fatal("no rank skew in corpus")
+	}
+	// Determinism.
+	if !bytes.Equal(c, Corpus(50000, 5)) {
+		t.Fatal("corpus not deterministic")
+	}
+}
+
+func TestCorpusSkewedUniqueGrowth(t *testing.T) {
+	small := CorpusSkewed(20000, 300, 9)
+	large := CorpusSkewed(80000, 300, 9)
+	distinct := func(b []byte) int {
+		m := map[string]bool{}
+		for _, w := range strings.Fields(string(b)) {
+			m[w] = true
+		}
+		return len(m)
+	}
+	ds, dl := distinct(small), distinct(large)
+	if dl < ds*2 {
+		t.Fatalf("distinct words do not grow with data: %d -> %d", ds, dl)
+	}
+}
+
+func TestPartitionCoversOnWordBoundaries(t *testing.T) {
+	data := Corpus(10000, 1)
+	parts := Partition(data, 4)
+	if len(parts) != 4 {
+		t.Fatalf("%d parts", len(parts))
+	}
+	var total int
+	for i, p := range parts {
+		total += len(p)
+		if i < len(parts)-1 && len(p) > 0 {
+			last := p[len(p)-1]
+			next := parts[i+1]
+			if last != ' ' && last != '\n' && len(next) > 0 && next[0] != ' ' && next[0] != '\n' {
+				t.Fatalf("partition %d splits a word", i)
+			}
+		}
+	}
+	if total != len(data) {
+		t.Fatalf("partitions cover %d of %d bytes", total, len(data))
+	}
+	// Words preserved across partitioning.
+	var rejoined []byte
+	for _, p := range parts {
+		rejoined = append(rejoined, p...)
+	}
+	if !bytes.Equal(rejoined, data) {
+		t.Fatal("partitions reorder data")
+	}
+}
+
+func TestSortRecordsShape(t *testing.T) {
+	recs := SortRecords(100, 8, 24, 2)
+	if len(recs) != 100 {
+		t.Fatal("count")
+	}
+	for _, r := range recs {
+		if len(r) != 32 {
+			t.Fatal("record length")
+		}
+		for _, b := range r[:8] {
+			if b < 'a' || b > 'z' {
+				t.Fatal("key charset")
+			}
+		}
+		for _, b := range r[8:] {
+			if b < 'A' || b > 'Z' {
+				t.Fatal("payload charset")
+			}
+		}
+	}
+	again := SortRecords(100, 8, 24, 2)
+	for i := range recs {
+		if !bytes.Equal(recs[i], again[i]) {
+			t.Fatal("not deterministic")
+		}
+	}
+}

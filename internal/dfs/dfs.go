@@ -1,0 +1,90 @@
+// Package dfs is an in-memory stand-in for HDFS: a shared, thread-safe
+// file namespace the simulated cluster's workers read partitions from and
+// write results to (the paper's jobs "write the result into the Hadoop
+// Distributed File System running on the cluster").
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FS is an in-memory distributed file system.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// New creates an empty file system.
+func New() *FS {
+	return &FS{files: make(map[string][]byte)}
+}
+
+// Write creates or replaces a file.
+func (fs *FS) Write(path string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	fs.files[path] = cp
+}
+
+// Append appends to a file, creating it if absent.
+func (fs *FS) Append(path string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[path] = append(fs.files[path], data...)
+}
+
+// Read returns a copy of the file contents.
+func (fs *FS) Read(path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// List returns the sorted paths under a prefix.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the byte size of a file (0 if absent).
+func (fs *FS) Size(path string) int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.files[path])
+}
+
+// TotalBytes returns the total stored bytes.
+func (fs *FS) TotalBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for _, d := range fs.files {
+		n += int64(len(d))
+	}
+	return n
+}
+
+// Delete removes a file if present.
+func (fs *FS) Delete(path string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, path)
+}

@@ -1,0 +1,91 @@
+package dfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	fs := New()
+	fs.Write("/a/b", []byte("hello"))
+	got, err := fs.Read("/a/b")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("roundtrip: %q %v", got, err)
+	}
+	// Read returns a copy: mutating it must not affect the store.
+	got[0] = 'X'
+	again, _ := fs.Read("/a/b")
+	if string(again) != "hello" {
+		t.Fatal("Read aliases internal storage")
+	}
+	// Write copies its input too.
+	data := []byte("mut")
+	fs.Write("/m", data)
+	data[0] = 'X'
+	if got, _ := fs.Read("/m"); string(got) != "mut" {
+		t.Fatal("Write aliases caller storage")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	fs := New()
+	if _, err := fs.Read("/nope"); err == nil {
+		t.Fatal("expected error")
+	}
+	if fs.Size("/nope") != 0 {
+		t.Fatal("size of missing file")
+	}
+}
+
+func TestAppendAndList(t *testing.T) {
+	fs := New()
+	fs.Append("/out/p1", []byte("a"))
+	fs.Append("/out/p1", []byte("b"))
+	fs.Write("/out/p0", []byte("z"))
+	fs.Write("/other", []byte("q"))
+	got, _ := fs.Read("/out/p1")
+	if string(got) != "ab" {
+		t.Fatalf("append: %q", got)
+	}
+	paths := fs.List("/out/")
+	if len(paths) != 2 || paths[0] != "/out/p0" || paths[1] != "/out/p1" {
+		t.Fatalf("list: %v", paths)
+	}
+	if fs.TotalBytes() != 4 {
+		t.Fatalf("total: %d", fs.TotalBytes())
+	}
+	fs.Delete("/out/p0")
+	if len(fs.List("/out/")) != 1 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/p/%d", i)
+			for j := 0; j < 100; j++ {
+				fs.Append(path, []byte{byte(j)})
+				if _, err := fs.Read(path); err != nil {
+					t.Error(err)
+					return
+				}
+				fs.List("/p/")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(fs.List("/p/")) != 16 {
+		t.Fatal("files lost")
+	}
+	for _, p := range fs.List("/p/") {
+		if fs.Size(p) != 100 {
+			t.Fatalf("%s has %d bytes", p, fs.Size(p))
+		}
+	}
+}

@@ -1,0 +1,530 @@
+package gps
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// App selects the vertex program (§4.3 evaluates PR, k-means, and random
+// walk).
+type App int
+
+// Applications.
+const (
+	PageRank App = iota
+	KMeans
+	RandomWalk
+)
+
+func (a App) String() string {
+	switch a {
+	case PageRank:
+		return "PR"
+	case KMeans:
+		return "k-means"
+	default:
+		return "random-walk"
+	}
+}
+
+// Config drives one GPS job.
+type Config struct {
+	App         App
+	Nodes       int
+	HeapPerNode int
+	Supersteps  int
+	K           int // k-means clusters
+	Walkers     int // random-walk walkers
+	Seed        int64
+}
+
+// Result reports one run (§4.3's ET/GT/space comparison).
+type Result struct {
+	ET         time.Duration
+	GT         time.Duration
+	PM         int64 // worst per-node heap+native peak
+	HeapPeak   int64
+	NativePeak int64
+	MinorGCs   int64
+	FullGCs    int64
+	Values     []float64 // final vertex values / point assignments
+	Centroids  [][2]float64
+}
+
+// partition is one node's share of the graph.
+type partition struct {
+	ids      []int32
+	vals     []float64
+	adjIndex []int32
+	adj      []int32
+	// globalToLocal maps a global vertex ID it owns to its local index.
+	local map[int32]int32
+}
+
+// partitionGraph assigns vertices round-robin (GPS's default) and builds
+// per-node flat adjacency.
+func partitionGraph(g *datagen.Graph, nodes int, initVal func(int) float64) []*partition {
+	parts := make([]*partition, nodes)
+	for i := range parts {
+		parts[i] = &partition{local: make(map[int32]int32)}
+	}
+	// Out-adjacency per vertex.
+	adjStart := make([]int32, g.NumVertices+1)
+	for _, s := range g.Src {
+		adjStart[s+1]++
+	}
+	for v := 1; v <= g.NumVertices; v++ {
+		adjStart[v] += adjStart[v-1]
+	}
+	adj := make([]int32, len(g.Src))
+	cursor := make([]int32, g.NumVertices)
+	for i, s := range g.Src {
+		adj[adjStart[s]+cursor[s]] = g.Dst[i]
+		cursor[s]++
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		p := parts[v%nodes]
+		p.local[int32(v)] = int32(len(p.ids))
+		p.ids = append(p.ids, int32(v))
+		p.vals = append(p.vals, initVal(v))
+		p.adjIndex = append(p.adjIndex, int32(len(p.adj)))
+		p.adj = append(p.adj, adj[adjStart[v]:adjStart[v+1]]...)
+	}
+	for i := range parts {
+		parts[i].adjIndex = append(parts[i].adjIndex, int32(len(parts[i].adj)))
+	}
+	return parts
+}
+
+// nodeState is the per-node VM-side state.
+type nodeState struct {
+	part     *partition
+	vsObj    vm.Obj // GPSVertex[] (or KPoint[])
+	adjObj   vm.Obj
+	outT     vm.Obj // reusable out-target buffer
+	outV     vm.Obj // reusable out-value buffer
+	incoming [][]byte
+}
+
+// msg frame format: n × (u32 globalTarget, f64 value).
+
+// Run executes the job and returns metrics plus final values (vertex
+// values for PR/RW, assignments for k-means).
+func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.Supersteps <= 0 {
+		cfg.Supersteps = 5
+	}
+	if cfg.K <= 0 {
+		cfg.K = 4
+	}
+	if cfg.Walkers <= 0 {
+		cfg.Walkers = g.NumVertices / 4
+	}
+	cl, err := cluster.New(prog, cluster.Config{NumNodes: cfg.Nodes, HeapPerNode: cfg.HeapPerNode, RandSeed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	if cfg.App == KMeans {
+		return runKMeans(cl, g, cfg)
+	}
+
+	initVal := func(v int) float64 {
+		if cfg.App == PageRank {
+			return 1.0
+		}
+		return 0.0
+	}
+	parts := partitionGraph(g, cfg.Nodes, initVal)
+	states := make([]*nodeState, cfg.Nodes)
+	start := time.Now()
+
+	// Build partitions inside the VMs (before any iteration: vertex
+	// objects live for the whole job).
+	err = cl.ParallelEach(func(n *cluster.Node) error {
+		st := &nodeState{part: parts[n.ID]}
+		states[n.ID] = st
+		t := n.Main
+		oIds, err := t.NewIntArr(st.part.ids)
+		if err != nil {
+			return err
+		}
+		defer t.FreeObj(oIds)
+		oVals, err := t.NewDoubleArr(st.part.vals)
+		if err != nil {
+			return err
+		}
+		defer t.FreeObj(oVals)
+		oIdx, err := t.NewIntArr(st.part.adjIndex)
+		if err != nil {
+			return err
+		}
+		defer t.FreeObj(oIdx)
+		st.vsObj, err = t.InvokeStaticObj("GPSDriver", "buildPartition", vm.O(oIds), vm.O(oVals), vm.O(oIdx))
+		if err != nil {
+			return err
+		}
+		st.adjObj, err = t.NewIntArr(st.part.adj)
+		if err != nil {
+			return err
+		}
+		maxOut := len(st.part.adj)
+		if cfg.App == RandomWalk {
+			maxOut = cfg.Walkers // every walker could land here
+		}
+		if maxOut == 0 {
+			maxOut = 1
+		}
+		st.outT, err = t.NewArr("int", maxOut)
+		if err != nil {
+			return err
+		}
+		st.outV, err = t.NewArr("double", maxOut)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Random walk: seed walkers round-robin across vertices.
+	if cfg.App == RandomWalk {
+		seedByNode := make([][]int32, cfg.Nodes)
+		for w := 0; w < cfg.Walkers; w++ {
+			v := int32((w * 7919) % g.NumVertices)
+			node := int(v) % cfg.Nodes
+			seedByNode[node] = append(seedByNode[node], parts[node].local[v])
+		}
+		err = cl.ParallelEach(func(n *cluster.Node) error {
+			if len(seedByNode[n.ID]) == 0 {
+				return nil
+			}
+			t := n.Main
+			oSeed, err := t.NewIntArr(seedByNode[n.ID])
+			if err != nil {
+				return err
+			}
+			defer t.FreeObj(oSeed)
+			_, err = t.InvokeStatic("GPSDriver", "seedWalkers", vm.O(states[n.ID].vsObj), vm.O(oSeed))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for step := 0; step < cfg.Supersteps; step++ {
+		first := step == 0
+		last := step == cfg.Supersteps-1
+		err = cl.ParallelEach(func(n *cluster.Node) error {
+			return superstep(cl, n, states[n.ID], cfg, first, last)
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Barrier: collect this superstep's frames for the next.
+		for _, n := range cl.Nodes {
+			states[n.ID].incoming = states[n.ID].incoming[:0]
+			for i := 0; i < cfg.Nodes; i++ {
+				f := cl.Net.Recv(n.ID)
+				if len(f.Data) > 0 {
+					states[n.ID].incoming = append(states[n.ID].incoming, f.Data)
+				}
+			}
+		}
+	}
+
+	// Extract final values.
+	values := make([]float64, g.NumVertices)
+	err = cl.ParallelEach(func(n *cluster.Node) error {
+		st := states[n.ID]
+		t := n.Main
+		out, err := t.NewArr("double", len(st.part.ids))
+		if err != nil {
+			return err
+		}
+		defer t.FreeObj(out)
+		if _, err := t.InvokeStatic("GPSDriver", "extractValues", vm.O(st.vsObj), vm.O(out)); err != nil {
+			return err
+		}
+		vals, err := t.ReadDoubleArr(out)
+		if err != nil {
+			return err
+		}
+		for i, id := range st.part.ids {
+			values[id] = vals[i]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := resultFrom(cl, start)
+	res.Values = values
+	return res, nil
+}
+
+// superstep runs one node's compute phase and sends one frame per peer.
+func superstep(cl *cluster.Cluster, n *cluster.Node, st *nodeState, cfg Config, first, last bool) error {
+	t := n.Main
+	t.IterationStart()
+	defer t.IterationEnd()
+
+	// Deliver incoming messages (u32 local target already translated by
+	// sender? No: sender sends global IDs; translate here).
+	for _, f := range st.incoming {
+		cnt := len(f) / 12
+		locals := make([]int32, cnt)
+		vals := make([]float64, cnt)
+		for i := 0; i < cnt; i++ {
+			g := int32(binary.LittleEndian.Uint32(f[i*12:]))
+			locals[i] = st.part.local[g]
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(f[i*12+4:]))
+		}
+		oL, err := t.NewIntArr(locals)
+		if err != nil {
+			return err
+		}
+		oV, err := t.NewDoubleArr(vals)
+		if err != nil {
+			t.FreeObj(oL)
+			return err
+		}
+		_, err = t.InvokeStatic("GPSDriver", "deliver", vm.O(st.vsObj), vm.O(oL), vm.O(oV))
+		t.FreeObj(oL)
+		t.FreeObj(oV)
+		if err != nil {
+			return err
+		}
+	}
+
+	var emitted int
+	var targets []int32
+	var vals []float64
+	switch cfg.App {
+	case PageRank:
+		ev, err := t.InvokeStatic("GPSDriver", "prStep",
+			vm.O(st.vsObj), vm.O(st.adjObj), vm.O(st.outT), vm.O(st.outV),
+			vm.I(b2i(first)), vm.I(b2i(last)))
+		if err != nil {
+			return err
+		}
+		emitted = int(int32(ev))
+		if emitted > 0 {
+			targets, err = readIntPrefix(t, st.outT, emitted)
+			if err != nil {
+				return err
+			}
+			vals, err = readDoublePrefix(t, st.outV, emitted)
+			if err != nil {
+				return err
+			}
+		}
+	case RandomWalk:
+		ev, err := t.InvokeStatic("GPSDriver", "rwStep",
+			vm.O(st.vsObj), vm.O(st.adjObj), vm.O(st.outT), vm.I(b2i(last)))
+		if err != nil {
+			return err
+		}
+		emitted = int(int32(ev))
+		if emitted > 0 {
+			var err error
+			targets, err = readIntPrefix(t, st.outT, emitted)
+			if err != nil {
+				return err
+			}
+			vals = make([]float64, emitted)
+			for i := range vals {
+				vals[i] = 1.0
+			}
+		}
+	}
+
+	// Group by destination node and send frames (the serialization
+	// boundary between machines).
+	frames := make([][]byte, len(cl.Nodes))
+	for i := 0; i < emitted; i++ {
+		dst := int(targets[i]) % len(cl.Nodes)
+		var buf [12]byte
+		binary.LittleEndian.PutUint32(buf[0:], uint32(targets[i]))
+		binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(vals[i]))
+		frames[dst] = append(frames[dst], buf[:]...)
+	}
+	for d, f := range frames {
+		cl.Net.Send(cluster.Frame{From: n.ID, To: d, Tag: "msgs", Data: f})
+	}
+	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func readIntPrefix(t *vm.Thread, o vm.Obj, n int) ([]int32, error) {
+	all, err := t.ReadIntArr(o)
+	if err != nil {
+		return nil, err
+	}
+	return all[:n], nil
+}
+
+func readDoublePrefix(t *vm.Thread, o vm.Obj, n int) ([]float64, error) {
+	all, err := t.ReadDoubleArr(o)
+	if err != nil {
+		return nil, err
+	}
+	return all[:n], nil
+}
+
+func resultFrom(cl *cluster.Cluster, start time.Time) *Result {
+	st := cl.Stats()
+	return &Result{
+		ET:         time.Since(start),
+		GT:         st.GCTime,
+		PM:         st.MaxTotal,
+		HeapPeak:   st.MaxHeapPeak,
+		NativePeak: st.MaxNative,
+		MinorGCs:   st.MinorGCs,
+		FullGCs:    st.FullGCs,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// k-means: points are graph vertices embedded deterministically in 2-D;
+// centroids are broadcast by the master each superstep and partial sums
+// reduced from the nodes (the Pregel "master.compute" aggregation).
+
+func runKMeans(cl *cluster.Cluster, g *datagen.Graph, cfg Config) (*Result, error) {
+	nodes := len(cl.Nodes)
+	xs := make([][]float64, nodes)
+	ys := make([][]float64, nodes)
+	owner := make([]int, g.NumVertices)
+	localIdx := make([]int, g.NumVertices)
+	for v := 0; v < g.NumVertices; v++ {
+		n := v % nodes
+		owner[v] = n
+		localIdx[v] = len(xs[n])
+		// Deterministic embedding: degree vs hashed position.
+		xs[n] = append(xs[n], float64(g.OutDeg[v])+float64(v%17)*0.1)
+		ys[n] = append(ys[n], float64(g.InDeg[v])+float64(v%23)*0.1)
+	}
+	ptObjs := make([]vm.Obj, nodes)
+	start := time.Now()
+	err := cl.ParallelEach(func(n *cluster.Node) error {
+		t := n.Main
+		ox, err := t.NewDoubleArr(xs[n.ID])
+		if err != nil {
+			return err
+		}
+		defer t.FreeObj(ox)
+		oy, err := t.NewDoubleArr(ys[n.ID])
+		if err != nil {
+			return err
+		}
+		defer t.FreeObj(oy)
+		ptObjs[n.ID], err = t.InvokeStaticObj("GPSDriver", "buildPoints", vm.O(ox), vm.O(oy))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	k := cfg.K
+	cx := make([]float64, k)
+	cy := make([]float64, k)
+	for c := 0; c < k; c++ {
+		// Spread initial centroids over the embedding range.
+		cx[c] = float64(c * 7)
+		cy[c] = float64(c * 11)
+	}
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	for step := 0; step < cfg.Supersteps; step++ {
+		sums := make([]float64, 3*k)
+		err := cl.ParallelEach(func(n *cluster.Node) error {
+			t := n.Main
+			t.IterationStart()
+			defer t.IterationEnd()
+			ocx, err := t.NewDoubleArr(cx)
+			if err != nil {
+				return err
+			}
+			defer t.FreeObj(ocx)
+			ocy, err := t.NewDoubleArr(cy)
+			if err != nil {
+				return err
+			}
+			defer t.FreeObj(ocy)
+			osums, err := t.NewArr("double", 3*k)
+			if err != nil {
+				return err
+			}
+			defer t.FreeObj(osums)
+			if _, err := t.InvokeStatic("GPSDriver", "kmeansAssign",
+				vm.O(ptObjs[n.ID]), vm.O(ocx), vm.O(ocy), vm.O(osums)); err != nil {
+				return err
+			}
+			part, err := t.ReadDoubleArr(osums)
+			if err != nil {
+				return err
+			}
+			<-mu
+			for i := range sums {
+				sums[i] += part[i]
+			}
+			mu <- struct{}{}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < k; c++ {
+			if cnt := sums[c*3+2]; cnt > 0 {
+				cx[c] = sums[c*3] / cnt
+				cy[c] = sums[c*3+1] / cnt
+			}
+		}
+	}
+	// Extract assignments: vertex v lives at node v%nodes, local v/nodes.
+	values := make([]float64, g.NumVertices)
+	err = cl.ParallelEach(func(n *cluster.Node) error {
+		t := n.Main
+		cnt := len(xs[n.ID])
+		for i := 0; i < cnt; i++ {
+			p, err := t.ArrGetObj(ptObjs[n.ID], i)
+			if err != nil {
+				return err
+			}
+			cv, err := t.GetField(p, "KPoint", "cluster")
+			t.FreeObj(p)
+			if err != nil {
+				return err
+			}
+			values[i*nodes+n.ID] = float64(int32(cv))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := resultFrom(cl, start)
+	res.Values = values
+	cents := make([][2]float64, k)
+	for c := 0; c < k; c++ {
+		cents[c] = [2]float64{cx[c], cy[c]}
+	}
+	res.Centroids = cents
+	return res, nil
+}

@@ -1,0 +1,189 @@
+package gps
+
+import (
+	"math"
+	"testing"
+
+	"repro/facade"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/ir"
+)
+
+// coreTransformDevirt builds the GPS data path with devirtualization on.
+func coreTransformDevirt() (*ir.Program, error) {
+	p, err := facade.Compile(map[string]string{"gps.fj": Source})
+	if err != nil {
+		return nil, err
+	}
+	return core.Transform(p, core.Options{DataClasses: DataClasses, Devirtualize: true})
+}
+
+var cachedP, cachedP2 *ir.Program
+
+func programs(t *testing.T) (*ir.Program, *ir.Program) {
+	t.Helper()
+	if cachedP == nil {
+		p, p2, err := BuildPrograms()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedP, cachedP2 = p, p2
+	}
+	return cachedP, cachedP2
+}
+
+// refPageRank computes BSP PageRank the way the engine schedules it.
+func refPageRank(g *datagen.Graph, steps int) []float64 {
+	vals := make([]float64, g.NumVertices)
+	for i := range vals {
+		vals[i] = 1.0
+	}
+	adj := make([][]int32, g.NumVertices)
+	for i, s := range g.Src {
+		adj[s] = append(adj[s], g.Dst[i])
+	}
+	for s := 0; s < steps; s++ {
+		// Messages emitted at step s-1 are consumed at step s (>0).
+		if s > 0 {
+			incoming := make([]float64, g.NumVertices)
+			for v := 0; v < g.NumVertices; v++ {
+				if d := len(adj[v]); d > 0 {
+					share := vals[v] / float64(d)
+					for _, t := range adj[v] {
+						incoming[t] += share
+					}
+				}
+			}
+			for v := range vals {
+				vals[v] = 0.15 + 0.85*incoming[v]
+			}
+		}
+	}
+	return vals
+}
+
+func TestPageRankBothProgramsMatchReference(t *testing.T) {
+	p, p2 := programs(t)
+	g := datagen.PowerLawGraph(300, 2500, 5)
+	cfg := Config{App: PageRank, Nodes: 3, HeapPerNode: 16 << 20, Supersteps: 4}
+	resP, err := Run(p, g, cfg)
+	if err != nil {
+		t.Fatalf("P: %v", err)
+	}
+	resP2, err := Run(p2, g, cfg)
+	if err != nil {
+		t.Fatalf("P': %v", err)
+	}
+	// BSP emission order differs per node arrival order, but sums are the
+	// same set of float64 additions in potentially different order; the
+	// engine delivers messages per-frame deterministically, yet frame
+	// arrival order may vary, so compare with tolerance.
+	ref := refPageRank(g, 4)
+	for v := range ref {
+		if math.Abs(resP.Values[v]-ref[v]) > 1e-9 {
+			t.Fatalf("P vertex %d: %v want %v", v, resP.Values[v], ref[v])
+		}
+		if math.Abs(resP2.Values[v]-ref[v]) > 1e-9 {
+			t.Fatalf("P' vertex %d: %v want %v", v, resP2.Values[v], ref[v])
+		}
+	}
+}
+
+func TestRandomWalkConservesWalkers(t *testing.T) {
+	p, p2 := programs(t)
+	g := datagen.PowerLawGraph(200, 2000, 9)
+	cfg := Config{App: RandomWalk, Nodes: 2, HeapPerNode: 16 << 20, Supersteps: 6, Walkers: 50, Seed: 3}
+	for name, prog := range map[string]*ir.Program{"P": p, "P'": p2} {
+		res, err := Run(prog, g, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Total visits = walkers * supersteps (each walker visits one
+		// vertex per step).
+		total := 0.0
+		for _, v := range res.Values {
+			total += v
+		}
+		want := float64(cfg.Walkers * cfg.Supersteps)
+		if total != want {
+			t.Fatalf("%s: total visits %v want %v", name, total, want)
+		}
+	}
+}
+
+func TestKMeansAssignsAllPoints(t *testing.T) {
+	p, p2 := programs(t)
+	g := datagen.PowerLawGraph(240, 2000, 13)
+	cfg := Config{App: KMeans, Nodes: 3, HeapPerNode: 16 << 20, Supersteps: 5, K: 4}
+	resP, err := Run(p, g, cfg)
+	if err != nil {
+		t.Fatalf("P: %v", err)
+	}
+	resP2, err := Run(p2, g, cfg)
+	if err != nil {
+		t.Fatalf("P': %v", err)
+	}
+	for v := range resP.Values {
+		c := int(resP.Values[v])
+		if c < 0 || c >= cfg.K {
+			t.Fatalf("P: vertex %d assigned to cluster %d", v, c)
+		}
+		if resP.Values[v] != resP2.Values[v] {
+			t.Fatalf("vertex %d: P cluster %v, P' cluster %v", v, resP.Values[v], resP2.Values[v])
+		}
+	}
+	if len(resP.Centroids) != cfg.K {
+		t.Fatalf("got %d centroids", len(resP.Centroids))
+	}
+	for c := range resP.Centroids {
+		if math.Abs(resP.Centroids[c][0]-resP2.Centroids[c][0]) > 1e-9 ||
+			math.Abs(resP.Centroids[c][1]-resP2.Centroids[c][1]) > 1e-9 {
+			t.Fatalf("centroid %d differs between P and P'", c)
+		}
+	}
+}
+
+func TestDevirtualizedGPSEquivalence(t *testing.T) {
+	// The full GPS data path under the §3.6 devirtualizing transform must
+	// produce bit-identical PageRank values.
+	p, _ := programs(t)
+	p3, err := func() (*ir.Program, error) {
+		return coreTransformDevirt()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datagen.PowerLawGraph(300, 2500, 5)
+	cfg := Config{App: PageRank, Nodes: 2, HeapPerNode: 16 << 20, Supersteps: 4}
+	r1, err := Run(p, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Run(p3, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range r1.Values {
+		if r1.Values[v] != r3.Values[v] {
+			t.Fatalf("vertex %d: P=%v devirt-P'=%v", v, r1.Values[v], r3.Values[v])
+		}
+	}
+}
+
+func TestGPSGCProfileModest(t *testing.T) {
+	// §4.3: GPS's primitive-array-heavy design keeps GC small; both
+	// programs should complete with few full collections at this scale.
+	p, _ := programs(t)
+	g := datagen.PowerLawGraph(500, 6000, 21)
+	res, err := Run(p, g, Config{App: PageRank, Nodes: 2, HeapPerNode: 12 << 20, Supersteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ET == 0 {
+		t.Fatal("no time measured")
+	}
+	if res.GT > res.ET {
+		t.Fatalf("GC time %v exceeds run time %v", res.GT, res.ET)
+	}
+}

@@ -1,0 +1,341 @@
+package graphchi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/vm"
+)
+
+// App selects the vertex program.
+type App int
+
+// Supported applications (§4.1 evaluates PR and CC).
+const (
+	PageRank App = iota
+	ConnectedComponents
+)
+
+func (a App) String() string {
+	if a == PageRank {
+		return "PR"
+	}
+	return "CC"
+}
+
+// progClass returns the FJ class implementing the app's vertex program.
+func (a App) progClass() string {
+	if a == PageRank {
+		return "PageRankProgram"
+	}
+	return "ConnCompProgram"
+}
+
+// Config drives one engine run.
+type Config struct {
+	App        App
+	Workers    int // update worker threads (paper: two pools of 16)
+	Iterations int // full passes over the graph
+	// MemoryBudget bounds the bytes of vertex/edge objects loaded per
+	// sub-iteration; GraphChi derives it from the maximum heap size, so
+	// callers pass a value proportional to the configured heap.
+	MemoryBudget int64
+	// BytesPerEdge is the load estimator used to convert the budget into
+	// an edge count per interval (default 48: a ChiPointer record plus
+	// its array slot plus amortized vertex overhead).
+	BytesPerEdge int64
+}
+
+// Metrics are the measurements Table 2 reports, plus the object counters
+// behind the paper's §4.1 object-bound claim.
+type Metrics struct {
+	ET time.Duration // total execution time
+	UT time.Duration // engine update time
+	LT time.Duration // data load (+store) time
+	GT time.Duration // garbage collection time
+	PM int64         // peak memory: managed heap peak + native peak
+
+	HeapPeak    int64
+	NativePeak  int64
+	MinorGCs    int64
+	FullGCs     int64
+	SubIters    int
+	DataObjects int64 // heap objects allocated for the data classes
+	Pages       int64 // native pages created (P' only)
+	Records     int64 // page records allocated (P' only)
+	Edges       int64 // edges processed (NumEdges * Iterations)
+}
+
+// Throughput returns edges processed per second (Figure 4a's metric).
+func (m *Metrics) Throughput() float64 {
+	if m.ET == 0 {
+		return 0
+	}
+	return float64(m.Edges) / m.ET.Seconds()
+}
+
+// Run executes cfg.Iterations passes of the vertex program over sg on the
+// given VM (program P or P') and returns metrics plus the final vertex
+// values.
+func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 3
+	}
+	if cfg.BytesPerEdge <= 0 {
+		cfg.BytesPerEdge = 48
+	}
+	if cfg.MemoryBudget <= 0 {
+		cfg.MemoryBudget = 8 << 20
+	}
+
+	main, err := machine.NewThread(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer main.Close()
+
+	pool, err := newWorkerPool(machine, main, cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer pool.close()
+
+	prog, err := main.NewObj(cfg.App.progClass())
+	if err != nil {
+		return nil, nil, err
+	}
+	defer main.FreeObj(prog)
+
+	// Vertex values ("vertex data file" on disk, control path).
+	values := make([]float64, sg.NumVertices)
+	for i := range values {
+		if cfg.App == PageRank {
+			values[i] = 1.0
+		} else {
+			values[i] = float64(i)
+		}
+	}
+
+	intervals := sg.Intervals(cfg.MemoryBudget / cfg.BytesPerEdge)
+	met := &Metrics{Edges: int64(sg.NumEdges()) * int64(cfg.Iterations)}
+	start := time.Now()
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		main.IterationStart()
+		for _, iv := range intervals {
+			if err := runInterval(main, pool, prog, sg, cfg, values, iv, met); err != nil {
+				return nil, nil, fmt.Errorf("graphchi: interval %v: %w", iv, err)
+			}
+			met.SubIters++
+		}
+		main.IterationEnd()
+	}
+
+	met.ET = time.Since(start)
+	hs := machine.Heap.Stats()
+	met.GT = hs.GCTime
+	met.MinorGCs = hs.MinorGCs
+	met.FullGCs = hs.FullGCs
+	met.HeapPeak = hs.PeakUsed
+	if machine.RT != nil {
+		ns := machine.RT.Stats()
+		met.NativePeak = ns.PeakBytes
+		met.Pages = ns.PagesCreated
+		met.Records = ns.Records
+	}
+	met.PM = met.HeapPeak + met.NativePeak
+	met.DataObjects = countDataObjects(machine)
+	return met, values, nil
+}
+
+// countDataObjects totals heap allocations of the profiled data classes
+// (facade classes for P').
+func countDataObjects(machine *vm.VM) int64 {
+	var n int64
+	for _, name := range []string{"ChiVertex", "ChiPointer", "VertexDegree"} {
+		if c := machine.Prog.H.Class(name); c != nil && !machine.Prog.Transformed {
+			n += machine.Heap.ClassAllocCount(c)
+		}
+		if c := machine.Prog.H.Class(name + "Facade"); c != nil {
+			n += machine.Heap.ClassAllocCount(c)
+		}
+	}
+	return n
+}
+
+func runInterval(main *vm.Thread, pool *workerPool, prog vm.Obj, sg *ShardedGraph, cfg Config, values []float64, iv [2]int, met *Metrics) error {
+	a, b := iv[0], iv[1]
+	n := b - a
+	if n == 0 {
+		return nil
+	}
+	main.IterationStart() // sub-iteration
+	defer main.IterationEnd()
+
+	loadStart := time.Now()
+	eStart, eEnd := sg.InStart[a], sg.InStart[b]
+	srcs := sg.InSrc[eStart:eEnd]
+	inCounts := make([]int32, n)
+	outDegs := make([]int32, n)
+	initVals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		inCounts[i] = sg.InDeg[a+i]
+		outDegs[i] = sg.OutDeg[a+i]
+		initVals[i] = values[a+i]
+	}
+	srcVals := make([]float64, len(srcs))
+	for i, s := range srcs {
+		if cfg.App == PageRank {
+			d := sg.OutDeg[s]
+			if d == 0 {
+				d = 1
+			}
+			srcVals[i] = values[s] / float64(d)
+		} else {
+			srcVals[i] = values[s]
+		}
+	}
+
+	// Boundary: ship the shard slice into the data path and build the
+	// subgraph there.
+	oInCounts, err := main.NewIntArr(inCounts)
+	if err != nil {
+		return err
+	}
+	defer main.FreeObj(oInCounts)
+	oOutDegs, err := main.NewIntArr(outDegs)
+	if err != nil {
+		return err
+	}
+	defer main.FreeObj(oOutDegs)
+	oSrcs, err := main.NewIntArr(srcs)
+	if err != nil {
+		return err
+	}
+	defer main.FreeObj(oSrcs)
+	oSrcVals, err := main.NewDoubleArr(srcVals)
+	if err != nil {
+		return err
+	}
+	defer main.FreeObj(oSrcVals)
+
+	vs, err := main.InvokeStaticObj("GraphChiDriver", "build",
+		vm.I(int64(a)), vm.I(int64(n)), vm.O(oInCounts), vm.O(oOutDegs), vm.O(oSrcs), vm.O(oSrcVals))
+	if err != nil {
+		return err
+	}
+	defer main.FreeObj(vs)
+	oInit, err := main.NewDoubleArr(initVals)
+	if err != nil {
+		return err
+	}
+	defer main.FreeObj(oInit)
+	if _, err := main.InvokeStatic("GraphChiDriver", "initValues", vm.O(vs), vm.O(oInit)); err != nil {
+		return err
+	}
+	met.LT += time.Since(loadStart)
+
+	// Parallel update.
+	updStart := time.Now()
+	if err := pool.runRange(prog, vs, n); err != nil {
+		return err
+	}
+	met.UT += time.Since(updStart)
+
+	// Write back vertex values (exit conversion).
+	storeStart := time.Now()
+	oOut, err := main.NewArr("double", n)
+	if err != nil {
+		return err
+	}
+	defer main.FreeObj(oOut)
+	if _, err := main.InvokeStatic("GraphChiDriver", "extract", vm.O(vs), vm.O(oOut)); err != nil {
+		return err
+	}
+	out, err := main.ReadDoubleArr(oOut)
+	if err != nil {
+		return err
+	}
+	copy(values[a:b], out)
+	met.LT += time.Since(storeStart)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool: long-lived VM threads updating vertex ranges in parallel.
+
+type workerTask struct {
+	prog, vs vm.Obj
+	from, to int
+	err      chan error
+}
+
+type workerPool struct {
+	tasks   chan workerTask
+	wg      sync.WaitGroup
+	threads []*vm.Thread
+	n       int
+}
+
+func newWorkerPool(machine *vm.VM, parent *vm.Thread, n int) (*workerPool, error) {
+	p := &workerPool{tasks: make(chan workerTask), n: n}
+	for i := 0; i < n; i++ {
+		t, err := machine.NewThread(parent)
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		p.threads = append(p.threads, t)
+		p.wg.Add(1)
+		go func(t *vm.Thread) {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				_, err := t.InvokeStatic("GraphChiDriver", "runRange",
+					vm.O(task.prog), vm.O(task.vs), vm.I(int64(task.from)), vm.I(int64(task.to)))
+				task.err <- err
+			}
+		}(t)
+	}
+	return p, nil
+}
+
+// runRange splits [0, n) across the workers and waits for completion.
+func (p *workerPool) runRange(prog, vs vm.Obj, n int) error {
+	chunks := p.n
+	if chunks > n {
+		chunks = n
+	}
+	if chunks == 0 {
+		return nil
+	}
+	errs := make(chan error, chunks)
+	per := (n + chunks - 1) / chunks
+	sent := 0
+	for from := 0; from < n; from += per {
+		to := from + per
+		if to > n {
+			to = n
+		}
+		p.tasks <- workerTask{prog: prog, vs: vs, from: from, to: to, err: errs}
+		sent++
+	}
+	var first error
+	for i := 0; i < sent; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (p *workerPool) close() {
+	close(p.tasks)
+	p.wg.Wait()
+	for _, t := range p.threads {
+		t.Close()
+	}
+}

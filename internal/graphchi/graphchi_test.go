@@ -1,0 +1,301 @@
+package graphchi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/vm"
+)
+
+func buildBoth(t *testing.T) (pVM, p2VM *vm.VM) {
+	t.Helper()
+	p, p2, err := BuildPrograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := vm.New(p, vm.Config{HeapSize: 48 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv2, err := vm.New(p2, vm.Config{HeapSize: 48 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mv, mv2
+}
+
+func TestShardingInvariants(t *testing.T) {
+	g := datagen.PowerLawGraph(500, 5000, 42)
+	sg := Shard(g, 8, false)
+	if sg.NumEdges() != 5000 {
+		t.Fatalf("edges %d", sg.NumEdges())
+	}
+	// InStart is a proper prefix sum over InDeg.
+	var total int64
+	for v := 0; v < sg.NumVertices; v++ {
+		if sg.InStart[v] != total {
+			t.Fatalf("InStart[%d]=%d want %d", v, sg.InStart[v], total)
+		}
+		total += int64(sg.InDeg[v])
+	}
+	if total != int64(len(sg.InSrc)) {
+		t.Fatal("prefix sum mismatch")
+	}
+	// Shard bounds are monotone and cover the vertex range.
+	if sg.ShardBounds[0] != 0 || sg.ShardBounds[len(sg.ShardBounds)-1] != sg.NumVertices {
+		t.Fatal("shard bounds do not cover")
+	}
+	for i := 1; i < len(sg.ShardBounds); i++ {
+		if sg.ShardBounds[i] < sg.ShardBounds[i-1] {
+			t.Fatal("shard bounds not monotone")
+		}
+	}
+}
+
+func TestIntervalsRespectBudget(t *testing.T) {
+	g := datagen.PowerLawGraph(1000, 20000, 1)
+	sg := Shard(g, 8, false)
+	ivs := sg.Intervals(1000)
+	covered := 0
+	for _, iv := range ivs {
+		edges := sg.InStart[iv[1]] - sg.InStart[iv[0]]
+		// A single vertex may exceed the budget; otherwise intervals obey
+		// it.
+		if iv[1]-iv[0] > 1 && edges > 1000 {
+			t.Fatalf("interval %v has %d edges", iv, edges)
+		}
+		covered += iv[1] - iv[0]
+	}
+	if covered != sg.NumVertices {
+		t.Fatalf("intervals cover %d of %d vertices", covered, sg.NumVertices)
+	}
+	// Smaller budget => at least as many intervals.
+	if len(sg.Intervals(500)) < len(ivs) {
+		t.Fatal("smaller budget produced fewer intervals")
+	}
+}
+
+// referencePageRank computes PR in plain Go with the same update schedule
+// (in-interval order, Jacobi-per-interval like the engine's per-interval
+// extract/reload).
+func referencePageRank(sg *ShardedGraph, iters int) []float64 {
+	vals := make([]float64, sg.NumVertices)
+	for i := range vals {
+		vals[i] = 1.0
+	}
+	for it := 0; it < iters; it++ {
+		contrib := make([]float64, sg.NumVertices)
+		for v := range contrib {
+			d := sg.OutDeg[v]
+			if d == 0 {
+				d = 1
+			}
+			contrib[v] = vals[v] / float64(d)
+		}
+		next := make([]float64, sg.NumVertices)
+		for v := 0; v < sg.NumVertices; v++ {
+			sum := 0.0
+			for e := sg.InStart[v]; e < sg.InStart[v+1]; e++ {
+				sum += contrib[sg.InSrc[e]]
+			}
+			next[v] = 0.15 + 0.85*sum
+		}
+		vals = next
+	}
+	return vals
+}
+
+func TestPageRankMatchesReferenceAndTransform(t *testing.T) {
+	g := datagen.PowerLawGraph(300, 3000, 7)
+	sg := Shard(g, 4, false)
+	mv, mv2 := buildBoth(t)
+	cfg := Config{App: PageRank, Workers: 2, Iterations: 3, MemoryBudget: 1 << 30}
+
+	_, valsP, err := Run(mv, sg, cfg)
+	if err != nil {
+		t.Fatalf("P: %v", err)
+	}
+	_, valsP2, err := Run(mv2, sg, cfg)
+	if err != nil {
+		t.Fatalf("P': %v", err)
+	}
+	// P and P' agree bit for bit.
+	for i := range valsP {
+		if valsP[i] != valsP2[i] {
+			t.Fatalf("vertex %d: P=%v P'=%v", i, valsP[i], valsP2[i])
+		}
+	}
+	// With one interval (huge budget) the engine is exactly Jacobi.
+	ref := referencePageRank(sg, 3)
+	for i := range ref {
+		if math.Abs(ref[i]-valsP[i]) > 1e-9 {
+			t.Fatalf("vertex %d: ref=%v engine=%v", i, ref[i], valsP[i])
+		}
+	}
+}
+
+func TestConnectedComponentsConverges(t *testing.T) {
+	g := datagen.PowerLawGraph(200, 1500, 3)
+	sg := Shard(g, 4, true) // undirected
+	mv, mv2 := buildBoth(t)
+	cfg := Config{App: ConnectedComponents, Workers: 2, Iterations: 8, MemoryBudget: 1 << 30}
+	_, valsP, err := Run(mv, sg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, valsP2, err := Run(mv2, sg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range valsP {
+		if valsP[i] != valsP2[i] {
+			t.Fatalf("vertex %d: P=%v P'=%v", i, valsP[i], valsP2[i])
+		}
+	}
+	// Labels must be non-increasing versus initial IDs and a valid label.
+	for i, l := range valsP {
+		if l > float64(i) || l < 0 {
+			t.Fatalf("vertex %d has label %v", i, l)
+		}
+	}
+}
+
+// referencePageRankScheduled models the engine's exact multi-interval
+// schedule: within one iteration, an interval's in-edge values are read
+// from the `values` array, which already contains the updates of earlier
+// intervals — GraphChi's asynchronous update semantics.
+func referencePageRankScheduled(sg *ShardedGraph, intervals [][2]int, iters int) []float64 {
+	values := make([]float64, sg.NumVertices)
+	for i := range values {
+		values[i] = 1.0
+	}
+	for it := 0; it < iters; it++ {
+		for _, iv := range intervals {
+			a, b := iv[0], iv[1]
+			next := make([]float64, b-a)
+			for v := a; v < b; v++ {
+				sum := 0.0
+				for e := sg.InStart[v]; e < sg.InStart[v+1]; e++ {
+					s := sg.InSrc[e]
+					d := sg.OutDeg[s]
+					if d == 0 {
+						d = 1
+					}
+					sum += values[s] / float64(d)
+				}
+				next[v-a] = 0.15 + 0.85*sum
+			}
+			copy(values[a:b], next)
+		}
+	}
+	return values
+}
+
+func TestMultiIntervalAsyncScheduleMatchesReference(t *testing.T) {
+	g := datagen.PowerLawGraph(400, 5000, 17)
+	sg := Shard(g, 4, false)
+	budget := int64(64 << 10)
+	cfg := Config{App: PageRank, Workers: 2, Iterations: 3, MemoryBudget: budget}
+	intervals := sg.Intervals(budget / 48)
+	if len(intervals) < 3 {
+		t.Fatalf("want multiple intervals, got %d", len(intervals))
+	}
+	mv, mv2 := buildBoth(t)
+	_, valsP, err := Run(mv, sg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, valsP2, err := Run(mv2, sg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := referencePageRankScheduled(sg, intervals, 3)
+	for v := range ref {
+		if math.Abs(valsP[v]-ref[v]) > 1e-9 {
+			t.Fatalf("P vertex %d: %v want %v", v, valsP[v], ref[v])
+		}
+		if valsP[v] != valsP2[v] {
+			t.Fatalf("P/P' diverge at vertex %d", v)
+		}
+	}
+}
+
+func TestObjectBoundOnGraphChi(t *testing.T) {
+	// §4.1's claim, in miniature: P' allocates a bounded number of heap
+	// objects for the data classes regardless of graph size, while P
+	// allocates in proportion to edges.
+	g := datagen.PowerLawGraph(400, 6000, 11)
+	sg := Shard(g, 4, false)
+	mv, mv2 := buildBoth(t)
+	cfg := Config{App: PageRank, Workers: 2, Iterations: 2, MemoryBudget: 4 << 20}
+	metP, _, err := Run(mv, sg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metP2, _, err := Run(mv2, sg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metP.DataObjects < int64(sg.NumEdges()) {
+		t.Fatalf("P data objects = %d, want >= #edges %d", metP.DataObjects, sg.NumEdges())
+	}
+	// P': facades only — a few per thread per type.
+	if metP2.DataObjects > 200 {
+		t.Fatalf("P' data objects = %d, want bounded by pools", metP2.DataObjects)
+	}
+	if metP2.Records < int64(sg.NumEdges()) {
+		t.Fatalf("P' records = %d, want >= #edges", metP2.Records)
+	}
+	// Page recycling: far fewer pages than sub-iterations' worth of data.
+	if metP2.Pages > 2000 {
+		t.Fatalf("pages created = %d", metP2.Pages)
+	}
+}
+
+func TestVertexDegreePreprocessing(t *testing.T) {
+	// The third profiled data class: VertexDegree records built through
+	// the data path (GraphChi's degree-file preprocessing).
+	mv, mv2 := buildBoth(t)
+	for name, m := range map[string]*vm.VM{"P": mv, "P'": mv2} {
+		th, err := m.NewThread(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := th.InvokeStaticObj("GraphChiDriver", "degreeOf", vm.I(3), vm.I(9))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		in, err := th.GetField(d, "VertexDegree", "inDeg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := th.GetField(d, "VertexDegree", "outDeg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int32(in) != 3 || int32(out) != 9 {
+			t.Fatalf("%s: degree record (%d,%d)", name, int32(in), int32(out))
+		}
+		th.FreeObj(d)
+		th.Close()
+	}
+}
+
+func TestSmallerBudgetMoreSubIterations(t *testing.T) {
+	g := datagen.PowerLawGraph(300, 4000, 5)
+	sg := Shard(g, 4, false)
+	mv, _ := buildBoth(t)
+	metBig, _, err := Run(mv, sg, Config{App: PageRank, Workers: 1, Iterations: 1, MemoryBudget: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv2, _ := buildBoth(t)
+	metSmall, _, err := Run(mv2, sg, Config{App: PageRank, Workers: 1, Iterations: 1, MemoryBudget: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metSmall.SubIters <= metBig.SubIters {
+		t.Fatalf("budget did not increase sub-iterations: %d vs %d", metSmall.SubIters, metBig.SubIters)
+	}
+}

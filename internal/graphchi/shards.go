@@ -1,0 +1,108 @@
+package graphchi
+
+import (
+	"sort"
+
+	"repro/internal/datagen"
+)
+
+// ShardedGraph is the on-"disk" representation the engine streams from:
+// in-edges grouped by destination (the role GraphChi's shards play), plus
+// per-vertex degrees. These Go-side arrays model the memory-mapped shard
+// files — they are never part of the managed heap, just as GraphChi's
+// shards live on disk, not in the JVM heap.
+type ShardedGraph struct {
+	NumVertices int
+	NumShards   int
+	// InStart[v]..InStart[v+1] indexes InSrc: the sources of v's in-edges.
+	InStart []int64
+	InSrc   []int32
+	OutDeg  []int32
+	InDeg   []int32
+	// ShardBounds[i] is the first vertex of shard i (len NumShards+1).
+	ShardBounds []int
+}
+
+// Shard builds the sharded representation. undirected adds the reverse of
+// every edge first (connected components runs on the undirected graph).
+// nShards partitions vertices into shards with roughly equal edge counts
+// (the paper fixes 20 shards; the count has little performance impact).
+func Shard(g *datagen.Graph, nShards int, undirected bool) *ShardedGraph {
+	v := g.NumVertices
+	type edge struct{ src, dst int32 }
+	edges := make([]edge, 0, len(g.Src)*2)
+	for i := range g.Src {
+		edges = append(edges, edge{g.Src[i], g.Dst[i]})
+		if undirected {
+			edges = append(edges, edge{g.Dst[i], g.Src[i]})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].dst != edges[j].dst {
+			return edges[i].dst < edges[j].dst
+		}
+		return edges[i].src < edges[j].src
+	})
+	sg := &ShardedGraph{
+		NumVertices: v,
+		NumShards:   nShards,
+		InStart:     make([]int64, v+1),
+		InSrc:       make([]int32, len(edges)),
+		OutDeg:      make([]int32, v),
+		InDeg:       make([]int32, v),
+	}
+	for i, e := range edges {
+		sg.InSrc[i] = e.src
+		sg.InDeg[e.dst]++
+		sg.OutDeg[e.src]++
+	}
+	pos := int64(0)
+	for i := 0; i < v; i++ {
+		sg.InStart[i] = pos
+		pos += int64(sg.InDeg[i])
+	}
+	sg.InStart[v] = pos
+
+	// Shard boundaries with balanced edge counts.
+	perShard := (len(edges) + nShards - 1) / nShards
+	sg.ShardBounds = []int{0}
+	cnt := 0
+	for vert := 0; vert < v; vert++ {
+		cnt += int(sg.InDeg[vert])
+		if cnt >= perShard && len(sg.ShardBounds) < nShards {
+			sg.ShardBounds = append(sg.ShardBounds, vert+1)
+			cnt = 0
+		}
+	}
+	for len(sg.ShardBounds) <= nShards {
+		sg.ShardBounds = append(sg.ShardBounds, v)
+	}
+	return sg
+}
+
+// NumEdges returns the (possibly doubled) edge count.
+func (sg *ShardedGraph) NumEdges() int { return len(sg.InSrc) }
+
+// Intervals splits the vertex range into execution intervals
+// (sub-iterations) so that each holds at most budgetEdges in-edges —
+// GraphChi's adaptive memory-budget loading: a smaller heap means smaller
+// intervals and more load passes.
+func (sg *ShardedGraph) Intervals(budgetEdges int64) [][2]int {
+	if budgetEdges < 1 {
+		budgetEdges = 1
+	}
+	var out [][2]int
+	start := 0
+	var cnt int64
+	for v := 0; v < sg.NumVertices; v++ {
+		d := int64(sg.InDeg[v])
+		if cnt > 0 && cnt+d > budgetEdges {
+			out = append(out, [2]int{start, v})
+			start = v
+			cnt = 0
+		}
+		cnt += d
+	}
+	out = append(out, [2]int{start, sg.NumVertices})
+	return out
+}

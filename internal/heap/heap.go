@@ -1,0 +1,544 @@
+// Package heap implements the managed heap the FJ VM allocates objects in,
+// together with a stop-the-world generational tracing garbage collector.
+// It stands in for the JVM heap in the paper's evaluation: program P's data
+// objects live here and are traced by the collector, while program P' keeps
+// only control objects and facades here and stores data in the off-heap
+// page arena (internal/offheap), which this collector never scans.
+//
+// # Layout
+//
+// The heap is one contiguous byte arena addressed by 32-bit offsets
+// (Addr); address 0 is null. The low part of the arena is the old
+// generation, the high part is the nursery (young generation). Objects are
+// allocated in the nursery through per-thread TLABs; a minor collection
+// evacuates live nursery objects into the old generation (promotion on
+// first survival); a full collection marks both generations and slides the
+// old generation (Lisp-2 compaction).
+//
+// Object layout mirrors a 64-bit HotSpot-style JVM, which is what gives
+// program P its per-object overhead (§2.4 of the paper):
+//
+//	scalar object:  [type word][gc word][lock word]            = 12-byte header
+//	array object:   [type word][gc word][lock word][length]    = 16-byte header
+//
+// followed by the field/element body laid out per lang.Class offsets —
+// the same offsets the off-heap page records use, which is what makes the
+// synthesized conversion functions straight memory copies.
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lang"
+)
+
+// Addr is a heap address: a byte offset into the arena. 0 is null.
+type Addr = uint32
+
+// Header field offsets and sizes.
+const (
+	hdrType = 0 // u32: class ID, or array bit | array type index
+	hdrGC   = 4 // u32: mark/forwarding word
+	hdrLock = 8 // u32: lock word
+
+	// ScalarHeader and ArrayHeader are the managed object header sizes the
+	// paper's space-overhead argument is built on (12 and 16 bytes).
+	ScalarHeader = 12
+	ArrayHeader  = 16
+
+	arrayBit uint32 = 1 << 31
+)
+
+// ErrOutOfMemory is reported when an allocation cannot be satisfied even
+// after a full collection. It models the JVM's OutOfMemoryError that makes
+// program P fail on large datasets (Table 3: "OME(n)").
+var ErrOutOfMemory = fmt.Errorf("OutOfMemoryError: managed heap exhausted")
+
+// Config sizes the heap.
+type Config struct {
+	// HeapSize is the maximum heap size in bytes (the -Xmx of the run).
+	HeapSize int
+	// YoungSize is the nursery size; defaults to HeapSize/4, clamped to
+	// [256 KiB, 64 MiB].
+	YoungSize int
+	// GCWorkers is the number of goroutines used by the full collector's
+	// mark phase (the paper's runs use HotSpot's parallel collector).
+	// Defaults to min(GOMAXPROCS, 4); 1 forces single-threaded marking.
+	GCWorkers int
+}
+
+// Stats is a snapshot of allocation and collection counters.
+type Stats struct {
+	AllocBytes   int64 // total bytes ever allocated
+	AllocObjects int64 // total objects ever allocated
+	MinorGCs     int64
+	FullGCs      int64
+	GCTime       time.Duration // total stop-the-world collection time
+	Promoted     int64         // objects promoted young -> old
+	MarkedNodes  int64         // objects traced across all collections
+	PeakUsed     int64         // high-water mark of live+garbage bytes present
+	LiveAfterGC  int64         // live bytes measured at the last full GC
+	HeapSize     int64
+}
+
+// Heap is the managed heap. All exported methods are safe for use from
+// multiple VM threads; collections stop the world via the safepoint
+// protocol in safepoint.go.
+type Heap struct {
+	arena []byte
+
+	oldBase  Addr
+	oldEnd   Addr
+	youngEnd Addr
+
+	mu       sync.Mutex // guards oldPos, youngPos, remset, TLAB handout
+	oldPos   Addr
+	youngPos Addr
+
+	// remset holds absolute addresses of reference slots in the old
+	// generation that may point into the nursery (filled by the write
+	// barrier, consumed and cleared by minor collections).
+	remset map[Addr]struct{}
+
+	h *lang.Hierarchy
+
+	// Array type registry: array types are assigned dense indices so the
+	// type word can describe them.
+	arrMu    sync.Mutex
+	arrTypes []*lang.Type
+	arrIndex map[string]int
+
+	// Static reference slots registered as roots by the VM.
+	rootsMu sync.Mutex
+	roots   []RootSource
+
+	// Allocation counters per class ID and per array type index, for the
+	// paper's object-count experiment (§4.1).
+	classCounts []int64
+	arrCounts   []int64
+
+	// gcWorkers is the mark-phase parallelism; markBits is the side mark
+	// bitmap (one bit per 8 heap bytes) CAS-set by concurrent markers.
+	gcWorkers int
+	markBits  []uint32
+
+	stats struct {
+		allocBytes   atomic.Int64
+		allocObjects atomic.Int64
+		minorGCs     atomic.Int64
+		fullGCs      atomic.Int64
+		gcNanos      atomic.Int64
+		promoted     atomic.Int64
+		marked       atomic.Int64
+		peakUsed     atomic.Int64
+		liveAfterGC  atomic.Int64
+	}
+
+	sp safepointState
+}
+
+// RootSource enumerates GC roots. The visitor receives each root value and
+// returns its (possibly moved) replacement; implementations must write the
+// returned value back.
+type RootSource interface {
+	VisitRoots(visit func(Addr) Addr)
+}
+
+// RootFunc adapts a function to RootSource.
+type RootFunc func(visit func(Addr) Addr)
+
+// VisitRoots implements RootSource.
+func (f RootFunc) VisitRoots(visit func(Addr) Addr) { f(visit) }
+
+// New creates a heap of the configured size for the given class hierarchy.
+func New(cfg Config, h *lang.Hierarchy) *Heap {
+	if cfg.HeapSize < 1<<20 {
+		cfg.HeapSize = 1 << 20
+	}
+	young := cfg.YoungSize
+	if young == 0 {
+		young = cfg.HeapSize / 4
+		if young > 64<<20 {
+			young = 64 << 20
+		}
+	}
+	if young < 256<<10 {
+		young = 256 << 10
+	}
+	if young > cfg.HeapSize/2 {
+		young = cfg.HeapSize / 2
+	}
+	hp := &Heap{
+		arena:       make([]byte, cfg.HeapSize),
+		h:           h,
+		remset:      make(map[Addr]struct{}),
+		arrIndex:    make(map[string]int),
+		classCounts: make([]int64, len(h.ClassList)),
+	}
+	hp.oldBase = 8 // reserve null
+	hp.oldEnd = Addr(cfg.HeapSize - young)
+	hp.youngEnd = Addr(cfg.HeapSize)
+	hp.oldPos = hp.oldBase
+	hp.youngPos = hp.oldEnd
+	hp.gcWorkers = cfg.GCWorkers
+	if hp.gcWorkers <= 0 {
+		hp.gcWorkers = runtime.GOMAXPROCS(0)
+		if hp.gcWorkers > 4 {
+			hp.gcWorkers = 4
+		}
+	}
+	// One mark bit per 8 bytes of heap.
+	hp.markBits = make([]uint32, (cfg.HeapSize/8+31)/32)
+	hp.sp.init()
+	return hp
+}
+
+// Size returns the configured heap size in bytes.
+func (hp *Heap) Size() int { return len(hp.arena) }
+
+// Hierarchy returns the class hierarchy this heap was built for.
+func (hp *Heap) Hierarchy() *lang.Hierarchy { return hp.h }
+
+// AddRoots registers an additional root source.
+func (hp *Heap) AddRoots(r RootSource) {
+	hp.rootsMu.Lock()
+	hp.roots = append(hp.roots, r)
+	hp.rootsMu.Unlock()
+}
+
+// ArrayTypeIndex returns the dense index for an array's element type,
+// registering it on first use.
+func (hp *Heap) ArrayTypeIndex(elem *lang.Type) int {
+	key := elem.String()
+	hp.arrMu.Lock()
+	defer hp.arrMu.Unlock()
+	if i, ok := hp.arrIndex[key]; ok {
+		return i
+	}
+	i := len(hp.arrTypes)
+	hp.arrTypes = append(hp.arrTypes, elem)
+	hp.arrIndex[key] = i
+	for len(hp.arrCounts) <= i {
+		hp.arrCounts = append(hp.arrCounts, 0)
+	}
+	return i
+}
+
+// ArrayElemType returns the element type for an array type index.
+func (hp *Heap) ArrayElemType(idx int) *lang.Type {
+	hp.arrMu.Lock()
+	defer hp.arrMu.Unlock()
+	return hp.arrTypes[idx]
+}
+
+func roundUp8(n int) int { return (n + 7) &^ 7 }
+
+// TLAB is a thread-local allocation buffer handed out from the nursery.
+type TLAB struct {
+	pos, end Addr
+}
+
+const tlabSize = 32 << 10
+
+// objSize returns the total size of the object at a, derived from its
+// header (the heap is address-walkable).
+func (hp *Heap) objSize(a Addr) int {
+	tw := hp.getU32(a + hdrType)
+	if tw&arrayBit != 0 {
+		elem := hp.arrTypes[int(tw&^arrayBit)]
+		n := int(hp.getU32(a + 12))
+		return roundUp8(ArrayHeader + n*elem.FieldSize())
+	}
+	cls := hp.h.ClassList[int(tw)]
+	return roundUp8(ScalarHeader + cls.BodySize)
+}
+
+// IsArray reports whether the object at a is an array.
+func (hp *Heap) IsArray(a Addr) bool {
+	return hp.getU32(a+hdrType)&arrayBit != 0
+}
+
+// ClassOf returns the class of a scalar object (nil for arrays).
+func (hp *Heap) ClassOf(a Addr) *lang.Class {
+	tw := hp.getU32(a + hdrType)
+	if tw&arrayBit != 0 {
+		return nil
+	}
+	return hp.h.ClassList[int(tw)]
+}
+
+// ArrayElemOf returns the element type of an array object.
+func (hp *Heap) ArrayElemOf(a Addr) *lang.Type {
+	tw := hp.getU32(a + hdrType)
+	return hp.arrTypes[int(tw&^arrayBit)]
+}
+
+// ArrayLen returns the length of the array at a.
+func (hp *Heap) ArrayLen(a Addr) int { return int(hp.getU32(a + 12)) }
+
+// inYoung reports whether a is in the nursery.
+func (hp *Heap) inYoung(a Addr) bool { return a >= hp.oldEnd }
+
+// inOld reports whether a is a non-null old-generation address.
+func (hp *Heap) inOld(a Addr) bool { return a != 0 && a < hp.oldEnd }
+
+// AllocObject allocates a zeroed instance of cls using the thread context's
+// TLAB, collecting if needed.
+func (hp *Heap) AllocObject(tc *ThreadCtx, cls *lang.Class) (Addr, error) {
+	size := roundUp8(ScalarHeader + cls.BodySize)
+	a, err := hp.allocRaw(tc, size)
+	if err != nil {
+		return 0, err
+	}
+	hp.setU32(a+hdrType, uint32(cls.ID))
+	atomic.AddInt64(&hp.classCounts[cls.ID], 1)
+	hp.stats.allocObjects.Add(1)
+	hp.stats.allocBytes.Add(int64(size))
+	return a, nil
+}
+
+// AllocArray allocates a zeroed array with the given element type.
+func (hp *Heap) AllocArray(tc *ThreadCtx, elem *lang.Type, n int) (Addr, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative array size %d", n)
+	}
+	idx := hp.ArrayTypeIndex(elem)
+	size := roundUp8(ArrayHeader + n*elem.FieldSize())
+	a, err := hp.allocRaw(tc, size)
+	if err != nil {
+		return 0, err
+	}
+	hp.setU32(a+hdrType, arrayBit|uint32(idx))
+	hp.setU32(a+12, uint32(n))
+	atomic.AddInt64(&hp.arrCounts[idx], 1)
+	hp.stats.allocObjects.Add(1)
+	hp.stats.allocBytes.Add(int64(size))
+	return a, nil
+}
+
+// allocRaw returns size zeroed bytes. Small allocations come from the
+// thread's TLAB; large ones go straight to the old generation.
+func (hp *Heap) allocRaw(tc *ThreadCtx, size int) (Addr, error) {
+	if size > tlabSize/2 {
+		return hp.allocLarge(tc, size)
+	}
+	if tc.tlab.pos+Addr(size) <= tc.tlab.end {
+		a := tc.tlab.pos
+		tc.tlab.pos += Addr(size)
+		hp.zero(a, size)
+		return a, nil
+	}
+	return hp.allocSlow(tc, size)
+}
+
+func (hp *Heap) allocSlow(tc *ThreadCtx, size int) (Addr, error) {
+	for attempt := 0; ; attempt++ {
+		hp.mu.Lock()
+		if hp.youngPos+tlabSize <= hp.youngEnd {
+			tc.tlab.pos = hp.youngPos
+			tc.tlab.end = hp.youngPos + tlabSize
+			hp.youngPos += tlabSize
+			hp.notePeakLocked()
+			hp.mu.Unlock()
+			a := tc.tlab.pos
+			tc.tlab.pos += Addr(size)
+			hp.zero(a, size)
+			return a, nil
+		}
+		hp.mu.Unlock()
+		if attempt >= 2 {
+			return 0, ErrOutOfMemory
+		}
+		if err := hp.Collect(tc, attempt > 0); err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (hp *Heap) allocLarge(tc *ThreadCtx, size int) (Addr, error) {
+	for attempt := 0; ; attempt++ {
+		hp.mu.Lock()
+		if hp.oldPos+Addr(size) <= hp.oldEnd {
+			a := hp.oldPos
+			hp.oldPos += Addr(size)
+			hp.notePeakLocked()
+			hp.mu.Unlock()
+			hp.zero(a, size)
+			return a, nil
+		}
+		hp.mu.Unlock()
+		if attempt >= 2 {
+			return 0, ErrOutOfMemory
+		}
+		// Large allocation pressure goes straight to a full collection.
+		if err := hp.Collect(tc, true); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// notePeakLocked updates the high-water mark; callers hold hp.mu or have
+// the world stopped.
+func (hp *Heap) notePeakLocked() {
+	used := int64(hp.oldPos-hp.oldBase) + int64(hp.youngPos-hp.oldEnd)
+	for {
+		cur := hp.stats.peakUsed.Load()
+		if used <= cur || hp.stats.peakUsed.CompareAndSwap(cur, used) {
+			return
+		}
+	}
+}
+
+func (hp *Heap) zero(a Addr, size int) {
+	b := hp.arena[a : int(a)+size]
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Typed accessors. off is the field offset within the object body.
+
+func (hp *Heap) getU32(a Addr) uint32 { return binary.LittleEndian.Uint32(hp.arena[a:]) }
+func (hp *Heap) setU32(a Addr, v uint32) {
+	binary.LittleEndian.PutUint32(hp.arena[a:], v)
+}
+func (hp *Heap) getU64(a Addr) uint64 { return binary.LittleEndian.Uint64(hp.arena[a:]) }
+func (hp *Heap) setU64(a Addr, v uint64) {
+	binary.LittleEndian.PutUint64(hp.arena[a:], v)
+}
+
+// FieldBase returns the absolute address of the body of object a.
+func (hp *Heap) FieldBase(a Addr) Addr {
+	if hp.IsArray(a) {
+		return a + ArrayHeader
+	}
+	return a + ScalarHeader
+}
+
+// GetByte reads a byte/boolean field.
+func (hp *Heap) GetByte(a Addr, off int) int8 { return int8(hp.arena[hp.FieldBase(a)+Addr(off)]) }
+
+// SetByte writes a byte/boolean field.
+func (hp *Heap) SetByte(a Addr, off int, v int8) { hp.arena[hp.FieldBase(a)+Addr(off)] = byte(v) }
+
+// GetInt reads an int field.
+func (hp *Heap) GetInt(a Addr, off int) int32 {
+	return int32(hp.getU32(hp.FieldBase(a) + Addr(off)))
+}
+
+// SetInt writes an int field.
+func (hp *Heap) SetInt(a Addr, off int, v int32) {
+	hp.setU32(hp.FieldBase(a)+Addr(off), uint32(v))
+}
+
+// GetLong reads a long field.
+func (hp *Heap) GetLong(a Addr, off int) int64 {
+	return int64(hp.getU64(hp.FieldBase(a) + Addr(off)))
+}
+
+// SetLong writes a long field.
+func (hp *Heap) SetLong(a Addr, off int, v int64) {
+	hp.setU64(hp.FieldBase(a)+Addr(off), uint64(v))
+}
+
+// GetDouble reads a double field.
+func (hp *Heap) GetDouble(a Addr, off int) float64 {
+	return math.Float64frombits(hp.getU64(hp.FieldBase(a) + Addr(off)))
+}
+
+// SetDouble writes a double field.
+func (hp *Heap) SetDouble(a Addr, off int, v float64) {
+	hp.setU64(hp.FieldBase(a)+Addr(off), math.Float64bits(v))
+}
+
+// GetRef reads a reference field.
+func (hp *Heap) GetRef(a Addr, off int) Addr {
+	return Addr(hp.getU64(hp.FieldBase(a) + Addr(off)))
+}
+
+// SetRef writes a reference field, applying the generational write barrier.
+func (hp *Heap) SetRef(a Addr, off int, v Addr) {
+	slot := hp.FieldBase(a) + Addr(off)
+	hp.setU64(slot, uint64(v))
+	if hp.inOld(a) && hp.inYoung(v) {
+		hp.mu.Lock()
+		hp.remset[slot] = struct{}{}
+		hp.mu.Unlock()
+	}
+}
+
+// ElemOffset computes the byte offset of array element i for element size
+// es.
+func ElemOffset(i, es int) int { return i * es }
+
+// WriteBody copies data into the object body at off (bulk byte-array
+// fills; no reference slots may be written this way).
+func (hp *Heap) WriteBody(a Addr, off int, data []byte) {
+	base := hp.FieldBase(a) + Addr(off)
+	copy(hp.arena[base:], data)
+}
+
+// ReadBody copies n body bytes starting at off out of the object.
+func (hp *Heap) ReadBody(a Addr, off, n int) []byte {
+	base := hp.FieldBase(a) + Addr(off)
+	out := make([]byte, n)
+	copy(out, hp.arena[base:])
+	return out
+}
+
+// CopyBody copies n body bytes between two objects (System.arraycopy for
+// primitive arrays).
+func (hp *Heap) CopyBody(src Addr, srcOff int, dst Addr, dstOff, n int) {
+	sb := hp.FieldBase(src) + Addr(srcOff)
+	db := hp.FieldBase(dst) + Addr(dstOff)
+	copy(hp.arena[db:db+Addr(n)], hp.arena[sb:sb+Addr(n)])
+}
+
+// GetLock reads the lock word of object a. Callers (the VM's monitor
+// implementation) serialize access with their own lock.
+func (hp *Heap) GetLock(a Addr) uint32 { return hp.getU32(a + hdrLock) }
+
+// SetLock stores the lock word of object a.
+func (hp *Heap) SetLock(a Addr, v uint32) { hp.setU32(a+hdrLock, v) }
+
+// Stats returns a snapshot of the heap counters.
+func (hp *Heap) Stats() Stats {
+	return Stats{
+		AllocBytes:   hp.stats.allocBytes.Load(),
+		AllocObjects: hp.stats.allocObjects.Load(),
+		MinorGCs:     hp.stats.minorGCs.Load(),
+		FullGCs:      hp.stats.fullGCs.Load(),
+		GCTime:       time.Duration(hp.stats.gcNanos.Load()),
+		Promoted:     hp.stats.promoted.Load(),
+		MarkedNodes:  hp.stats.marked.Load(),
+		PeakUsed:     hp.stats.peakUsed.Load(),
+		LiveAfterGC:  hp.stats.liveAfterGC.Load(),
+		HeapSize:     int64(len(hp.arena)),
+	}
+}
+
+// ClassAllocCount returns how many instances of cls were ever allocated.
+func (hp *Heap) ClassAllocCount(cls *lang.Class) int64 {
+	return atomic.LoadInt64(&hp.classCounts[cls.ID])
+}
+
+// ArrayAllocCount returns how many arrays with element type elem were ever
+// allocated.
+func (hp *Heap) ArrayAllocCount(elem *lang.Type) int64 {
+	idx := hp.ArrayTypeIndex(elem)
+	return atomic.LoadInt64(&hp.arrCounts[idx])
+}
+
+// UsedBytes returns the bytes currently occupied (live + garbage).
+func (hp *Heap) UsedBytes() int64 {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	return int64(hp.oldPos-hp.oldBase) + int64(hp.youngPos-hp.oldEnd)
+}

@@ -1,0 +1,560 @@
+package heap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang"
+)
+
+// testHierarchy builds a tiny hierarchy: Object, Node{int val; Node next;
+// Node[] kids}.
+func testHierarchy(t *testing.T) *lang.Hierarchy {
+	t.Helper()
+	src := `
+class Object { }
+class Node {
+    int val;
+    Node next;
+    Node[] kids;
+}
+`
+	f, err := lang.Parse("t.fj", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := lang.BuildHierarchy(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func newTestHeap(t *testing.T, size int) (*Heap, *ThreadCtx) {
+	h := testHierarchy(t)
+	hp := New(Config{HeapSize: size}, h)
+	tc := hp.RegisterThread()
+	tc.EndExternal()
+	t.Cleanup(func() {
+		tc.BeginExternal()
+		hp.UnregisterThread(tc)
+	})
+	return hp, tc
+}
+
+func TestAllocAndFieldAccess(t *testing.T) {
+	hp, tc := newTestHeap(t, 4<<20)
+	node := hp.Hierarchy().Class("Node")
+	a, err := hp.AllocObject(tc, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := node.FindField("val")
+	next := node.FindField("next")
+	hp.SetInt(a, val.Offset, -42)
+	if got := hp.GetInt(a, val.Offset); got != -42 {
+		t.Fatalf("val = %d", got)
+	}
+	if hp.GetRef(a, next.Offset) != 0 {
+		t.Fatal("fresh ref field not null")
+	}
+	b, _ := hp.AllocObject(tc, node)
+	hp.SetRef(a, next.Offset, b)
+	if hp.GetRef(a, next.Offset) != b {
+		t.Fatal("ref field roundtrip failed")
+	}
+	if hp.ClassOf(a) != node {
+		t.Fatal("ClassOf wrong")
+	}
+}
+
+func TestArrayAlloc(t *testing.T) {
+	hp, tc := newTestHeap(t, 4<<20)
+	arr, err := hp.AllocArray(tc, lang.IntType, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hp.IsArray(arr) || hp.ArrayLen(arr) != 100 {
+		t.Fatal("bad array header")
+	}
+	for i := 0; i < 100; i++ {
+		hp.SetInt(arr, i*4, int32(i*i))
+	}
+	for i := 0; i < 100; i++ {
+		if hp.GetInt(arr, i*4) != int32(i*i) {
+			t.Fatalf("elem %d wrong", i)
+		}
+	}
+}
+
+func TestHeaderSizes(t *testing.T) {
+	// The paper's space argument: 12-byte scalar headers, 16-byte array
+	// headers.
+	if ScalarHeader != 12 || ArrayHeader != 16 {
+		t.Fatalf("headers %d/%d", ScalarHeader, ArrayHeader)
+	}
+}
+
+// TestGCPreservesRandomGraph is the core GC property test: build a random
+// object graph, force collections, verify the graph is intact.
+func TestGCPreservesRandomGraph(t *testing.T) {
+	check := func(seed int64) bool {
+		hp, tc := newTestHeap(t, 8<<20)
+		node := hp.Hierarchy().Class("Node")
+		val := node.FindField("val")
+		next := node.FindField("next")
+
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		roots := make([]Addr, n)
+		hp.AddRoots(RootFunc(func(visit func(Addr) Addr) {
+			for i := range roots {
+				roots[i] = visit(roots[i])
+			}
+		}))
+		//
+
+		// Build chains hanging off each root with known values.
+		for i := range roots {
+			a, err := hp.AllocObject(tc, node)
+			if err != nil {
+				return false
+			}
+			hp.SetInt(a, val.Offset, int32(i*1000))
+			roots[i] = a
+			cur := a
+			depth := rng.Intn(10)
+			for d := 1; d <= depth; d++ {
+				b, err := hp.AllocObject(tc, node)
+				if err != nil {
+					return false
+				}
+				hp.SetInt(b, val.Offset, int32(i*1000+d))
+				hp.SetRef(cur, next.Offset, b)
+				cur = b
+			}
+			// Allocate garbage in between.
+			for g := 0; g < rng.Intn(20); g++ {
+				if _, err := hp.AllocObject(tc, node); err != nil {
+					return false
+				}
+			}
+		}
+		if err := hp.ForceGC(tc, false); err != nil {
+			return false
+		}
+		if err := hp.ForceGC(tc, true); err != nil {
+			return false
+		}
+		// Verify all chains.
+		for i := range roots {
+			cur := roots[i]
+			d := 0
+			for cur != 0 {
+				if hp.GetInt(cur, val.Offset) != int32(i*1000+d) {
+					t.Logf("seed %d: chain %d depth %d corrupted", seed, i, d)
+					return false
+				}
+				cur = hp.GetRef(cur, next.Offset)
+				d++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCShadowModel interleaves random allocation, pointer mutation, and
+// minor/full collections, checking the heap against a Go shadow model
+// after every collection. This covers barrier/remset/compaction
+// interactions that the chain test cannot reach.
+func TestGCShadowModel(t *testing.T) {
+	type shadowNode struct {
+		val  int32
+		next int // shadow index of next, -1 for null
+	}
+	run := func(seed int64) {
+		hp, tc := newTestHeap(t, 8<<20)
+		node := hp.Hierarchy().Class("Node")
+		valF := node.FindField("val")
+		nextF := node.FindField("next")
+		rng := rand.New(rand.NewSource(seed))
+
+		var shadow []shadowNode
+		var addrs []Addr // addrs[i] mirrors shadow[i]; updated as roots
+		hp.AddRoots(RootFunc(func(visit func(Addr) Addr) {
+			for i := range addrs {
+				addrs[i] = visit(addrs[i])
+			}
+		}))
+
+		verify := func(step int) {
+			for i := range shadow {
+				a := addrs[i]
+				if hp.GetInt(a, valF.Offset) != shadow[i].val {
+					t.Fatalf("seed %d step %d: node %d val %d want %d",
+						seed, step, i, hp.GetInt(a, valF.Offset), shadow[i].val)
+				}
+				got := hp.GetRef(a, nextF.Offset)
+				if shadow[i].next == -1 {
+					if got != 0 {
+						t.Fatalf("seed %d step %d: node %d next not null", seed, step, i)
+					}
+				} else if got != addrs[shadow[i].next] {
+					t.Fatalf("seed %d step %d: node %d next points wrong", seed, step, i)
+				}
+			}
+		}
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // allocate a tracked node
+				a, err := hp.AllocObject(tc, node)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				v := int32(rng.Int31())
+				hp.SetInt(a, valF.Offset, v)
+				addrs = append(addrs, a)
+				shadow = append(shadow, shadowNode{val: v, next: -1})
+			case 4, 5: // mutate a next pointer
+				if len(shadow) > 1 {
+					i := rng.Intn(len(shadow))
+					j := rng.Intn(len(shadow))
+					hp.SetRef(addrs[i], nextF.Offset, addrs[j])
+					shadow[i].next = j
+				}
+			case 6: // null out a pointer
+				if len(shadow) > 0 {
+					i := rng.Intn(len(shadow))
+					hp.SetRef(addrs[i], nextF.Offset, 0)
+					shadow[i].next = -1
+				}
+			case 7: // garbage
+				for k := 0; k < rng.Intn(30); k++ {
+					if _, err := hp.AllocObject(tc, node); err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+				}
+			case 8: // minor GC
+				if err := hp.ForceGC(tc, false); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				verify(step)
+			case 9: // full GC
+				if err := hp.ForceGC(tc, true); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				verify(step)
+			}
+		}
+		if err := hp.ForceGC(tc, true); err != nil {
+			t.Fatal(err)
+		}
+		verify(-1)
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		run(seed)
+	}
+}
+
+func TestParallelAndSerialMarkAgree(t *testing.T) {
+	// The same object graph collected with 1 and with 4 mark workers must
+	// preserve identical structure and report the same live size.
+	build := func(workers int) (*Heap, int64) {
+		h := testHierarchy(t)
+		hp := New(Config{HeapSize: 8 << 20, GCWorkers: workers}, h)
+		tc := hp.RegisterThread()
+		tc.EndExternal()
+		defer func() {
+			tc.BeginExternal()
+			hp.UnregisterThread(tc)
+		}()
+		node := h.Class("Node")
+		val := node.FindField("val")
+		next := node.FindField("next")
+		kids := node.FindField("kids")
+		roots := make([]Addr, 8)
+		hp.AddRoots(RootFunc(func(visit func(Addr) Addr) {
+			for i := range roots {
+				roots[i] = visit(roots[i])
+			}
+		}))
+		// A dag: chains with cross links and a shared array.
+		arr, _ := hp.AllocArray(tc, lang.ClassType("Node"), 16)
+		for i := range roots {
+			a, _ := hp.AllocObject(tc, node)
+			hp.SetInt(a, val.Offset, int32(i))
+			hp.SetRef(a, kids.Offset, arr)
+			roots[i] = a
+			cur := a
+			for d := 0; d < 200; d++ {
+				b, _ := hp.AllocObject(tc, node)
+				hp.SetInt(b, val.Offset, int32(i*1000+d))
+				hp.SetRef(cur, next.Offset, b)
+				if d%17 == 0 {
+					hp.SetRef(arr, (d%16)*8, b)
+				}
+				cur = b
+			}
+		}
+		if err := hp.ForceGC(tc, true); err != nil {
+			t.Fatal(err)
+		}
+		// Verify chains.
+		for i := range roots {
+			cur := roots[i]
+			if hp.GetInt(cur, val.Offset) != int32(i) {
+				t.Fatalf("workers=%d: root %d corrupted", workers, i)
+			}
+			cur = hp.GetRef(cur, next.Offset)
+			d := 0
+			for cur != 0 {
+				if hp.GetInt(cur, val.Offset) != int32(i*1000+d) {
+					t.Fatalf("workers=%d: chain %d depth %d corrupted", workers, i, d)
+				}
+				cur = hp.GetRef(cur, next.Offset)
+				d++
+			}
+			if d != 200 {
+				t.Fatalf("workers=%d: chain %d lost nodes (%d)", workers, i, d)
+			}
+		}
+		return hp, hp.Stats().LiveAfterGC
+	}
+	_, live1 := build(1)
+	_, live4 := build(4)
+	if live1 != live4 {
+		t.Fatalf("live bytes differ: serial %d parallel %d", live1, live4)
+	}
+}
+
+func TestGCReclaimsGarbage(t *testing.T) {
+	hp, tc := newTestHeap(t, 8<<20)
+	node := hp.Hierarchy().Class("Node")
+	// No roots: everything is garbage.
+	for i := 0; i < 100000; i++ {
+		if _, err := hp.AllocObject(tc, node); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if err := hp.ForceGC(tc, true); err != nil {
+		t.Fatal(err)
+	}
+	st := hp.Stats()
+	if st.LiveAfterGC != 0 {
+		t.Fatalf("live after GC = %d, want 0", st.LiveAfterGC)
+	}
+	if st.MinorGCs+st.FullGCs == 0 {
+		t.Fatal("no collections happened")
+	}
+}
+
+func TestOldToYoungBarrier(t *testing.T) {
+	hp, tc := newTestHeap(t, 8<<20)
+	node := hp.Hierarchy().Class("Node")
+	val := node.FindField("val")
+	next := node.FindField("next")
+	var root Addr
+	hp.AddRoots(RootFunc(func(visit func(Addr) Addr) {
+		root = visit(root)
+	}))
+	a, _ := hp.AllocObject(tc, node)
+	root = a
+	hp.SetInt(root, val.Offset, 7)
+	// Promote root to the old generation.
+	if err := hp.ForceGC(tc, false); err != nil {
+		t.Fatal(err)
+	}
+	// New young object referenced ONLY from the old object: the write
+	// barrier must keep it alive across a minor collection.
+	b, _ := hp.AllocObject(tc, node)
+	hp.SetInt(b, val.Offset, 13)
+	hp.SetRef(root, next.Offset, b)
+	if err := hp.ForceGC(tc, false); err != nil {
+		t.Fatal(err)
+	}
+	got := hp.GetRef(root, next.Offset)
+	if got == 0 || hp.GetInt(got, val.Offset) != 13 {
+		t.Fatal("write barrier lost an old->young reference")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	hp, tc := newTestHeap(t, 2<<20)
+	node := hp.Hierarchy().Class("Node")
+	kids := node.FindField("kids")
+	var root Addr
+	hp.AddRoots(RootFunc(func(visit func(Addr) Addr) {
+		root = visit(root)
+	}))
+	a, err := hp.AllocObject(tc, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root = a
+	// Keep a growing live array chain until the heap cannot hold it.
+	for i := 0; ; i++ {
+		arr, err := hp.AllocArray(tc, lang.ClassType("Node"), 4096)
+		if err != nil {
+			if err != ErrOutOfMemory {
+				t.Fatalf("wrong error: %v", err)
+			}
+			return
+		}
+		// Link to keep alive: kids field of a fresh node.
+		n, err := hp.AllocObject(tc, node)
+		if err != nil {
+			if err != ErrOutOfMemory {
+				t.Fatalf("wrong error: %v", err)
+			}
+			return
+		}
+		hp.SetRef(n, kids.Offset, arr)
+		hp.SetRef(n, node.FindField("next").Offset, root)
+		root = n
+		if i > 10000 {
+			t.Fatal("never ran out of memory")
+		}
+	}
+}
+
+func TestConcurrentAllocAndGC(t *testing.T) {
+	h := testHierarchy(t)
+	hp := New(Config{HeapSize: 16 << 20}, h)
+	node := h.Class("Node")
+	val := node.FindField("val")
+
+	const nThreads = 8
+	const perThread = 20000
+	var wg sync.WaitGroup
+	errs := make(chan error, nThreads)
+	for i := 0; i < nThreads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tc := hp.RegisterThread()
+			tc.EndExternal()
+			defer func() {
+				tc.BeginExternal()
+				hp.UnregisterThread(tc)
+			}()
+			for j := 0; j < perThread; j++ {
+				a, err := hp.AllocObject(tc, node)
+				if err != nil {
+					errs <- err
+					return
+				}
+				hp.SetInt(a, val.Offset, int32(id))
+				if hp.GetInt(a, val.Offset) != int32(id) {
+					errs <- ErrOutOfMemory
+					return
+				}
+				tc.Safepoint()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := hp.Stats()
+	if st.AllocObjects != nThreads*perThread {
+		t.Fatalf("alloc count %d want %d", st.AllocObjects, nThreads*perThread)
+	}
+	if st.MinorGCs+st.FullGCs == 0 {
+		t.Fatal("expected collections under churn")
+	}
+}
+
+func TestArrayElementWriteBarrier(t *testing.T) {
+	hp, tc := newTestHeap(t, 8<<20)
+	node := hp.Hierarchy().Class("Node")
+	val := node.FindField("val")
+	var root Addr
+	hp.AddRoots(RootFunc(func(visit func(Addr) Addr) {
+		root = visit(root)
+	}))
+	arr, _ := hp.AllocArray(tc, lang.ClassType("Node"), 8)
+	root = arr
+	if err := hp.ForceGC(tc, false); err != nil { // promote the array
+		t.Fatal(err)
+	}
+	arr = root
+	young, _ := hp.AllocObject(tc, node)
+	hp.SetInt(young, val.Offset, 99)
+	hp.SetRef(arr, 3*8, young) // old array -> young element
+	if err := hp.ForceGC(tc, false); err != nil {
+		t.Fatal(err)
+	}
+	got := hp.GetRef(root, 3*8)
+	if got == 0 || hp.GetInt(got, val.Offset) != 99 {
+		t.Fatal("array element barrier lost old->young reference")
+	}
+}
+
+func TestAllocationCounters(t *testing.T) {
+	hp, tc := newTestHeap(t, 8<<20)
+	node := hp.Hierarchy().Class("Node")
+	for i := 0; i < 7; i++ {
+		if _, err := hp.AllocObject(tc, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := hp.AllocArray(tc, lang.IntType, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hp.ClassAllocCount(node) != 7 {
+		t.Fatalf("class count %d", hp.ClassAllocCount(node))
+	}
+	if hp.ArrayAllocCount(lang.IntType) != 3 {
+		t.Fatalf("array count %d", hp.ArrayAllocCount(lang.IntType))
+	}
+}
+
+func TestLiveDataTypeObjects(t *testing.T) {
+	hp, tc := newTestHeap(t, 8<<20)
+	node := hp.Hierarchy().Class("Node")
+	roots := make([]Addr, 5)
+	hp.AddRoots(RootFunc(func(visit func(Addr) Addr) {
+		for i := range roots {
+			roots[i] = visit(roots[i])
+		}
+	}))
+	for i := range roots {
+		a, _ := hp.AllocObject(tc, node)
+		roots[i] = a
+	}
+	for i := 0; i < 100; i++ { // garbage
+		if _, err := hp.AllocObject(tc, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hp.ForceGC(tc, true); err != nil {
+		t.Fatal(err)
+	}
+	n := hp.LiveDataTypeObjects(map[string]bool{"Node": true})
+	if n != 5 {
+		t.Fatalf("live census %d want 5", n)
+	}
+}
+
+func TestPeakTracksUsage(t *testing.T) {
+	hp, tc := newTestHeap(t, 8<<20)
+	node := hp.Hierarchy().Class("Node")
+	for i := 0; i < 1000; i++ {
+		if _, err := hp.AllocObject(tc, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hp.Stats().PeakUsed == 0 {
+		t.Fatal("peak usage not tracked")
+	}
+}

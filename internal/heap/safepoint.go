@@ -1,0 +1,131 @@
+package heap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stop-the-world coordination. Mutator threads are either "running"
+// (executing IR and touching the heap) or "external" (parked at a
+// safepoint, or executing framework Go code that only reaches the heap
+// through handles). A collection may proceed only when every registered
+// thread except the collector is external.
+
+type safepointState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gcMu    sync.Mutex // ownership of a collection
+	wanted  atomic.Bool
+	running int
+	threads map[*ThreadCtx]struct{}
+}
+
+func (sp *safepointState) init() {
+	sp.cond = sync.NewCond(&sp.mu)
+	sp.threads = make(map[*ThreadCtx]struct{})
+}
+
+// ThreadCtx is the per-VM-thread heap context: its TLAB and safepoint
+// state. Every thread that executes IR must hold one and call Safepoint
+// regularly (the interpreter does so on calls and loop back-edges).
+type ThreadCtx struct {
+	hp      *Heap
+	tlab    TLAB
+	running bool
+}
+
+// RegisterThread creates a thread context. The context starts external;
+// call EndExternal (or run IR through the VM, which does it) to start
+// mutating.
+func (hp *Heap) RegisterThread() *ThreadCtx {
+	tc := &ThreadCtx{hp: hp}
+	sp := &hp.sp
+	sp.mu.Lock()
+	sp.threads[tc] = struct{}{}
+	sp.mu.Unlock()
+	return tc
+}
+
+// UnregisterThread removes the context; the thread must be external.
+func (hp *Heap) UnregisterThread(tc *ThreadCtx) {
+	sp := &hp.sp
+	sp.mu.Lock()
+	if tc.running {
+		sp.running--
+		tc.running = false
+		sp.cond.Broadcast()
+	}
+	delete(sp.threads, tc)
+	sp.mu.Unlock()
+}
+
+// BeginExternal marks the thread as not mutating (framework code, blocking
+// calls). The thread must not touch heap memory until EndExternal.
+func (tc *ThreadCtx) BeginExternal() {
+	sp := &tc.hp.sp
+	sp.mu.Lock()
+	if tc.running {
+		tc.running = false
+		sp.running--
+		sp.cond.Broadcast()
+	}
+	sp.mu.Unlock()
+}
+
+// EndExternal re-enters mutator state, blocking while a collection is
+// pending or in progress.
+func (tc *ThreadCtx) EndExternal() {
+	sp := &tc.hp.sp
+	sp.mu.Lock()
+	for sp.wanted.Load() {
+		sp.cond.Wait()
+	}
+	if !tc.running {
+		tc.running = true
+		sp.running++
+	}
+	sp.mu.Unlock()
+}
+
+// Safepoint parks the thread if a collection has been requested. The check
+// is a single atomic load when no collection is pending.
+func (tc *ThreadCtx) Safepoint() {
+	if tc.hp.sp.wanted.Load() {
+		tc.BeginExternal()
+		tc.EndExternal()
+	}
+}
+
+// Collect runs a collection (minor, or full when full is true) with the
+// calling thread as the collector. It returns ErrOutOfMemory if a full
+// collection cannot fit the live set.
+func (hp *Heap) Collect(tc *ThreadCtx, full bool) error {
+	sp := &hp.sp
+	tc.BeginExternal()
+	sp.gcMu.Lock()
+	sp.wanted.Store(true)
+	// Wait for every other thread to leave the running state.
+	sp.mu.Lock()
+	for sp.running > 0 {
+		sp.cond.Wait()
+	}
+	sp.mu.Unlock()
+
+	err := hp.collectSTW(full)
+
+	sp.wanted.Store(false)
+	sp.mu.Lock()
+	sp.cond.Broadcast()
+	sp.mu.Unlock()
+	sp.gcMu.Unlock()
+	tc.EndExternal()
+	return err
+}
+
+// invalidateTLABs resets every thread's TLAB after the nursery has been
+// recycled. Called with the world stopped.
+func (hp *Heap) invalidateTLABs() {
+	for tc := range hp.sp.threads {
+		tc.tlab = TLAB{}
+	}
+}

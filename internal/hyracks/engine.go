@@ -1,0 +1,145 @@
+package hyracks
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/heap"
+	"repro/internal/ir"
+)
+
+// Job is a MapReduce-style Hyracks job: every node maps its local
+// partition into per-reducer frames, frames are shuffled over the
+// network, and every node reduces the frames addressed to it into an
+// output file.
+type Job interface {
+	Name() string
+	// Map consumes the node's partition and returns one frame per
+	// reducer (len == reducers; empty frames allowed).
+	Map(n *cluster.Node, part []byte, reducers int) ([][]byte, error)
+	// Reduce consumes the frames shuffled to this node and returns the
+	// node's output file contents.
+	Reduce(n *cluster.Node, frames [][]byte) ([]byte, error)
+}
+
+// Result reports one job run (a row of Table 3 plus the memory points of
+// Figure 4b/4c).
+type Result struct {
+	Job   string
+	ET    time.Duration
+	GT    time.Duration
+	OME   bool          // ran out of memory (or, for P', exceeded the fair cap)
+	OMEAt time.Duration // when the failure surfaced
+	// PM is the peak per-node memory (heap + native), the bars/lines of
+	// Figure 4(b)/(c).
+	PM          int64
+	HeapPeak    int64
+	NativePeak  int64
+	MinorGCs    int64
+	FullGCs     int64
+	ShuffledMB  float64
+	OutputBytes int64
+}
+
+// RunJob executes the job over the dataset partitions on a fresh cluster
+// for prog. fairCap, when > 0, fails a run whose per-node total memory
+// (heap + native) exceeded it — the paper's fairness rule for P', whose
+// native memory is otherwise unbounded ("an execution of P' that consumes
+// more than 8GB memory is considered an out-of-memory failure").
+func RunJob(prog *ir.Program, job Job, parts [][]byte, ccfg cluster.Config, fairCap int64, fs *dfs.FS) (*Result, error) {
+	cl, err := cluster.New(prog, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	res := &Result{Job: job.Name()}
+	start := time.Now()
+	reducers := len(cl.Nodes)
+
+	// Map phase: every node maps its partition and sends one frame to
+	// each reducer.
+	mapErr := cl.ParallelEach(func(n *cluster.Node) error {
+		part := []byte{}
+		if n.ID < len(parts) {
+			part = parts[n.ID]
+		}
+		frames, err := job.Map(n, part, reducers)
+		if err != nil {
+			return fmt.Errorf("node %d map: %w", n.ID, err)
+		}
+		if len(frames) != reducers {
+			return fmt.Errorf("node %d map returned %d frames for %d reducers", n.ID, len(frames), reducers)
+		}
+		for r, f := range frames {
+			cl.Net.Send(cluster.Frame{From: n.ID, To: r, Tag: "shuffle", Data: f})
+		}
+		return nil
+	})
+	if mapErr != nil {
+		return failOrErr(res, mapErr, start, cl)
+	}
+
+	// Reduce phase: every node drains one frame per mapper and reduces.
+	redErr := cl.ParallelEach(func(n *cluster.Node) error {
+		frames := make([][]byte, 0, len(cl.Nodes))
+		for i := 0; i < len(cl.Nodes); i++ {
+			f := cl.Net.Recv(n.ID)
+			frames = append(frames, f.Data)
+		}
+		out, err := job.Reduce(n, frames)
+		if err != nil {
+			return fmt.Errorf("node %d reduce: %w", n.ID, err)
+		}
+		fs.Write(fmt.Sprintf("/out/%s/part-%d", job.Name(), n.ID), out)
+		return nil
+	})
+	if redErr != nil {
+		return failOrErr(res, redErr, start, cl)
+	}
+
+	res.ET = time.Since(start)
+	st := cl.Stats()
+	res.GT = st.GCTime
+	res.HeapPeak = st.MaxHeapPeak
+	res.NativePeak = st.MaxNative
+	res.PM = st.MaxTotal
+	res.MinorGCs = st.MinorGCs
+	res.FullGCs = st.FullGCs
+	res.ShuffledMB = float64(cl.Net.BytesSent()) / (1 << 20)
+	for _, p := range fs.List(fmt.Sprintf("/out/%s/", job.Name())) {
+		res.OutputBytes += int64(fs.Size(p))
+	}
+	if fairCap > 0 && res.PM > fairCap {
+		res.OME = true
+		res.OMEAt = res.ET
+	}
+	return res, nil
+}
+
+// failOrErr classifies a phase error: OutOfMemoryError becomes an OME
+// result (a Table 3 data point); anything else is a real error.
+func failOrErr(res *Result, err error, start time.Time, cl *cluster.Cluster) (*Result, error) {
+	if isOOM(err) {
+		res.OME = true
+		res.OMEAt = time.Since(start)
+		res.ET = res.OMEAt
+		st := cl.Stats()
+		res.GT = st.GCTime
+		res.HeapPeak = st.MaxHeapPeak
+		res.NativePeak = st.MaxNative
+		res.PM = st.MaxTotal
+		res.MinorGCs = st.MinorGCs
+		res.FullGCs = st.FullGCs
+		return res, nil
+	}
+	return nil, err
+}
+
+func isOOM(err error) bool {
+	return errors.Is(err, heap.ErrOutOfMemory) ||
+		(err != nil && strings.Contains(err.Error(), "OutOfMemoryError"))
+}

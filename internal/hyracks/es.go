@@ -1,0 +1,175 @@
+package hyracks
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/vm"
+)
+
+// ExternalSortJob is the paper's ES application. The map side streams the
+// local partition in bounded runs: each run is parsed into SRecord objects
+// and quicksorted in the data path (the object-heavy user function), then
+// range-partitioned by leading key byte and emitted as sorted byte runs.
+// The reduce side is the Hyracks byte-buffer core — a Go k-way merge over
+// sorted runs — reflecting the paper's observation that Hyracks itself
+// was "optimized manually to allow only byte buffers to store data" while
+// the user functions still build objects.
+type ExternalSortJob struct {
+	KeyLen     int // key bytes per record
+	RecLen     int // total bytes per record
+	RunRecords int // records sorted per in-memory run
+}
+
+// Name implements Job.
+func (ExternalSortJob) Name() string { return "ES" }
+
+// Frame format: concatenation of runs, each prefixed by a u32 byte length
+// (runs are individually sorted).
+
+// Map implements Job.
+func (j ExternalSortJob) Map(n *cluster.Node, part []byte, reducers int) ([][]byte, error) {
+	t := n.Main
+	recLen := j.RecLen
+	runBytes := j.RunRecords * recLen
+	nRecs := len(part) / recLen
+	part = part[:nRecs*recLen]
+
+	frames := make([][]byte, reducers)
+	for r := range frames {
+		frames[r] = make([]byte, 0, 64)
+	}
+	for start := 0; start < len(part); start += runBytes {
+		end := start + runBytes
+		if end > len(part) {
+			end = len(part)
+		}
+		if err := j.mapRun(t, part[start:end], reducers, frames); err != nil {
+			return nil, err
+		}
+	}
+	// Length-prefix framing was appended per run inside mapRun.
+	return frames, nil
+}
+
+// mapRun parses, sorts, and range-partitions one run inside an iteration
+// scope so P' reclaims the run's records wholesale.
+func (j ExternalSortJob) mapRun(t *vm.Thread, run []byte, reducers int, frames [][]byte) error {
+	t.IterationStart()
+	defer t.IterationEnd()
+	keyLen, recLen := j.KeyLen, j.RecLen
+
+	buf, err := t.NewByteArr(run)
+	if err != nil {
+		return err
+	}
+	defer t.FreeObj(buf)
+	batch, err := t.InvokeStaticObj("ESDriver", "parse", vm.O(buf), vm.I(int64(keyLen)), vm.I(int64(recLen)))
+	if err != nil {
+		return err
+	}
+	defer t.FreeObj(batch)
+	if _, err := t.InvokeStatic("ESDriver", "sortBatch", vm.O(batch)); err != nil {
+		return err
+	}
+	// Range partition: reducer r covers first key bytes
+	// ['a'+r*26/R, 'a'+(r+1)*26/R).
+	splits := make([]int, reducers+1)
+	nRecs := len(run) / recLen
+	splits[reducers] = nRecs
+	for r := 1; r < reducers; r++ {
+		bound := int64('a' + r*26/reducers)
+		sv, err := t.InvokeStatic("ESDriver", "rangeSplit", vm.O(batch), vm.I(bound))
+		if err != nil {
+			return err
+		}
+		splits[r] = int(int32(sv))
+	}
+	for r := 0; r < reducers; r++ {
+		from, to := splits[r], splits[r+1]
+		cnt := to - from
+		var chunk []byte
+		if cnt > 0 {
+			out, err := t.NewArr("byte", cnt*recLen)
+			if err != nil {
+				return err
+			}
+			if _, err := t.InvokeStatic("ESDriver", "serializeRange",
+				vm.O(batch), vm.I(int64(from)), vm.I(int64(to)), vm.O(out), vm.I(int64(keyLen)), vm.I(int64(recLen))); err != nil {
+				t.FreeObj(out)
+				return err
+			}
+			chunk, err = t.ReadByteArr(out)
+			t.FreeObj(out)
+			if err != nil {
+				return err
+			}
+		}
+		var hdr [4]byte
+		putU32le(hdr[:], uint32(len(chunk)))
+		frames[r] = append(frames[r], hdr[:]...)
+		frames[r] = append(frames[r], chunk...)
+	}
+	return nil
+}
+
+// Reduce implements Job: a byte-level k-way merge of sorted runs (the
+// Hyracks frame-based core, control path).
+func (j ExternalSortJob) Reduce(n *cluster.Node, frames [][]byte) ([]byte, error) {
+	keyLen, recLen := j.KeyLen, j.RecLen
+	var runs [][]byte
+	for _, f := range frames {
+		for off := 0; off+4 <= len(f); {
+			l := int(getU32le(f[off:]))
+			off += 4
+			if l > 0 {
+				runs = append(runs, f[off:off+l])
+			}
+			off += l
+		}
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]byte, 0, total)
+	cursors := make([]int, len(runs))
+	for {
+		best := -1
+		for i, r := range runs {
+			if cursors[i] >= len(r) {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			a := r[cursors[i] : cursors[i]+keyLen]
+			b := runs[best][cursors[best] : cursors[best]+keyLen]
+			if bytes.Compare(a, b) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, runs[best][cursors[best]:cursors[best]+recLen]...)
+		cursors[best] += recLen
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("hyracks: merge lost records (%d != %d)", len(out), total)
+	}
+	return out, nil
+}
+
+func putU32le(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32le(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

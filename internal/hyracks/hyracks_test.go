@@ -1,0 +1,181 @@
+package hyracks
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/dfs"
+	"repro/internal/ir"
+)
+
+var progP, progP2 *ir.Program
+
+func programs(t *testing.T) (*ir.Program, *ir.Program) {
+	t.Helper()
+	if progP == nil {
+		p, p2, err := BuildPrograms()
+		if err != nil {
+			t.Fatal(err)
+		}
+		progP, progP2 = p, p2
+	}
+	return progP, progP2
+}
+
+// goWordCount is the reference implementation.
+func goWordCount(data []byte) map[string]int {
+	out := make(map[string]int)
+	for _, w := range strings.Fields(string(data)) {
+		out[w]++
+	}
+	return out
+}
+
+func parseWCOutput(t *testing.T, fs *dfs.FS) map[string]int {
+	t.Helper()
+	out := make(map[string]int)
+	for _, p := range fs.List("/out/WC/") {
+		data, err := fs.Read(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			var w string
+			var c int
+			if _, err := fmtSscanf(line, &w, &c); err != nil {
+				t.Fatalf("bad output line %q: %v", line, err)
+			}
+			if _, dup := out[w]; dup {
+				t.Fatalf("word %q appears in two reducer outputs", w)
+			}
+			out[w] = c
+		}
+	}
+	return out
+}
+
+func fmtSscanf(line string, w *string, c *int) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	*w = line[:i]
+	n := 0
+	for _, ch := range line[i+1:] {
+		n = n*10 + int(ch-'0')
+	}
+	*c = n
+	return 2, nil
+}
+
+func TestWordCountCorrectBothPrograms(t *testing.T) {
+	p, p2 := programs(t)
+	corpus := datagen.CorpusSkewed(20000, 50, 9)
+	parts := datagen.Partition(corpus, 3)
+	want := goWordCount(corpus)
+
+	for name, prog := range map[string]*ir.Program{"P": p, "P'": p2} {
+		fs := dfs.New()
+		res, err := RunJob(prog, WordCountJob{}, parts,
+			cluster.Config{NumNodes: 3, HeapPerNode: 16 << 20}, 0, fs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.OME {
+			t.Fatalf("%s: unexpected OME", name)
+		}
+		got := parseWCOutput(t, fs)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d distinct words, want %d", name, len(got), len(want))
+		}
+		for w, c := range want {
+			if got[w] != c {
+				t.Fatalf("%s: count[%q] = %d want %d", name, w, got[w], c)
+			}
+		}
+	}
+}
+
+func TestExternalSortCorrectBothPrograms(t *testing.T) {
+	p, p2 := programs(t)
+	const keyLen, recLen = 8, 32
+	recs := datagen.SortRecords(600, keyLen, recLen-keyLen, 3)
+	var data []byte
+	for _, r := range recs {
+		data = append(data, r...)
+	}
+	// Partition on record boundaries.
+	parts := make([][]byte, 3)
+	per := (600 / 3) * recLen
+	for i := range parts {
+		parts[i] = data[i*per : (i+1)*per]
+	}
+	job := ExternalSortJob{KeyLen: keyLen, RecLen: recLen, RunRecords: 64}
+
+	for name, prog := range map[string]*ir.Program{"P": p, "P'": p2} {
+		fs := dfs.New()
+		res, err := RunJob(prog, job, parts,
+			cluster.Config{NumNodes: 3, HeapPerNode: 16 << 20}, 0, fs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.OME {
+			t.Fatalf("%s: unexpected OME", name)
+		}
+		// Concatenated reducer outputs (in range order) must be the
+		// globally sorted dataset.
+		var got []byte
+		for _, pth := range fs.List("/out/ES/") {
+			d, _ := fs.Read(pth)
+			got = append(got, d...)
+		}
+		if len(got) != len(data) {
+			t.Fatalf("%s: output %d bytes, want %d", name, len(got), len(data))
+		}
+		wantSorted := make([][]byte, len(recs))
+		for i, r := range recs {
+			wantSorted[i] = r
+		}
+		sort.Slice(wantSorted, func(i, j int) bool {
+			return bytes.Compare(wantSorted[i][:keyLen], wantSorted[j][:keyLen]) < 0
+		})
+		for i := range wantSorted {
+			gotRec := got[i*recLen : (i+1)*recLen]
+			if !bytes.Equal(gotRec[:keyLen], wantSorted[i][:keyLen]) {
+				t.Fatalf("%s: record %d key %q want %q", name, i, gotRec[:keyLen], wantSorted[i][:keyLen])
+			}
+		}
+	}
+}
+
+func TestWordCountOMEShape(t *testing.T) {
+	// Table 3's qualitative shape in miniature: with a unique-token-heavy
+	// corpus and a small per-node heap, P fails with OutOfMemoryError
+	// while P' (same total-memory cap) completes.
+	p, p2 := programs(t)
+	corpus := datagen.CorpusSkewed(600000, 400, 4)
+	parts := datagen.Partition(corpus, 2)
+	heapCap := int64(2 << 20)
+	ccfg := cluster.Config{NumNodes: 2, HeapPerNode: int(heapCap)}
+
+	fs := dfs.New()
+	resP, err := RunJob(p, WordCountJob{}, parts, ccfg, 0, fs)
+	if err != nil {
+		t.Fatalf("P: %v", err)
+	}
+	if !resP.OME {
+		t.Fatalf("P did not OOM (PM=%d): object bloat should exceed the %d heap", resP.PM, heapCap)
+	}
+	fs2 := dfs.New()
+	resP2, err := RunJob(p2, WordCountJob{}, parts, ccfg, heapCap*8, fs2)
+	if err != nil {
+		t.Fatalf("P': %v", err)
+	}
+	if resP2.OME {
+		t.Fatalf("P' hit the fairness cap too (PM=%d)", resP2.PM)
+	}
+}

@@ -1,0 +1,199 @@
+package hyracks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/vm"
+)
+
+// WordCountJob is the paper's WC application: tokenize the local text
+// partition into word objects, aggregate counts in a hash map, shuffle by
+// word hash, and merge per-word totals in the reduce phase. The map-side
+// partition buffer is loaded into the data path up front, as Hyracks
+// "loads all data upfront before update starts".
+type WordCountJob struct{}
+
+// Name implements Job.
+func (WordCountJob) Name() string { return "WC" }
+
+// Frame format: u32 n, then n entries of (u16 keyLen, u32 count), then the
+// concatenated key bytes.
+
+// Map implements Job.
+func (WordCountJob) Map(n *cluster.Node, part []byte, reducers int) ([][]byte, error) {
+	t := n.Main
+	t.IterationStart()
+	defer t.IterationEnd()
+
+	buf, err := t.NewByteArr(part) // upfront load into the data path
+	if err != nil {
+		return nil, err
+	}
+	defer t.FreeObj(buf)
+	wc, err := t.InvokeStaticObj("WCDriver", "tokenize", vm.O(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer t.FreeObj(wc)
+	words, lens, counts, parts, err := drainWordCount(t, wc, reducers)
+	if err != nil {
+		return nil, err
+	}
+	// Build per-reducer frames (control path: this is the serialization
+	// boundary between operators).
+	type acc struct {
+		n     int
+		meta  []byte
+		bytes []byte
+	}
+	accs := make([]acc, reducers)
+	off := 0
+	for i := range lens {
+		l := int(lens[i])
+		a := &accs[parts[i]]
+		a.n++
+		var m [6]byte
+		binary.LittleEndian.PutUint16(m[0:], uint16(l))
+		binary.LittleEndian.PutUint32(m[2:], uint32(counts[i]))
+		a.meta = append(a.meta, m[:]...)
+		a.bytes = append(a.bytes, words[off:off+l]...)
+		off += l
+	}
+	frames := make([][]byte, reducers)
+	for r := range frames {
+		f := make([]byte, 4, 4+len(accs[r].meta)+len(accs[r].bytes))
+		binary.LittleEndian.PutUint32(f, uint32(accs[r].n))
+		f = append(f, accs[r].meta...)
+		f = append(f, accs[r].bytes...)
+		frames[r] = f
+	}
+	return frames, nil
+}
+
+// drainWordCount extracts the (word, count, partition) triples from a
+// WordCount object through the serialize entry point.
+func drainWordCount(t *vm.Thread, wc vm.Obj, reducers int) (words []byte, lens, counts, parts []int32, err error) {
+	nv, err := t.Invoke(wc, "size")
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	n := int(int32(nv))
+	tv, err := t.InvokeStatic("WCDriver", "totalKeyBytes", vm.O(wc))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	total := int(int32(tv))
+	oBytes, err := t.NewArr("byte", total)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	defer t.FreeObj(oBytes)
+	oLens, err := t.NewArr("int", n)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	defer t.FreeObj(oLens)
+	oCounts, err := t.NewArr("int", n)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	defer t.FreeObj(oCounts)
+	oParts, err := t.NewArr("int", n)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	defer t.FreeObj(oParts)
+	if _, err := t.InvokeStatic("WCDriver", "serialize",
+		vm.O(wc), vm.O(oBytes), vm.O(oLens), vm.O(oCounts), vm.O(oParts), vm.I(int64(reducers))); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	bb, err := t.ReadByteArr(oBytes)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	lens, err = t.ReadIntArr(oLens)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	counts, err = t.ReadIntArr(oCounts)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	parts, err = t.ReadIntArr(oParts)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return bb, lens, counts, parts, nil
+}
+
+// Reduce implements Job.
+func (WordCountJob) Reduce(n *cluster.Node, frames [][]byte) ([]byte, error) {
+	t := n.Main
+	t.IterationStart()
+	defer t.IterationEnd()
+	wc, err := t.NewObj("WordCount")
+	if err != nil {
+		return nil, err
+	}
+	defer t.FreeObj(wc)
+	for _, f := range frames {
+		cnt := int(binary.LittleEndian.Uint32(f))
+		if cnt == 0 {
+			continue
+		}
+		meta := f[4 : 4+6*cnt]
+		bytesPart := f[4+6*cnt:]
+		lens := make([]int32, cnt)
+		counts := make([]int32, cnt)
+		for i := 0; i < cnt; i++ {
+			lens[i] = int32(binary.LittleEndian.Uint16(meta[6*i:]))
+			counts[i] = int32(binary.LittleEndian.Uint32(meta[6*i+2:]))
+		}
+		oBytes, err := t.NewByteArr(bytesPart)
+		if err != nil {
+			return nil, err
+		}
+		oLens, err := t.NewIntArr(lens)
+		if err != nil {
+			t.FreeObj(oBytes)
+			return nil, err
+		}
+		oCounts, err := t.NewIntArr(counts)
+		if err != nil {
+			t.FreeObj(oBytes)
+			t.FreeObj(oLens)
+			return nil, err
+		}
+		_, err = t.InvokeStatic("WCDriver", "merge", vm.O(wc), vm.O(oBytes), vm.O(oLens), vm.O(oCounts))
+		t.FreeObj(oBytes)
+		t.FreeObj(oLens)
+		t.FreeObj(oCounts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Final output: "word count\n" lines, sorted for determinism.
+	words, lens, counts, _, err := drainWordCount(t, wc, 1)
+	if err != nil {
+		return nil, err
+	}
+	type pair struct {
+		w string
+		c int32
+	}
+	pairs := make([]pair, len(lens))
+	off := 0
+	for i, l := range lens {
+		pairs[i] = pair{string(words[off : off+int(l)]), counts[i]}
+		off += int(l)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].w < pairs[j].w })
+	var out []byte
+	for _, p := range pairs {
+		out = append(out, fmt.Sprintf("%s %d\n", p.w, p.c)...)
+	}
+	return out, nil
+}

@@ -1,0 +1,331 @@
+// Package ir defines the typed register-based intermediate representation
+// that FJ programs are lowered to, the FACADE transform rewrites, and the VM
+// interprets. It plays the role Jimple plays for the paper's Soot-based
+// compiler: a three-address IR over a control-flow graph, with explicit
+// field offsets and static types on every virtual register.
+//
+// The instruction set has two halves:
+//
+//   - the "object" half (OpNew, OpLoad, OpStore, ...) operates on managed
+//     heap objects and is what lowering emits for program P;
+//   - the "page" half (OpPNew, OpPLoad, OpResolve, OpPoolGet, ...) operates
+//     on off-heap page records through 64-bit page references and is what
+//     the FACADE transform emits for program P'.
+//
+// Facade objects themselves are ordinary heap objects, so binding a page
+// reference to a facade is a plain OpStore of the Facade.pageRef field.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// Reg identifies a virtual register within a function. NoReg means absent.
+type Reg int32
+
+// NoReg marks an absent register operand.
+const NoReg Reg = -1
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop Op = iota
+
+	// Values and arithmetic.
+	OpConst  // Dst = Imm / F (interpreted per Type)
+	OpStrLit // Dst = interned String for StringPool[Imm]
+	OpMove   // Dst = A
+	OpBin    // Dst = A <Sub> B, numeric kind in NumKind
+	OpUn     // Dst = <Sub> A
+	OpConv   // Dst = numeric conversion of A (NumKind=src kind, NumKind2=dst kind)
+
+	// Managed-heap data access (program P).
+	OpNew    // Dst = allocate instance of Cls (fields zeroed)
+	OpNewArr // Dst = allocate array, element Type, length A
+	OpLoad   // Dst = A.Field
+	OpStore  // A.Field = B
+	OpLoadStatic
+	OpStoreStatic
+	OpALoad  // Dst = A[B], element Type
+	OpAStore // A[B] = C
+	OpALen   // Dst = length of A
+	OpInstOf // Dst = A instanceof Type
+	OpCast   // Dst = checked reference cast of A to Type
+
+	// Calls and control flow.
+	OpCall       // virtual call: dispatch M.Name on runtime class of A; args Args
+	OpCallStatic // direct call of M (static method or constructor); args Args
+	OpRet        // return A (or nothing if A == NoReg)
+	OpJump       // goto Blk
+	OpBranch     // if A goto Blk else Blk2
+	OpIntr       // Dst = intrinsic Sym(Args...)
+
+	// Monitors (program P uses the object lock word).
+	OpMonEnter
+	OpMonExit
+
+	// Page half (program P', emitted by the FACADE transform).
+	OpPNew      // Dst = allocate record of Cls in the current page manager
+	OpPNewArr   // Dst = allocate array record, element Type, length A
+	OpPLoad     // Dst = field Field of record A (A is a page ref)
+	OpPStore    // field Field of record A = B
+	OpPALoad    // Dst = element B of array record A, element Type
+	OpPAStore   // element B of array record A = C
+	OpPALen     // Dst = length of array record A
+	OpPInstOf   // Dst = record A's type is (a subtype of) Cls / array Type
+	OpPCast     // Dst = A after checking record type against Cls
+	OpResolve   // Dst = receiver-pool facade for the runtime class of record A
+	OpPoolGet   // Dst = parameter-pool facade Imm of class Cls (current thread)
+	OpRecvPool  // Dst = receiver-pool facade of class Cls bound to record A (devirtualized resolve)
+	OpPMonEnter // enter monitor of record A via the shared lock pool
+	OpPMonExit  // exit monitor of record A
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpStrLit: "strlit", OpMove: "move",
+	OpBin: "bin", OpUn: "un", OpConv: "conv",
+	OpNew: "new", OpNewArr: "newarr", OpLoad: "load", OpStore: "store",
+	OpLoadStatic: "loadstatic", OpStoreStatic: "storestatic",
+	OpALoad: "aload", OpAStore: "astore", OpALen: "alen",
+	OpInstOf: "instof", OpCast: "cast",
+	OpCall: "call", OpCallStatic: "callstatic", OpRet: "ret",
+	OpJump: "jump", OpBranch: "branch", OpIntr: "intr",
+	OpMonEnter: "monenter", OpMonExit: "monexit",
+	OpPNew: "pnew", OpPNewArr: "pnewarr", OpPLoad: "pload",
+	OpPStore: "pstore", OpPALoad: "paload", OpPAStore: "pastore",
+	OpPALen: "palen", OpPInstOf: "pinstof", OpPCast: "pcast",
+	OpResolve: "resolve", OpPoolGet: "poolget", OpRecvPool: "recvpool",
+	OpPMonEnter: "pmonenter", OpPMonExit: "pmonexit",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Sub selects the arithmetic/logic operation for OpBin and OpUn.
+type Sub uint8
+
+// Binary and unary sub-operations.
+const (
+	BinAdd Sub = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinEq
+	BinNe
+	UnNeg
+	UnNot
+)
+
+var subNames = [...]string{
+	BinAdd: "+", BinSub: "-", BinMul: "*", BinDiv: "/", BinRem: "%",
+	BinAnd: "&", BinOr: "|", BinXor: "^", BinShl: "<<", BinShr: ">>",
+	BinLt: "<", BinLe: "<=", BinGt: ">", BinGe: ">=", BinEq: "==",
+	BinNe: "!=", UnNeg: "neg", UnNot: "not",
+}
+
+func (s Sub) String() string {
+	if int(s) < len(subNames) {
+		return subNames[s]
+	}
+	return fmt.Sprintf("sub(%d)", int(s))
+}
+
+// NumKind classifies the machine representation an arithmetic instruction
+// operates on.
+type NumKind uint8
+
+// Numeric kinds.
+const (
+	KInt NumKind = iota
+	KLong
+	KDouble
+	KBool
+	KByte
+	KRef
+)
+
+func (k NumKind) String() string {
+	switch k {
+	case KInt:
+		return "int"
+	case KLong:
+		return "long"
+	case KDouble:
+		return "double"
+	case KBool:
+		return "bool"
+	case KByte:
+		return "byte"
+	case KRef:
+		return "ref"
+	}
+	return "?"
+}
+
+// KindOf maps a semantic type to its machine kind.
+func KindOf(t *lang.Type) NumKind {
+	switch t.Kind {
+	case lang.TBool:
+		return KBool
+	case lang.TByte:
+		return KByte
+	case lang.TInt:
+		return KInt
+	case lang.TLong:
+		return KLong
+	case lang.TDouble:
+		return KDouble
+	default:
+		return KRef
+	}
+}
+
+// Instr is one IR instruction. A single fat struct keeps interpretation
+// simple and cache-friendly; unused operands are zero/NoReg.
+type Instr struct {
+	Op       Op
+	Sub      Sub
+	NumKind  NumKind
+	NumKind2 NumKind
+	Dst      Reg
+	A, B, C  Reg
+	Args     []Reg
+	Imm      int64
+	F        float64
+	Type     *lang.Type
+	Cls      *lang.Class
+	Field    *lang.Field
+	M        *lang.Method
+	Sym      string
+	Blk      int
+	Blk2     int
+	Pos      lang.Pos
+	// Cache holds VM link data (resolved callee for OpCallStatic,
+	// intrinsic index for OpIntr). Owned by the VM that linked the
+	// program; programs are deep-copied by the transform so P and P'
+	// never share instructions.
+	Cache any
+}
+
+// Block is a basic block; the last instruction is always a terminator
+// (OpJump, OpBranch, or OpRet).
+type Block struct {
+	ID     int
+	Instrs []Instr
+}
+
+// Func is one compiled method body.
+type Func struct {
+	// Name is "Class.method"; constructors use "Class.<init>".
+	Name     string
+	Class    *lang.Class
+	Method   *lang.Method
+	NumRegs  int
+	RegTypes []*lang.Type
+	// Params lists the parameter registers in call order; for instance
+	// methods Params[0] is the receiver.
+	Params []Reg
+	Blocks []*Block
+	// Synthetic marks compiler-generated functions (conversion functions,
+	// facade constructors).
+	Synthetic bool
+}
+
+// NumInstrs returns the total instruction count, the unit the paper's
+// compilation-speed numbers (instructions per second) are measured in.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Program is a complete linked IR program.
+type Program struct {
+	H          *lang.Hierarchy
+	Funcs      map[string]*Func
+	StringPool []string
+	// FuncList is Funcs in deterministic order.
+	FuncList []*Func
+	// Transformed is true for programs produced by the FACADE transform.
+	Transformed bool
+	// Facade transform metadata, set on transformed programs:
+	// Bounds maps data class name -> parameter pool bound (§3.3).
+	Bounds map[string]int
+	// DataClasses is the set of data class names of the original program.
+	DataClasses map[string]bool
+}
+
+// FuncKey builds the canonical function key for class + method name.
+func FuncKey(class, method string) string { return class + "." + method }
+
+// CtorKey builds the key of a constructor function.
+func CtorKey(class string) string { return class + ".<init>" }
+
+// AddFunc registers f, keeping FuncList ordered by insertion.
+func (p *Program) AddFunc(f *Func) {
+	if p.Funcs == nil {
+		p.Funcs = make(map[string]*Func)
+	}
+	if _, dup := p.Funcs[f.Name]; dup {
+		panic("duplicate function " + f.Name)
+	}
+	p.Funcs[f.Name] = f
+	p.FuncList = append(p.FuncList, f)
+}
+
+// Intern adds s to the string pool and returns its index.
+func (p *Program) Intern(s string) int {
+	for i, x := range p.StringPool {
+		if x == s {
+			return i
+		}
+	}
+	p.StringPool = append(p.StringPool, s)
+	return len(p.StringPool) - 1
+}
+
+// NumInstrs returns the program's total instruction count.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.FuncList {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// InstrsInClasses counts the instructions of functions owned by the named
+// classes — the size of a data path, the unit of the paper's
+// compilation-speed measurements.
+func (p *Program) InstrsInClasses(names []string) int {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	total := 0
+	for _, f := range p.FuncList {
+		if f.Class != nil && want[f.Class.Name] {
+			total += f.NumInstrs()
+		}
+	}
+	return total
+}

@@ -1,0 +1,330 @@
+package lang
+
+// This file defines the FJ abstract syntax tree. Expression nodes carry a
+// Type field filled in by the checker; the lowering pass in internal/lower
+// relies on those annotations.
+
+// File is a parsed compilation unit: a list of class and interface
+// declarations.
+type File struct {
+	Name    string
+	Classes []*ClassDecl
+	Ifaces  []*IfaceDecl
+}
+
+// ClassDecl is a class declaration.
+type ClassDecl struct {
+	Pos        Pos
+	Name       string
+	Extends    string   // "" means Object (except for Object itself)
+	Implements []string // interface names
+	Fields     []*FieldDecl
+	Methods    []*MethodDecl
+	Ctor       *MethodDecl // nil means implicit default constructor
+}
+
+// IfaceDecl is an interface declaration. Interfaces declare method
+// signatures only (bodies are nil).
+type IfaceDecl struct {
+	Pos     Pos
+	Name    string
+	Methods []*MethodDecl
+}
+
+// FieldDecl is a field declaration inside a class.
+type FieldDecl struct {
+	Pos    Pos
+	Name   string
+	Type   TypeExpr
+	Static bool
+}
+
+// MethodDecl is a method, constructor (Name == class name, IsCtor true), or
+// interface method signature (Body == nil).
+type MethodDecl struct {
+	Pos    Pos
+	Name   string
+	Static bool
+	IsCtor bool
+	Params []Param
+	Ret    TypeExpr // void when Ret.Kind == TVoid
+	Body   *BlockStmt
+}
+
+// Param is a formal parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type TypeExpr
+}
+
+// TypeExpr is a syntactic type: a primitive or named base plus array depth.
+type TypeExpr struct {
+	Pos  Pos
+	Kind TypeKind // TBool..TDouble, TVoid, or TClass (named)
+	Name string   // class/interface name when Kind == TClass
+	Dims int      // number of [] suffixes
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { stmts... }.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDeclStmt declares a local: T x = init; init may be nil.
+type VarDeclStmt struct {
+	Pos  Pos
+	Name string
+	Type TypeExpr
+	Init Expr
+	// T is the resolved declared type (set by the checker).
+	T *Type
+}
+
+// AssignStmt assigns to an lvalue (IdentExpr, FieldExpr, or IndexExpr).
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr
+	Value  Expr
+}
+
+// IfStmt is if (Cond) Then else Else; Else may be nil.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+// WhileStmt is while (Cond) Body.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is for (Init; Cond; Post) Body; any part may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // VarDeclStmt, AssignStmt, or ExprStmt
+	Cond Expr
+	Post Stmt // AssignStmt or ExprStmt
+	Body Stmt
+}
+
+// ReturnStmt is return [Value];.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void return
+}
+
+// BreakStmt is break;.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt is continue;.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates a call expression for effect.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// SyncStmt is synchronized (Lock) Body.
+type SyncStmt struct {
+	Pos  Pos
+	Lock Expr
+	Body *BlockStmt
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+func (*SyncStmt) stmtNode()     {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes. T is set by the checker.
+type Expr interface {
+	exprNode()
+	// Type returns the checked static type (nil before checking).
+	Type() *Type
+	setType(*Type)
+}
+
+type exprBase struct{ t *Type }
+
+func (e *exprBase) exprNode()       {}
+func (e *exprBase) Type() *Type     { return e.t }
+func (e *exprBase) setType(t *Type) { e.t = t }
+
+// IntLit is an int literal.
+type IntLit struct {
+	exprBase
+	Pos Pos
+	Val int32
+}
+
+// LongLit is a long literal (suffix L).
+type LongLit struct {
+	exprBase
+	Pos Pos
+	Val int64
+}
+
+// DoubleLit is a double literal.
+type DoubleLit struct {
+	exprBase
+	Pos Pos
+	Val float64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	exprBase
+	Pos Pos
+	Val bool
+}
+
+// NullLit is null.
+type NullLit struct {
+	exprBase
+	Pos Pos
+}
+
+// StringLit is a string literal; lowered to an interned String record.
+type StringLit struct {
+	exprBase
+	Pos Pos
+	Val string
+}
+
+// IdentExpr names a local variable or parameter. The checker may rewrite a
+// bare identifier naming a class (in static calls) before this is reached.
+type IdentExpr struct {
+	exprBase
+	Pos  Pos
+	Name string
+}
+
+// ThisExpr is this.
+type ThisExpr struct {
+	exprBase
+	Pos Pos
+}
+
+// FieldExpr is X.Name, including the pseudo-field arr.length (IsLen set by
+// the checker). For static fields X is nil and ClassName is set.
+type FieldExpr struct {
+	exprBase
+	Pos       Pos
+	X         Expr
+	Name      string
+	ClassName string // static field access when non-empty
+	IsLen     bool
+	// Resolved is the field this access binds to (set by the checker; nil
+	// for arr.length).
+	Resolved *Field
+}
+
+// IndexExpr is X[Index].
+type IndexExpr struct {
+	exprBase
+	Pos   Pos
+	X     Expr
+	Index Expr
+}
+
+// CallExpr is a method call. For instance calls Recv is non-nil; for static
+// calls ClassName is set (including builtin classes such as Sys).
+type CallExpr struct {
+	exprBase
+	Pos       Pos
+	Recv      Expr
+	ClassName string
+	Method    string
+	Args      []Expr
+	// Resolved is the statically bound method (set by the checker). For
+	// virtual calls it is the declaration found on the receiver's static
+	// type; dispatch happens at run time. Nil for intrinsics.
+	Resolved *Method
+	// Intrinsic is the builtin name for Sys.* calls (e.g. "print").
+	Intrinsic string
+}
+
+// NewExpr is new C(args).
+type NewExpr struct {
+	exprBase
+	Pos   Pos
+	Class string
+	Args  []Expr
+	// Cls and Ctor are set by the checker; Ctor is nil for the implicit
+	// default constructor.
+	Cls  *Class
+	Ctor *Method
+}
+
+// NewArrayExpr is new T[len] with optional extra dims: new T[len][][]...
+type NewArrayExpr struct {
+	exprBase
+	Pos  Pos
+	Elem TypeExpr // element type including trailing empty dims
+	Len  Expr
+	// ElemT is the resolved element type (set by the checker).
+	ElemT *Type
+}
+
+// UnaryExpr is -X or !X.
+type UnaryExpr struct {
+	exprBase
+	Pos Pos
+	Op  TokKind // TokMinus or TokNot
+	X   Expr
+}
+
+// BinaryExpr is X op Y. && and || short-circuit.
+type BinaryExpr struct {
+	exprBase
+	Pos Pos
+	Op  TokKind
+	X   Expr
+	Y   Expr
+}
+
+// InstanceOfExpr is X instanceof Target.
+type InstanceOfExpr struct {
+	exprBase
+	Pos    Pos
+	X      Expr
+	Target TypeExpr
+	// TargetT is the resolved target type (set by the checker).
+	TargetT *Type
+}
+
+// CastExpr is (Target) X — a checked reference cast or a numeric
+// conversion.
+type CastExpr struct {
+	exprBase
+	Pos    Pos
+	Target TypeExpr
+	X      Expr
+	// TargetT is the resolved target type (set by the checker). Synthetic
+	// widening casts inserted by the checker have a zero Target and set
+	// TargetT directly.
+	TargetT *Type
+}

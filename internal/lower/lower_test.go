@@ -1,0 +1,247 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/stdlib"
+)
+
+func lowerSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	files, err := stdlib.ParseWith(map[string]string{"t.fj": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := lang.BuildHierarchy(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(h); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Program(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func fn(t *testing.T, p *ir.Program, key string) *ir.Func {
+	t.Helper()
+	f := p.Funcs[key]
+	if f == nil {
+		t.Fatalf("no function %s", key)
+	}
+	return f
+}
+
+// count returns how many instructions in f satisfy pred.
+func count(f *ir.Func, pred func(*ir.Instr) bool) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if pred(&b.Instrs[i]) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestStdlibLowersAndVerifies(t *testing.T) {
+	p := lowerSrc(t, "class Main { static void main() { } }")
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// All stdlib classes have bodies.
+	for _, key := range []string{"String.hashCode", "String.equals", "HashMap.put", "HashMap.get", "ArrayList.add"} {
+		fn(t, p, key)
+	}
+}
+
+func TestControlFlowShapes(t *testing.T) {
+	p := lowerSrc(t, `
+class Main {
+    static int m(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+            while (s > 100) { s = s / 2; }
+        }
+        return s;
+    }
+    static void main() { }
+}
+`)
+	f := fn(t, p, "Main.m")
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	branches := count(f, func(in *ir.Instr) bool { return in.Op == ir.OpBranch })
+	if branches < 3 { // for-head, if, while-head
+		t.Fatalf("branches = %d", branches)
+	}
+}
+
+func TestShortCircuitLowering(t *testing.T) {
+	p := lowerSrc(t, `
+class Main {
+    static boolean f(int calls) { return calls > 0; }
+    static int m(int x) {
+        // The right operand must not execute when the left decides.
+        if (x > 0 && Main.f(x) || x < 0 - 5) { return 1; }
+        return 0;
+    }
+    static void main() { }
+}
+`)
+	f := fn(t, p, "Main.m")
+	// Short-circuit means extra blocks + branch structure.
+	if len(f.Blocks) < 5 {
+		t.Fatalf("short-circuit lowering produced only %d blocks", len(f.Blocks))
+	}
+}
+
+func TestSyncLoweringBalancesMonitors(t *testing.T) {
+	p := lowerSrc(t, `
+class Main {
+    int v;
+    int m(Object l, int x) {
+        synchronized (l) {
+            if (x > 0) { return 1; }
+            for (int i = 0; i < x; i = i + 1) {
+                if (i == 3) { break; }
+                if (i == 2) { continue; }
+            }
+        }
+        return 0;
+    }
+    static void main() { }
+}
+`)
+	f := fn(t, p, "Main.m")
+	enters := count(f, func(in *ir.Instr) bool { return in.Op == ir.OpMonEnter })
+	exits := count(f, func(in *ir.Instr) bool { return in.Op == ir.OpMonExit })
+	if enters != 1 {
+		t.Fatalf("enters = %d", enters)
+	}
+	// One normal exit plus one on the early return path.
+	if exits < 2 {
+		t.Fatalf("exits = %d; early return must release the monitor", exits)
+	}
+}
+
+func TestCtorLowering(t *testing.T) {
+	p := lowerSrc(t, `
+class Pt {
+    int x;
+    Pt(int x) { this.x = x; }
+}
+class Main {
+    static Pt mk() { return new Pt(4); }
+    static void main() { }
+}
+`)
+	f := fn(t, p, "Main.mk")
+	news := count(f, func(in *ir.Instr) bool { return in.Op == ir.OpNew })
+	calls := count(f, func(in *ir.Instr) bool {
+		return in.Op == ir.OpCallStatic && in.M != nil && in.M.IsCtor
+	})
+	if news != 1 || calls != 1 {
+		t.Fatalf("new=%d ctorcalls=%d", news, calls)
+	}
+	if p.Funcs[ir.CtorKey("Pt")] == nil {
+		t.Fatal("ctor not lowered under Pt.<init>")
+	}
+}
+
+func TestStringLiteralInterning(t *testing.T) {
+	p := lowerSrc(t, `
+class Main {
+    static void main() {
+        Sys.println("abc");
+        Sys.println("abc");
+        Sys.println("def");
+    }
+}
+`)
+	if len(p.StringPool) != 3 { // "abc", "def" + any stdlib literal? stdlib has none
+		if len(p.StringPool) != 2 {
+			t.Fatalf("string pool %v", p.StringPool)
+		}
+	}
+	// Interning: both "abc" literals share one index.
+	f := fn(t, p, "Main.main")
+	idx := map[int64]int{}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpStrLit {
+				idx[b.Instrs[i].Imm]++
+			}
+		}
+	}
+	if len(idx) != 2 {
+		t.Fatalf("expected 2 distinct pool indices, got %v", idx)
+	}
+}
+
+func TestCastLowering(t *testing.T) {
+	p := lowerSrc(t, `
+class A { int x; }
+class B extends A { int y; }
+class Main {
+    static int m(A a, B b) {
+        A up = b;          // upcast: move, no check
+        B down = (B) a;    // downcast: checked
+        double d = 3;      // widening conversion
+        return (int) d + down.y + up.x;
+    }
+    static void main() { }
+}
+`)
+	f := fn(t, p, "Main.m")
+	casts := count(f, func(in *ir.Instr) bool { return in.Op == ir.OpCast })
+	convs := count(f, func(in *ir.Instr) bool { return in.Op == ir.OpConv })
+	if casts != 1 {
+		t.Fatalf("checked casts = %d want 1 (upcasts must be moves)", casts)
+	}
+	if convs < 2 { // int->double widening and double->int narrowing
+		t.Fatalf("conversions = %d", convs)
+	}
+}
+
+func TestDeadCodeAfterReturnStaysVerifiable(t *testing.T) {
+	p := lowerSrc(t, `
+class Main {
+    static int m() {
+        return 1;
+    }
+    static void main() { }
+}
+`)
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrPrinting(t *testing.T) {
+	p := lowerSrc(t, `
+class Main {
+    static int m(int x) {
+        int[] a = new int[x];
+        a[0] = x;
+        return a[0] + a.length;
+    }
+    static void main() { }
+}
+`)
+	s := fn(t, p, "Main.m").String()
+	for _, frag := range []string{"func Main.m", "newarr", "astore", "aload", "alen", "ret"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("printed IR missing %q:\n%s", frag, s)
+		}
+	}
+}

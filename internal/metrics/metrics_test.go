@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Title", "name", "secs", "count")
+	tbl.Row("alpha", 1500*time.Millisecond, 42)
+	tbl.Row("a-much-longer-name", 250*time.Millisecond, 7)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "1.50") {
+		t.Fatalf("duration formatting: %q", lines[3])
+	}
+	// Columns align: every data line must be at least as wide as the
+	// longest cell of its column positions.
+	if !strings.Contains(lines[4], "a-much-longer-name") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestFloatAndHelpers(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.Row(3.14159)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	if !strings.Contains(sb.String(), "3.1") {
+		t.Fatalf("float formatting: %q", sb.String())
+	}
+	if MB(3<<20) != "3.0" {
+		t.Fatalf("MB: %s", MB(3<<20))
+	}
+	if Ratio(2*time.Second, time.Second) != "2.0x" {
+		t.Fatal("Ratio")
+	}
+	if Ratio(time.Second, 0) != "inf" {
+		t.Fatal("Ratio zero")
+	}
+}

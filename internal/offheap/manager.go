@@ -1,0 +1,217 @@
+package offheap
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Size classes for record allocation (§3.6): each class serves a range of
+// record sizes from its own pages, "similarly to what a high-performance
+// allocator would do". Records larger than half a page get an empty page
+// to themselves; records larger than a page go to the oversize class.
+var sizeClasses = [...]int{64, 256, 1024, 4096, PageSize / 2}
+
+const numClasses = len(sizeClasses)
+
+func classFor(size int) int {
+	for i, c := range sizeClasses {
+		if size <= c {
+			return i
+		}
+	}
+	return -1 // dedicated or oversize page
+}
+
+// PageManager allocates records for one ⟨iterationID, thread⟩ pair and
+// owns the pages it allocates from. Managers form the runtime tree of
+// §3.6: a sub-iteration's manager is a child of the enclosing iteration's
+// manager, and a new thread's default manager is a child of the manager
+// current in the creating thread. Releasing a manager releases the whole
+// subtree's pages at once.
+//
+// Alloc is single-threaded by construction (a manager belongs to one
+// thread); the children list is the only shared state.
+type PageManager struct {
+	rt     *Runtime
+	parent *PageManager
+
+	childMu  sync.Mutex
+	children []*PageManager
+
+	cur      [numClasses]*page
+	pages    []*page
+	released bool
+
+	// IterID identifies the iteration this manager serves; -1 is the
+	// thread-default manager ⟨⊥, t⟩. ThreadID identifies the owning thread.
+	IterID   int
+	ThreadID int
+}
+
+// NewManager creates a page manager. parent may be nil for a root manager.
+func (rt *Runtime) NewManager(parent *PageManager, iterID, threadID int) *PageManager {
+	m := &PageManager{rt: rt, parent: parent, IterID: iterID, ThreadID: threadID}
+	rt.stats.managers.Add(1)
+	if parent != nil {
+		parent.childMu.Lock()
+		parent.children = append(parent.children, m)
+		parent.childMu.Unlock()
+	}
+	return m
+}
+
+// alloc returns a page reference to size zeroed bytes.
+func (m *PageManager) alloc(size int) PageRef {
+	if m.released {
+		panic("offheap: allocation from a released page manager")
+	}
+	size = (size + 7) &^ 7
+	ci := classFor(size)
+	if ci < 0 || size > PageSize/2 {
+		// Large record: an empty page of its own ("large arrays are
+		// allocated on empty pages"), oversize if it exceeds PageSize.
+		want := size
+		if want < PageSize {
+			want = PageSize
+		}
+		p := m.rt.getPage(want)
+		m.pages = append(m.pages, p)
+		p.pos = size
+		zero(p.buf[:size])
+		return MakeRef(p.idx, 0)
+	}
+	p := m.cur[ci]
+	if p == nil || p.pos+size > len(p.buf) {
+		p = m.rt.getPage(PageSize)
+		m.pages = append(m.pages, p)
+		m.cur[ci] = p
+	}
+	off := p.pos
+	p.pos += size
+	zero(p.buf[off : off+size])
+	return MakeRef(p.idx, off)
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// ReleaseAll releases every page owned by this manager and, recursively,
+// by its children — the bulk reclamation that ends a (sub-)iteration.
+func (m *PageManager) ReleaseAll() {
+	if m.released {
+		return
+	}
+	m.released = true
+	m.childMu.Lock()
+	children := m.children
+	m.children = nil
+	m.childMu.Unlock()
+	for _, c := range children {
+		c.ReleaseAll()
+	}
+	for _, p := range m.pages {
+		m.rt.releasePage(p)
+	}
+	m.pages = nil
+	for i := range m.cur {
+		m.cur[i] = nil
+	}
+	if m.parent != nil {
+		m.parent.childMu.Lock()
+		for i, c := range m.parent.children {
+			if c == m {
+				m.parent.children = append(m.parent.children[:i], m.parent.children[i+1:]...)
+				break
+			}
+		}
+		m.parent.childMu.Unlock()
+	}
+}
+
+// Released reports whether the manager's pages have been reclaimed.
+func (m *PageManager) Released() bool { return m.released }
+
+// PageCount returns the number of pages currently owned (excluding
+// children).
+func (m *PageManager) PageCount() int { return len(m.pages) }
+
+// AllocRecord allocates a zeroed scalar record with the given type ID and
+// body size and returns its page reference.
+func (m *PageManager) AllocRecord(typeID uint16, bodySize int) PageRef {
+	ref := m.alloc(ScalarHeader + bodySize)
+	b := m.rt.bytesFor(ref)
+	putU16(b, typeID)
+	m.rt.stats.records.Add(1)
+	return ref
+}
+
+// AllocArray allocates a zeroed array record for n elements of elemSize
+// bytes, tagged with the array type index.
+func (m *PageManager) AllocArray(arrTypeIdx int, elemSize, n int) (PageRef, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("offheap: negative array size %d", n)
+	}
+	ref := m.alloc(ArrayHeader + n*elemSize)
+	b := m.rt.bytesFor(ref)
+	putU16(b, arrayTypeBit|uint16(arrTypeIdx))
+	putU32(b[4:], uint32(n))
+	m.rt.stats.records.Add(1)
+	return ref, nil
+}
+
+// IterScope manages a thread's stack of page managers: the default
+// manager at the bottom, one manager per active (sub-)iteration above it.
+type IterScope struct {
+	rt       *Runtime
+	stack    []*PageManager
+	nextIter *int
+	threadID int
+}
+
+// NewIterScope creates the scope for a thread whose default manager is a
+// child of parent (the manager current in the creating thread; nil for the
+// first thread). nextIter supplies global iteration IDs.
+func (rt *Runtime) NewIterScope(parent *PageManager, nextIter *int, threadID int) *IterScope {
+	def := rt.NewManager(parent, -1, threadID)
+	return &IterScope{rt: rt, stack: []*PageManager{def}, nextIter: nextIter, threadID: threadID}
+}
+
+// Current returns the manager new records should be allocated from.
+func (s *IterScope) Current() *PageManager { return s.stack[len(s.stack)-1] }
+
+// Default returns the thread-default manager ⟨⊥, t⟩.
+func (s *IterScope) Default() *PageManager { return s.stack[0] }
+
+// IterationStart opens a (sub-)iteration: a child manager of the current
+// one becomes the allocation target.
+func (s *IterScope) IterationStart() {
+	id := *s.nextIter
+	*s.nextIter = id + 1
+	m := s.rt.NewManager(s.Current(), id, s.threadID)
+	s.stack = append(s.stack, m)
+}
+
+// IterationEnd closes the innermost iteration and releases its pages (and
+// those of any nested iterations and spawned threads parented under it).
+func (s *IterScope) IterationEnd() {
+	if len(s.stack) == 1 {
+		panic("offheap: IterationEnd without matching IterationStart")
+	}
+	m := s.Current()
+	s.stack = s.stack[:len(s.stack)-1]
+	m.ReleaseAll()
+}
+
+// Close releases the thread's default manager (thread termination).
+func (s *IterScope) Close() {
+	for len(s.stack) > 1 {
+		s.IterationEnd()
+	}
+	s.stack[0].ReleaseAll()
+}
+
+// Depth returns the number of open iterations.
+func (s *IterScope) Depth() int { return len(s.stack) - 1 }

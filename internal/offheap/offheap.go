@@ -1,0 +1,246 @@
+// Package offheap implements the FACADE runtime's native-memory data store
+// (§2.1, §3.6 of the paper): fixed-size 32 KB pages carved into size
+// classes, an "oversize" class for records larger than a page, and a tree
+// of page managers keyed by ⟨iterationID, thread⟩ that supports
+// iteration-based bulk reclamation with nested sub-iterations.
+//
+// Data records stored here are never seen by the managed heap's garbage
+// collector; that is the entire point. A record is addressed by a 64-bit
+// page reference (PageRef) and laid out exactly like the body of the
+// corresponding heap object, preceded by a compact header (Figure 1):
+//
+//	scalar record: [type ID u16][lock ID u16]             = 4-byte header
+//	array record:  [type ID u16][lock ID u16][length u32] = 8-byte header
+//
+// versus the 12/16-byte headers of managed objects — the space saving the
+// paper reports comes directly from this difference plus the removal of GC
+// metadata.
+//
+// As with real native memory, a reference into a page that has been
+// released by its iteration dangles: it reads whatever the recycled page
+// now contains. The paper's correctness argument (§3.7) excludes this by
+// the user's iteration specification, and so do we.
+package offheap
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lang"
+)
+
+// PageRef is a reference to a record in native memory: the page index+1 in
+// the high 32 bits and the byte offset within the page in the low 32 bits.
+// 0 is null.
+type PageRef = int64
+
+// PageSize is the fixed page size (32 KB, "a common practice in the
+// database design").
+const PageSize = 32 << 10
+
+// Record header layout.
+const (
+	// ScalarHeader and ArrayHeader are the record header sizes.
+	ScalarHeader = 4
+	ArrayHeader  = 8
+
+	arrayTypeBit uint16 = 1 << 14
+)
+
+// MakeRef builds a PageRef from a page index and offset.
+func MakeRef(pageIdx int, off int) PageRef {
+	return PageRef(int64(pageIdx+1)<<32 | int64(off))
+}
+
+func splitRef(r PageRef) (pageIdx, off int) {
+	return int(r>>32) - 1, int(r & 0xffffffff)
+}
+
+// page is one native memory block.
+type page struct {
+	buf []byte
+	pos int // bump pointer, owned by the manager currently holding the page
+	idx int // index in the runtime page table
+	// released guards against double release: oversize pages can be freed
+	// early (§3.6) and would otherwise be freed again at iteration end.
+	released atomic.Bool
+}
+
+// Runtime owns all pages, the free-page pool, the array type registry, and
+// the shared lock pool.
+type Runtime struct {
+	// DisableRecycle turns off the free-page pool (ablation: every page
+	// released at an iteration end is dropped and later allocations get
+	// fresh pages).
+	DisableRecycle bool
+
+	mu   sync.Mutex
+	free []*page // recycled pages awaiting reuse
+	// table is a copy-on-write page table so record accesses resolve page
+	// references without locking.
+	table atomic.Pointer[[]*page]
+
+	arrMu    sync.Mutex
+	arrTypes []*lang.Type
+	arrIndex map[string]int
+
+	Locks *LockPool
+
+	stats struct {
+		pagesCreated  atomic.Int64
+		pagesRecycled atomic.Int64
+		pagesLive     atomic.Int64
+		oversize      atomic.Int64
+		records       atomic.Int64
+		bytesInUse    atomic.Int64
+		peakBytes     atomic.Int64
+		managers      atomic.Int64
+	}
+}
+
+// Stats is a snapshot of the native store counters.
+type Stats struct {
+	PagesCreated  int64 // distinct page allocations from the OS (Go) side
+	PagesLive     int64 // pages currently owned by some manager
+	PagesRecycled int64 // page reuses through the free pool
+	Oversize      int64 // oversize allocations (> PageSize records)
+	Records       int64 // records ever allocated
+	BytesInUse    int64
+	PeakBytes     int64
+	Managers      int64 // page managers ever created
+}
+
+// NewRuntime creates an empty native store.
+func NewRuntime() *Runtime {
+	rt := &Runtime{
+		arrIndex: make(map[string]int),
+		Locks:    NewLockPool(defaultLockPoolSize),
+	}
+	empty := make([]*page, 0)
+	rt.table.Store(&empty)
+	return rt
+}
+
+// Stats returns a snapshot of the counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		PagesCreated:  rt.stats.pagesCreated.Load(),
+		PagesLive:     rt.stats.pagesLive.Load(),
+		PagesRecycled: rt.stats.pagesRecycled.Load(),
+		Oversize:      rt.stats.oversize.Load(),
+		Records:       rt.stats.records.Load(),
+		BytesInUse:    rt.stats.bytesInUse.Load(),
+		PeakBytes:     rt.stats.peakBytes.Load(),
+		Managers:      rt.stats.managers.Load(),
+	}
+}
+
+// ArrayTypeIndex returns the dense index for an array element type.
+func (rt *Runtime) ArrayTypeIndex(elem *lang.Type) int {
+	key := elem.String()
+	rt.arrMu.Lock()
+	defer rt.arrMu.Unlock()
+	if i, ok := rt.arrIndex[key]; ok {
+		return i
+	}
+	i := len(rt.arrTypes)
+	if i >= int(arrayTypeBit) {
+		panic("too many distinct array element types")
+	}
+	rt.arrTypes = append(rt.arrTypes, elem)
+	rt.arrIndex[key] = i
+	return i
+}
+
+// ArrayElemType returns the element type registered under idx.
+func (rt *Runtime) ArrayElemType(idx int) *lang.Type {
+	rt.arrMu.Lock()
+	defer rt.arrMu.Unlock()
+	return rt.arrTypes[idx]
+}
+
+// getPage allocates or recycles a page of at least size bytes. Pages
+// larger than PageSize ("oversize") are never recycled through the pool.
+func (rt *Runtime) getPage(size int) *page {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.stats.pagesLive.Add(1)
+	if size <= PageSize {
+		size = PageSize
+		if n := len(rt.free); n > 0 {
+			p := rt.free[n-1]
+			rt.free = rt.free[:n-1]
+			p.pos = 0
+			rt.stats.pagesRecycled.Add(1)
+			rt.addBytes(int64(len(p.buf)))
+			return p
+		}
+	} else {
+		rt.stats.oversize.Add(1)
+	}
+	old := *rt.table.Load()
+	p := &page{buf: make([]byte, size), idx: len(old)}
+	next := make([]*page, len(old)+1)
+	copy(next, old)
+	next[len(old)] = p
+	rt.table.Store(&next)
+	rt.stats.pagesCreated.Add(1)
+	rt.addBytes(int64(size))
+	return p
+}
+
+// releasePage returns a page to the free pool (or drops oversize pages
+// entirely; their table slot keeps the buffer reachable until Go reclaims
+// it on table growth, mirroring free() of a large malloc block).
+// Idempotent: a page freed early by ReleaseOversize is skipped when its
+// manager releases the iteration.
+func (rt *Runtime) releasePage(p *page) {
+	if p.released.Swap(true) {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.stats.pagesLive.Add(-1)
+	rt.addBytes(-int64(len(p.buf)))
+	if len(p.buf) == PageSize && !rt.DisableRecycle {
+		p.released.Store(false) // recyclable pages are reborn via the pool
+		rt.free = append(rt.free, p)
+	}
+}
+
+// ReleaseOversize frees the oversize page backing ref before its iteration
+// ends — §3.6's optimization for large arrays dropped by data-structure
+// resizes. Records on regular pages are untouched (they share pages).
+// It reports whether a page was released.
+func (rt *Runtime) ReleaseOversize(ref PageRef) bool {
+	if ref == 0 {
+		return false
+	}
+	idx, off := splitRef(ref)
+	if off != 0 {
+		return false // not the first record of a page => shared page
+	}
+	p := (*rt.table.Load())[idx]
+	if len(p.buf) <= PageSize {
+		return false
+	}
+	rt.releasePage(p)
+	return true
+}
+
+func (rt *Runtime) addBytes(d int64) {
+	v := rt.stats.bytesInUse.Add(d)
+	for {
+		cur := rt.stats.peakBytes.Load()
+		if v <= cur || rt.stats.peakBytes.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// bytesFor resolves a page reference to the byte slice starting at the
+// record. No locking: the page table is copy-on-write.
+func (rt *Runtime) bytesFor(ref PageRef) []byte {
+	idx, off := splitRef(ref)
+	return (*rt.table.Load())[idx].buf[off:]
+}

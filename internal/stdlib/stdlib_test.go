@@ -1,0 +1,55 @@
+package stdlib
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/lower"
+)
+
+func TestStdlibCompiles(t *testing.T) {
+	files, err := ParseWith(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := lang.BuildHierarchy(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(h); err != nil {
+		t.Fatal(err)
+	}
+	p, err := lower.Program(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range []string{"Object", "String", "ArrayList", "HashMap", "MapEntry"} {
+		if h.Class(cls) == nil {
+			t.Fatalf("stdlib missing %s", cls)
+		}
+	}
+	// The String layout the VM relies on.
+	sf := h.Class("String").FindField("value")
+	if sf == nil || sf.Type.Kind != lang.TArray || sf.Type.Elem != lang.ByteType {
+		t.Fatal("String.value must be byte[]")
+	}
+}
+
+func TestParseWithUserErrorsPropagate(t *testing.T) {
+	if _, err := ParseWith(map[string]string{"bad.fj": "class {"}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestParseWithDeterministicOrder(t *testing.T) {
+	a, err := ParseWith(map[string]string{"b.fj": "class B { }", "a.fj": "class A { }"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[1].Name != "a.fj" || a[2].Name != "b.fj" {
+		t.Fatalf("order: %s %s", a[1].Name, a[2].Name)
+	}
+}

@@ -1,0 +1,828 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/offheap"
+)
+
+// Boundary API: the control path (framework Go code) manipulates data-path
+// values through these helpers. They are the runtime's interaction points
+// (§3.5): for untransformed programs they operate on managed heap objects;
+// for transformed programs they operate on page records, wrapping facades
+// around call arguments exactly as the generated code does.
+//
+// Framework code never holds raw heap addresses: references live in the VM
+// handle table (Obj), which the collector traces and updates. Helpers
+// resolve handles after entering the mutator state, so the values they use
+// cannot be stale.
+
+// Obj is a framework-held reference to a data object or record.
+type Obj = Handle
+
+// NilObj is the null Obj.
+const NilObj Obj = -1
+
+// Arg is one boundary-call argument.
+type Arg struct {
+	kind byte // 'i' prim, 'd' double, 'o' object, 's' string
+	i    int64
+	f    float64
+	o    Obj
+	s    string
+}
+
+// I passes an int/long/bool/byte argument.
+func I(v int64) Arg { return Arg{kind: 'i', i: v} }
+
+// F passes a double argument.
+func F(v float64) Arg { return Arg{kind: 'd', f: v} }
+
+// O passes a data object argument.
+func O(o Obj) Arg { return Arg{kind: 'o', o: o} }
+
+// S passes a Go string, converted to a String object/record at the
+// boundary (an entry-point conversion).
+func S(s string) Arg { return Arg{kind: 's', s: s} }
+
+func (t *Thread) argValue(a Arg) (Value, error) {
+	switch a.kind {
+	case 'i':
+		return Value(a.i), nil
+	case 'd':
+		return f64bits(a.f), nil
+	case 'o':
+		if a.o == NilObj {
+			return 0, nil
+		}
+		return t.vm.Get(a.o), nil
+	case 's':
+		return t.makeString(a.s)
+	}
+	return 0, fmt.Errorf("vm: bad argument kind")
+}
+
+// wrapObj registers a reference result as a handle. For transformed
+// programs the value is a page reference and is not traced.
+func (t *Thread) wrapObj(v Value) Obj {
+	if v == 0 {
+		return NilObj
+	}
+	return t.vm.NewHandle(v, !t.vm.Prog.Transformed)
+}
+
+// FreeObj releases a framework-held reference.
+func (t *Thread) FreeObj(o Obj) {
+	if o != NilObj {
+		t.vm.Drop(o)
+	}
+}
+
+// IsTransformed reports whether this VM runs a FACADE-transformed program.
+func (t *Thread) IsTransformed() bool { return t.vm.Prog.Transformed }
+
+// makeString builds a String value in mutator state (the thread must be
+// running). Used for S() arguments and literals crossing the boundary.
+func (t *Thread) makeString(s string) (Value, error) {
+	if t.vm.Prog.Transformed {
+		// Record strings crossing the boundary are allocated in the
+		// thread's current iteration scope.
+		rt := t.vm.RT
+		sf := t.vm.facadeOf("String")
+		if sf == nil {
+			return 0, fmt.Errorf("vm: no String facade")
+		}
+		pm := t.iter.Current()
+		arr, err := pm.AllocArray(rt.ArrayTypeIndex(lang.ByteType), 1, len(s))
+		if err != nil {
+			return 0, err
+		}
+		rt.WriteBody(arr, 0, []byte(s))
+		rec := pm.AllocRecord(uint16(sf.ID), t.vm.stringBodySize())
+		rt.SetRef(rec, t.vm.strField.Offset, arr)
+		return Value(rec), nil
+	}
+	return t.makeHeapString(s)
+}
+
+// NewString converts a Go string at the boundary and returns a handle.
+func (t *Thread) NewString(s string) (Obj, error) {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	v, err := t.makeString(s)
+	if err != nil {
+		return NilObj, err
+	}
+	return t.wrapObj(v), nil
+}
+
+// GoString reads a String object/record back into a Go string (an
+// exit-point conversion).
+func (t *Thread) GoString(o Obj) (string, error) {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	if o == NilObj {
+		return "", nil
+	}
+	v := t.vm.Get(o)
+	if t.vm.Prog.Transformed {
+		return t.recStringContents(offheap.PageRef(v))
+	}
+	return t.heapStringContents(heap.Addr(v))
+}
+
+// ---------------------------------------------------------------------------
+// Allocation
+
+// NewObj allocates a data object of class and runs its constructor with
+// the given arguments.
+func (t *Thread) NewObj(class string, args ...Arg) (Obj, error) {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	v, err := t.newValue(class, args)
+	if err != nil {
+		return NilObj, err
+	}
+	return t.wrapObj(v), nil
+}
+
+func (t *Thread) newValue(class string, args []Arg) (Value, error) {
+	h := t.vm.Prog.H
+	if t.vm.Prog.Transformed {
+		fc := t.vm.facadeOf(class)
+		if fc == nil {
+			return 0, fmt.Errorf("vm: %s is not a data class of the transformed program", class)
+		}
+		oc := h.Class(class)
+		ref := t.iter.Current().AllocRecord(uint16(fc.ID), oc.BodySize)
+		ctor := t.vm.byKey[ir.CtorKey(fc.Name)]
+		if ctor != nil {
+			if _, err := t.facadeCall(ctor, offheap.PageRef(ref), args); err != nil {
+				return 0, err
+			}
+		} else if len(args) > 0 {
+			return 0, fmt.Errorf("vm: %s has no constructor", class)
+		}
+		return Value(ref), nil
+	}
+	oc := h.Class(class)
+	if oc == nil {
+		return 0, fmt.Errorf("vm: unknown class %s", class)
+	}
+	a, err := t.vm.Heap.AllocObject(t.tc, oc)
+	if err != nil {
+		return 0, err
+	}
+	ctor := t.vm.byKey[ir.CtorKey(class)]
+	if ctor == nil {
+		if len(args) > 0 {
+			return 0, fmt.Errorf("vm: %s has no constructor", class)
+		}
+		return Value(a), nil
+	}
+	// Pin the object across argument materialization and the constructor
+	// run: both may collect and move it.
+	hh := t.vm.NewHandle(Value(a), true)
+	defer t.vm.Drop(hh)
+	argVals, cleanup, err := t.resolveArgs(args)
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+	vals := make([]Value, 0, len(argVals)+1)
+	vals = append(vals, t.vm.Get(hh))
+	vals = append(vals, argVals...)
+	if _, err := t.exec(ctor, vals); err != nil {
+		return 0, err
+	}
+	return t.vm.Get(hh), nil
+}
+
+// facadeCall invokes a facade-class function with the receiver bound to a
+// page record, mirroring the generated call protocol (resolve + pool
+// binding).
+func (t *Thread) facadeCall(fn *ir.Func, recv offheap.PageRef, args []Arg) (Value, error) {
+	vals := make([]Value, 0, len(args)+1)
+	// Bind the receiver facade from the receiver pool of the record's
+	// runtime type.
+	tw := t.vm.RT.TypeID(recv)
+	pe := t.pools[int(tw)]
+	if pe == nil {
+		return 0, fmt.Errorf("vm: no receiver pool for record type %d", tw)
+	}
+	t.vm.Heap.SetLong(heap.Addr(pe.recv), t.vm.pageRefField.Offset, int64(recv))
+	vals = append(vals, pe.recv)
+
+	m := fn.Method
+	perClass := make(map[int]int)
+	for i, ag := range args {
+		v, err := t.argValue(ag)
+		if err != nil {
+			return 0, err
+		}
+		// Data-typed parameters travel in parameter-pool facades.
+		if i < len(m.Params) && t.isFacadeType(m.Params[i]) {
+			fa, err := t.bindParamFacade(m.Params[i], offheap.PageRef(v), perClass)
+			if err != nil {
+				return 0, err
+			}
+			vals = append(vals, fa)
+			continue
+		}
+		vals = append(vals, v)
+	}
+	ret, err := t.exec(fn, vals)
+	if err != nil {
+		return 0, err
+	}
+	// Data-typed returns come back as a bound facade; unwrap to the page
+	// reference.
+	if t.isFacadeType(m.Ret) && ret != 0 {
+		ret = Value(t.vm.Heap.GetLong(heap.Addr(ret), t.vm.pageRefField.Offset))
+	}
+	return ret, nil
+}
+
+// bindParamFacade draws a parameter facade the way generated call sites do
+// (§3.3): from the pool of the parameter's declared type when that type
+// has one, otherwise from the pool of the argument's runtime type. A null
+// page reference travels in a null-bound facade, not as a null facade.
+func (t *Thread) bindParamFacade(declared *lang.Type, ref offheap.PageRef, perClass map[int]int) (Value, error) {
+	poolID := -1
+	if declared.Kind == lang.TClass {
+		if c := t.vm.Prog.H.Class(declared.Name); c != nil && c.ID < len(t.pools) && t.pools[c.ID] != nil {
+			poolID = c.ID
+		}
+	}
+	if poolID < 0 {
+		if ref == 0 {
+			// Null argument with an interface-typed parameter: any pool
+			// works; use the Facade base pool.
+			if fb := t.vm.Prog.H.Class("Facade"); fb != nil && t.pools[fb.ID] != nil {
+				poolID = fb.ID
+			} else {
+				return 0, fmt.Errorf("vm: no pool for null %s argument", declared)
+			}
+		} else {
+			poolID = int(t.vm.RT.TypeID(ref))
+		}
+	}
+	ppe := t.pools[poolID]
+	if ppe == nil {
+		return 0, fmt.Errorf("vm: no parameter pool for type id %d", poolID)
+	}
+	idx := perClass[poolID]
+	perClass[poolID]++
+	if idx >= len(ppe.params) {
+		return 0, fmt.Errorf("vm: parameter pool overflow for type id %d (bound %d)", poolID, len(ppe.params))
+	}
+	fa := ppe.params[idx]
+	t.vm.Heap.SetLong(heap.Addr(fa), t.vm.pageRefField.Offset, int64(ref))
+	return fa, nil
+}
+
+// isFacadeType reports whether a transformed-signature type denotes a
+// facade (data) parameter.
+func (t *Thread) isFacadeType(ty *lang.Type) bool {
+	if ty == nil || ty.Kind != lang.TClass && ty.Kind != lang.TIface {
+		return false
+	}
+	if ty.Kind == lang.TIface {
+		// Transformed interfaces are the IFacade twins.
+		_, ok := facadeOrig(ty.Name)
+		return ok
+	}
+	c := t.vm.Prog.H.Class(ty.Name)
+	if c == nil {
+		return false
+	}
+	fb := t.vm.Prog.H.Class("Facade")
+	return fb != nil && c.IsSubclassOf(fb)
+}
+
+// NewArr allocates a data array with the given element type ("int",
+// "byte", "double", "long", "boolean", or a class name, with optional []
+// suffixes).
+func (t *Thread) NewArr(elem string, n int) (Obj, error) {
+	ty, err := t.parseTypeName(elem)
+	if err != nil {
+		return NilObj, err
+	}
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	if t.vm.Prog.Transformed {
+		ref, err := t.iter.Current().AllocArray(t.vm.RT.ArrayTypeIndex(ty), ty.FieldSize(), n)
+		if err != nil {
+			return NilObj, err
+		}
+		return t.wrapObj(Value(ref)), nil
+	}
+	a, err := t.vm.Heap.AllocArray(t.tc, ty, n)
+	if err != nil {
+		return NilObj, err
+	}
+	return t.wrapObj(Value(a)), nil
+}
+
+func (t *Thread) parseTypeName(name string) (*lang.Type, error) {
+	dims := 0
+	for len(name) > 2 && name[len(name)-2:] == "[]" {
+		dims++
+		name = name[:len(name)-2]
+	}
+	var ty *lang.Type
+	switch name {
+	case "boolean":
+		ty = lang.BoolType
+	case "byte":
+		ty = lang.ByteType
+	case "int":
+		ty = lang.IntType
+	case "long":
+		ty = lang.LongType
+	case "double":
+		ty = lang.DoubleType
+	default:
+		if c := t.vm.Prog.H.Class(name); c != nil {
+			ty = lang.ClassType(name)
+		} else if i := t.vm.Prog.H.Iface(name); i != nil {
+			ty = lang.IfaceType(name)
+		} else {
+			return nil, fmt.Errorf("vm: unknown type %s", name)
+		}
+	}
+	for i := 0; i < dims; i++ {
+		ty = lang.ArrayOf(ty)
+	}
+	return ty, nil
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+
+// Invoke calls a method on a data object (virtual dispatch on its runtime
+// type) and returns the raw primitive result.
+func (t *Thread) Invoke(o Obj, method string, args ...Arg) (Value, error) {
+	v, _, err := t.invokeBoundary(o, method, args, false)
+	return v, err
+}
+
+// InvokeObj is Invoke for methods returning a data reference.
+func (t *Thread) InvokeObj(o Obj, method string, args ...Arg) (Obj, error) {
+	_, ro, err := t.invokeBoundary(o, method, args, true)
+	return ro, err
+}
+
+func (t *Thread) invokeBoundary(o Obj, method string, args []Arg, retObj bool) (Value, Obj, error) {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	if o == NilObj {
+		return 0, NilObj, errNPE("boundary call " + method)
+	}
+	recv := t.vm.Get(o)
+	if t.vm.Prog.Transformed {
+		ref := offheap.PageRef(recv)
+		fc := t.vm.Prog.H.ClassList[t.vm.RT.ClassID(ref)]
+		fn := t.vm.byKey[ir.FuncKey(fc.Name, method)]
+		if fn == nil {
+			if m := fc.Resolve(method); m != nil {
+				fn = t.vm.byKey[ir.FuncKey(m.Owner.Name, method)]
+			}
+		}
+		if fn == nil {
+			return 0, NilObj, fmt.Errorf("vm: %s has no method %s", fc.Name, method)
+		}
+		v, err := t.facadeCall(fn, ref, args)
+		if err != nil {
+			return 0, NilObj, err
+		}
+		if retObj {
+			return 0, t.wrapObj(v), nil
+		}
+		return v, NilObj, nil
+	}
+	cls := t.vm.Heap.ClassOf(heap.Addr(recv))
+	if cls == nil {
+		return 0, NilObj, fmt.Errorf("vm: boundary call on array")
+	}
+	m := cls.Resolve(method)
+	if m == nil {
+		return 0, NilObj, fmt.Errorf("vm: %s has no method %s", cls.Name, method)
+	}
+	fn := t.vm.byKey[ir.FuncKey(m.Owner.Name, method)]
+	hh := t.vm.NewHandle(recv, true)
+	defer t.vm.Drop(hh)
+	argVals, cleanup, err := t.resolveArgs(args)
+	if err != nil {
+		return 0, NilObj, err
+	}
+	defer cleanup()
+	vals := make([]Value, 0, len(argVals)+1)
+	vals = append(vals, t.vm.Get(hh))
+	vals = append(vals, argVals...)
+	v, err := t.exec(fn, vals)
+	if err != nil {
+		return 0, NilObj, err
+	}
+	if retObj {
+		return 0, t.wrapObj(v), nil
+	}
+	return v, NilObj, nil
+}
+
+// InvokeStatic calls a static data-path method.
+func (t *Thread) InvokeStatic(class, method string, args ...Arg) (Value, error) {
+	v, _, err := t.invokeStatic(class, method, args, false)
+	return v, err
+}
+
+// InvokeStaticObj is InvokeStatic for methods returning a data reference.
+func (t *Thread) InvokeStaticObj(class, method string, args ...Arg) (Obj, error) {
+	_, ro, err := t.invokeStatic(class, method, args, true)
+	return ro, err
+}
+
+func (t *Thread) invokeStatic(class, method string, args []Arg, retObj bool) (Value, Obj, error) {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	key := ir.FuncKey(class, method)
+	if t.vm.Prog.Transformed {
+		if fc := t.vm.facadeOf(class); fc != nil {
+			if f := t.vm.byKey[ir.FuncKey(fc.Name, method)]; f != nil {
+				key = ir.FuncKey(fc.Name, method)
+			}
+		}
+	}
+	fn := t.vm.byKey[key]
+	if fn == nil {
+		return 0, NilObj, fmt.Errorf("vm: no function %s", key)
+	}
+	var vals []Value
+	var v Value
+	var err error
+	if t.vm.Prog.Transformed {
+		v, err = t.staticFacadeCall(fn, args)
+	} else {
+		var cleanup func()
+		vals, cleanup, err = t.resolveArgs(args)
+		if err != nil {
+			return 0, NilObj, err
+		}
+		defer cleanup()
+		v, err = t.exec(fn, vals)
+	}
+	if err != nil {
+		return 0, NilObj, err
+	}
+	if retObj {
+		return 0, t.wrapObj(v), nil
+	}
+	return v, NilObj, nil
+}
+
+// staticFacadeCall is facadeCall without a receiver.
+func (t *Thread) staticFacadeCall(fn *ir.Func, args []Arg) (Value, error) {
+	m := fn.Method
+	vals := make([]Value, 0, len(args))
+	perClass := make(map[int]int)
+	for i, ag := range args {
+		v, err := t.argValue(ag)
+		if err != nil {
+			return 0, err
+		}
+		if i < len(m.Params) && t.isFacadeType(m.Params[i]) {
+			fa, err := t.bindParamFacade(m.Params[i], offheap.PageRef(v), perClass)
+			if err != nil {
+				return 0, err
+			}
+			vals = append(vals, fa)
+			continue
+		}
+		vals = append(vals, v)
+	}
+	ret, err := t.exec(fn, vals)
+	if err != nil {
+		return 0, err
+	}
+	if t.isFacadeType(m.Ret) && ret != 0 {
+		ret = Value(t.vm.Heap.GetLong(heap.Addr(ret), t.vm.pageRefField.Offset))
+	}
+	return ret, nil
+}
+
+// ---------------------------------------------------------------------------
+// Field and array element access
+
+func (t *Thread) fieldOf(o Obj, class, field string) (*lang.Field, Value, error) {
+	if o == NilObj {
+		return nil, 0, errNPE("boundary field access " + field)
+	}
+	c := t.vm.Prog.H.Class(class)
+	if c == nil {
+		return nil, 0, fmt.Errorf("vm: unknown class %s", class)
+	}
+	f := c.FindField(field)
+	if f == nil {
+		return nil, 0, fmt.Errorf("vm: %s has no field %s", class, field)
+	}
+	return f, t.vm.Get(o), nil
+}
+
+// GetField reads a primitive field as a raw value.
+func (t *Thread) GetField(o Obj, class, field string) (Value, error) {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	f, v, err := t.fieldOf(o, class, field)
+	if err != nil {
+		return 0, err
+	}
+	if t.vm.Prog.Transformed {
+		return loadRecField(t.vm.RT, offheap.PageRef(v), f), nil
+	}
+	return loadField(t.vm.Heap, heap.Addr(v), f), nil
+}
+
+// SetField writes a primitive field.
+func (t *Thread) SetField(o Obj, class, field string, val Value) error {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	f, v, err := t.fieldOf(o, class, field)
+	if err != nil {
+		return err
+	}
+	if t.vm.Prog.Transformed {
+		storeRecField(t.vm.RT, offheap.PageRef(v), f, val)
+		return nil
+	}
+	storeField(t.vm.Heap, heap.Addr(v), f, val)
+	return nil
+}
+
+// GetObjField reads a reference field into a new handle.
+func (t *Thread) GetObjField(o Obj, class, field string) (Obj, error) {
+	v, err := t.GetField(o, class, field)
+	if err != nil {
+		return NilObj, err
+	}
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	return t.wrapObj(v), nil
+}
+
+// SetObjField writes a reference field.
+func (t *Thread) SetObjField(o Obj, class, field string, val Obj) error {
+	var v Value
+	if val != NilObj {
+		v = t.vm.Get(val)
+	}
+	return t.SetField(o, class, field, v)
+}
+
+// ArrLen returns the length of a data array.
+func (t *Thread) ArrLen(o Obj) (int, error) {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	if o == NilObj {
+		return 0, errNPE("array length")
+	}
+	v := t.vm.Get(o)
+	if t.vm.Prog.Transformed {
+		return t.vm.RT.ArrayLen(offheap.PageRef(v)), nil
+	}
+	return t.vm.Heap.ArrayLen(heap.Addr(v)), nil
+}
+
+// ArrGet reads element i of a data array as a raw value.
+func (t *Thread) ArrGet(o Obj, i int) (Value, error) {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	v := t.vm.Get(o)
+	if t.vm.Prog.Transformed {
+		rt := t.vm.RT
+		elem := rt.ArrayElemType(rt.ArrayTypeOf(offheap.PageRef(v)))
+		if i < 0 || i >= rt.ArrayLen(offheap.PageRef(v)) {
+			return 0, errBounds(i, rt.ArrayLen(offheap.PageRef(v)))
+		}
+		return loadRecElem(rt, offheap.PageRef(v), elem, i), nil
+	}
+	hp := t.vm.Heap
+	a := heap.Addr(v)
+	if i < 0 || i >= hp.ArrayLen(a) {
+		return 0, errBounds(i, hp.ArrayLen(a))
+	}
+	return loadElem(hp, a, hp.ArrayElemOf(a), i), nil
+}
+
+// ArrSet writes element i of a data array.
+func (t *Thread) ArrSet(o Obj, i int, val Value) error {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	v := t.vm.Get(o)
+	if t.vm.Prog.Transformed {
+		rt := t.vm.RT
+		ref := offheap.PageRef(v)
+		if i < 0 || i >= rt.ArrayLen(ref) {
+			return errBounds(i, rt.ArrayLen(ref))
+		}
+		storeRecElem(rt, ref, rt.ArrayElemType(rt.ArrayTypeOf(ref)), i, val)
+		return nil
+	}
+	hp := t.vm.Heap
+	a := heap.Addr(v)
+	if i < 0 || i >= hp.ArrayLen(a) {
+		return errBounds(i, hp.ArrayLen(a))
+	}
+	storeElem(hp, a, hp.ArrayElemOf(a), i, val)
+	return nil
+}
+
+// ArrGetObj reads a reference element into a handle.
+func (t *Thread) ArrGetObj(o Obj, i int) (Obj, error) {
+	v, err := t.ArrGet(o, i)
+	if err != nil {
+		return NilObj, err
+	}
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	return t.wrapObj(v), nil
+}
+
+// ArrSetObj writes a reference element.
+func (t *Thread) ArrSetObj(o Obj, i int, val Obj) error {
+	var v Value
+	if val != NilObj {
+		v = t.vm.Get(val)
+	}
+	return t.ArrSet(o, i, v)
+}
+
+func f64bits(f float64) Value { return math.Float64bits(f) }
+
+// ---------------------------------------------------------------------------
+// Bulk array transfer. Load paths move whole shards/partitions across the
+// boundary; element-at-a-time handle calls would dominate, so these
+// helpers copy the raw element bytes in one call (both representations use
+// little-endian layouts with identical element sizes).
+
+// arrBody returns raw write access parameters for a data array.
+func (t *Thread) arrCopyIn(o Obj, data []byte) error {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	v := t.vm.Get(o)
+	if t.vm.Prog.Transformed {
+		t.vm.RT.WriteBody(offheap.PageRef(v), 0, data)
+		return nil
+	}
+	t.vm.Heap.WriteBody(heap.Addr(v), 0, data)
+	return nil
+}
+
+func (t *Thread) arrCopyOut(o Obj, n int) ([]byte, error) {
+	t.tc.EndExternal()
+	defer t.tc.BeginExternal()
+	v := t.vm.Get(o)
+	if t.vm.Prog.Transformed {
+		return t.vm.RT.ReadBody(offheap.PageRef(v), 0, n), nil
+	}
+	return t.vm.Heap.ReadBody(heap.Addr(v), 0, n), nil
+}
+
+// NewIntArr builds an int[] data array initialized from vals.
+func (t *Thread) NewIntArr(vals []int32) (Obj, error) {
+	o, err := t.NewArr("int", len(vals))
+	if err != nil {
+		return NilObj, err
+	}
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		putLE32(buf[4*i:], uint32(v))
+	}
+	return o, t.arrCopyIn(o, buf)
+}
+
+// NewDoubleArr builds a double[] data array initialized from vals.
+func (t *Thread) NewDoubleArr(vals []float64) (Obj, error) {
+	o, err := t.NewArr("double", len(vals))
+	if err != nil {
+		return NilObj, err
+	}
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		putLE64(buf[8*i:], math.Float64bits(v))
+	}
+	return o, t.arrCopyIn(o, buf)
+}
+
+// NewByteArr builds a byte[] data array initialized from vals.
+func (t *Thread) NewByteArr(vals []byte) (Obj, error) {
+	o, err := t.NewArr("byte", len(vals))
+	if err != nil {
+		return NilObj, err
+	}
+	return o, t.arrCopyIn(o, vals)
+}
+
+// ReadByteArr copies a byte[] data array out to Go.
+func (t *Thread) ReadByteArr(o Obj) ([]byte, error) {
+	n, err := t.ArrLen(o)
+	if err != nil {
+		return nil, err
+	}
+	return t.arrCopyOut(o, n)
+}
+
+// ReadIntArr copies an int[] data array out to Go.
+func (t *Thread) ReadIntArr(o Obj) ([]int32, error) {
+	n, err := t.ArrLen(o)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := t.arrCopyOut(o, 4*n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(getLE32(buf[4*i:]))
+	}
+	return out, nil
+}
+
+// ReadDoubleArr copies a double[] data array out to Go.
+func (t *Thread) ReadDoubleArr(o Obj) ([]float64, error) {
+	n, err := t.ArrLen(o)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := t.arrCopyOut(o, 8*n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(getLE64(buf[8*i:]))
+	}
+	return out, nil
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getLE32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLE64(b []byte, v uint64) {
+	putLE32(b, uint32(v))
+	putLE32(b[4:], uint32(v>>32))
+}
+
+func getLE64(b []byte) uint64 {
+	return uint64(getLE32(b)) | uint64(getLE32(b[4:]))<<32
+}
+
+// resolveArgs materializes boundary arguments for the untransformed
+// (managed heap) paths in two passes: strings are converted first (they
+// allocate, and an allocation may move previously resolved references),
+// then every reference is read out of its handle with no allocation in
+// between. The returned cleanup drops temporary string handles.
+func (t *Thread) resolveArgs(args []Arg) ([]Value, func(), error) {
+	var temps []Handle
+	cleanup := func() {
+		for _, h := range temps {
+			t.vm.Drop(h)
+		}
+	}
+	resolved := make([]Arg, len(args))
+	copy(resolved, args)
+	for i, a := range resolved {
+		if a.kind == 's' {
+			v, err := t.makeString(a.s)
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			h := t.wrapObj(v)
+			temps = append(temps, h)
+			resolved[i] = O(h)
+		}
+	}
+	vals := make([]Value, len(resolved))
+	for i, a := range resolved {
+		v, err := t.argValue(a)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		vals[i] = v
+	}
+	return vals, cleanup, nil
+}

@@ -1,0 +1,739 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/offheap"
+)
+
+// Runtime error constructors, mirroring the JVM exceptions FJ programs can
+// trigger. FJ has no catch; these unwind to the Call boundary as Go
+// errors.
+func errNPE(what string) error { return fmt.Errorf("NullPointerException: %s", what) }
+
+func errBounds(i, n int) error {
+	return fmt.Errorf("ArrayIndexOutOfBoundsException: index %d, length %d", i, n)
+}
+
+// exec interprets fn with the given arguments and returns its raw result.
+func (t *Thread) exec(fn *ir.Func, args []Value) (Value, error) {
+	if len(args) != len(fn.Params) {
+		return 0, fmt.Errorf("vm: %s expects %d args, got %d", fn.Name, len(fn.Params), len(args))
+	}
+	regs, onStack := t.allocRegs(fn.NumRegs)
+	fr := &frame{fn: fn, regs: regs}
+	for i, p := range fn.Params {
+		fr.regs[p] = args[i]
+	}
+	t.frames = append(t.frames, fr)
+	v, err := t.run(fr)
+	t.frames = t.frames[:len(t.frames)-1]
+	t.freeRegs(fn.NumRegs, onStack)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func (t *Thread) run(fr *frame) (Value, error) {
+	vm := t.vm
+	hp := vm.Heap
+	regs := fr.regs
+	fn := fr.fn
+	bi := 0
+blocks:
+	for {
+		instrs := fn.Blocks[bi].Instrs
+		for ii := range instrs {
+			in := &instrs[ii]
+			switch in.Op {
+			case ir.OpNop:
+			case ir.OpConst:
+				if in.NumKind == ir.KDouble {
+					regs[in.Dst] = math.Float64bits(in.F)
+				} else {
+					regs[in.Dst] = Value(in.Imm)
+				}
+			case ir.OpStrLit:
+				a, err := t.stringLiteral(int(in.Imm))
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = a
+			case ir.OpMove:
+				regs[in.Dst] = regs[in.A]
+			case ir.OpBin:
+				v, err := evalBin(in, regs[in.A], regs[in.B])
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = v
+			case ir.OpUn:
+				regs[in.Dst] = evalUn(in, regs[in.A])
+			case ir.OpConv:
+				regs[in.Dst] = evalConv(in.NumKind, in.NumKind2, regs[in.A])
+
+			case ir.OpNew:
+				a, err := hp.AllocObject(t.tc, in.Cls)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = Value(a)
+			case ir.OpNewArr:
+				n := int(int32(regs[in.A]))
+				if n < 0 {
+					return 0, fmt.Errorf("NegativeArraySizeException: %d", n)
+				}
+				a, err := hp.AllocArray(t.tc, in.Type, n)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = Value(a)
+			case ir.OpLoad:
+				obj := heap.Addr(regs[in.A])
+				if obj == 0 {
+					return 0, errNPE("field read " + in.Field.Name)
+				}
+				regs[in.Dst] = loadField(hp, obj, in.Field)
+			case ir.OpStore:
+				obj := heap.Addr(regs[in.A])
+				if obj == 0 {
+					return 0, errNPE("field write " + in.Field.Name)
+				}
+				storeField(hp, obj, in.Field, regs[in.B])
+			case ir.OpLoadStatic:
+				regs[in.Dst] = vm.statics[in.Field.StaticIndex]
+			case ir.OpStoreStatic:
+				vm.statics[in.Field.StaticIndex] = regs[in.A]
+			case ir.OpALoad:
+				arr := heap.Addr(regs[in.A])
+				if arr == 0 {
+					return 0, errNPE("array read")
+				}
+				i := int(int32(regs[in.B]))
+				n := hp.ArrayLen(arr)
+				if i < 0 || i >= n {
+					return 0, errBounds(i, n)
+				}
+				regs[in.Dst] = loadElem(hp, arr, in.Type, i)
+			case ir.OpAStore:
+				arr := heap.Addr(regs[in.A])
+				if arr == 0 {
+					return 0, errNPE("array write")
+				}
+				i := int(int32(regs[in.B]))
+				n := hp.ArrayLen(arr)
+				if i < 0 || i >= n {
+					return 0, errBounds(i, n)
+				}
+				storeElem(hp, arr, in.Type, i, regs[in.C])
+			case ir.OpALen:
+				arr := heap.Addr(regs[in.A])
+				if arr == 0 {
+					return 0, errNPE("array length")
+				}
+				regs[in.Dst] = Value(uint32(hp.ArrayLen(arr)))
+			case ir.OpInstOf:
+				regs[in.Dst] = boolVal(t.instanceOf(heap.Addr(regs[in.A]), in.Type))
+			case ir.OpCast:
+				a := heap.Addr(regs[in.A])
+				if a != 0 && !t.instanceOf(a, in.Type) {
+					return 0, fmt.Errorf("ClassCastException: cannot cast to %s", in.Type)
+				}
+				regs[in.Dst] = regs[in.A]
+
+			case ir.OpCall:
+				t.tc.Safepoint()
+				recv := heap.Addr(regs[in.A])
+				if recv == 0 {
+					return 0, errNPE("virtual call " + in.M.Name)
+				}
+				cls := hp.ClassOf(recv)
+				if cls == nil {
+					return 0, fmt.Errorf("vm: virtual call on array receiver")
+				}
+				callee := vm.vtables[cls.ID][int(in.Imm)]
+				if callee == nil {
+					return 0, fmt.Errorf("vm: %s has no implementation of %s", cls.Name, in.M.Name)
+				}
+				v, err := t.invoke(callee, regs, in, Value(recv), true)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = v
+				}
+			case ir.OpCallStatic:
+				t.tc.Safepoint()
+				callee := in.Cache.(*ir.Func)
+				hasRecv := in.A != ir.NoReg
+				var recv Value
+				if hasRecv {
+					recv = regs[in.A]
+				}
+				v, err := t.invoke(callee, regs, in, recv, hasRecv)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = v
+				}
+			case ir.OpRet:
+				if in.A == ir.NoReg {
+					return 0, nil
+				}
+				return regs[in.A], nil
+			case ir.OpJump:
+				t.tc.Safepoint()
+				bi = in.Blk
+				continue blocks
+			case ir.OpBranch:
+				t.tc.Safepoint()
+				if regs[in.A] != 0 {
+					bi = in.Blk
+				} else {
+					bi = in.Blk2
+				}
+				continue blocks
+			case ir.OpIntr:
+				v, err := t.intrinsic(in, regs)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = v
+				}
+
+			case ir.OpMonEnter:
+				if err := t.monEnter(heap.Addr(regs[in.A])); err != nil {
+					return 0, err
+				}
+			case ir.OpMonExit:
+				if err := t.monExit(heap.Addr(regs[in.A])); err != nil {
+					return 0, err
+				}
+
+			// --- Page half (program P') ---
+			case ir.OpPNew:
+				ref := t.iter.Current().AllocRecord(uint16(in.Cls.ID), int(in.Imm))
+				regs[in.Dst] = Value(ref)
+			case ir.OpPNewArr:
+				n := int(int32(regs[in.A]))
+				ref, err := t.iter.Current().AllocArray(vm.RT.ArrayTypeIndex(in.Type), in.Type.FieldSize(), n)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = Value(ref)
+			case ir.OpPLoad:
+				ref := offheap.PageRef(regs[in.A])
+				if ref == 0 {
+					return 0, errNPE("record read " + in.Field.Name)
+				}
+				regs[in.Dst] = loadRecField(vm.RT, ref, in.Field)
+			case ir.OpPStore:
+				ref := offheap.PageRef(regs[in.A])
+				if ref == 0 {
+					return 0, errNPE("record write " + in.Field.Name)
+				}
+				storeRecField(vm.RT, ref, in.Field, regs[in.B])
+			case ir.OpPALoad:
+				ref := offheap.PageRef(regs[in.A])
+				if ref == 0 {
+					return 0, errNPE("array record read")
+				}
+				i := int(int32(regs[in.B]))
+				n := vm.RT.ArrayLen(ref)
+				if i < 0 || i >= n {
+					return 0, errBounds(i, n)
+				}
+				regs[in.Dst] = loadRecElem(vm.RT, ref, in.Type, i)
+			case ir.OpPAStore:
+				ref := offheap.PageRef(regs[in.A])
+				if ref == 0 {
+					return 0, errNPE("array record write")
+				}
+				i := int(int32(regs[in.B]))
+				n := vm.RT.ArrayLen(ref)
+				if i < 0 || i >= n {
+					return 0, errBounds(i, n)
+				}
+				storeRecElem(vm.RT, ref, in.Type, i, regs[in.C])
+			case ir.OpPALen:
+				ref := offheap.PageRef(regs[in.A])
+				if ref == 0 {
+					return 0, errNPE("array record length")
+				}
+				regs[in.Dst] = Value(uint32(vm.RT.ArrayLen(ref)))
+			case ir.OpPInstOf:
+				regs[in.Dst] = boolVal(t.recInstanceOf(offheap.PageRef(regs[in.A]), in))
+			case ir.OpPCast:
+				ref := offheap.PageRef(regs[in.A])
+				if ref != 0 && !t.recInstanceOf(ref, in) {
+					return 0, fmt.Errorf("ClassCastException: record is not a %s", in.Cls.Name)
+				}
+				regs[in.Dst] = regs[in.A]
+			case ir.OpResolve:
+				// Retrieve the receiver-pool facade for the record's
+				// runtime type and bind it (§3.2, "Resolving types").
+				ref := offheap.PageRef(regs[in.A])
+				if ref == 0 {
+					return 0, errNPE("resolve on null record")
+				}
+				tw := vm.RT.TypeID(ref)
+				pe := t.pools[int(tw)]
+				if pe == nil {
+					return 0, fmt.Errorf("vm: no receiver pool for type id %d", tw)
+				}
+				hp.SetLong(heap.Addr(pe.recv), vm.pageRefField.Offset, int64(ref))
+				regs[in.Dst] = pe.recv
+			case ir.OpPoolGet:
+				pe := t.pools[in.Cls.ID]
+				if pe == nil {
+					return 0, fmt.Errorf("vm: no parameter pool for %s", in.Cls.Name)
+				}
+				regs[in.Dst] = pe.params[int(in.Imm)]
+			case ir.OpRecvPool:
+				// Devirtualized resolve (§3.6 optimization): the callee is
+				// statically known, so the receiver facade comes from the
+				// static type's pool without reading the record type tag.
+				ref := offheap.PageRef(regs[in.A])
+				if ref == 0 {
+					return 0, errNPE("devirtualized call on null record")
+				}
+				pe := t.pools[in.Cls.ID]
+				if pe == nil {
+					return 0, fmt.Errorf("vm: no receiver pool for %s", in.Cls.Name)
+				}
+				hp.SetLong(heap.Addr(pe.recv), vm.pageRefField.Offset, int64(ref))
+				regs[in.Dst] = pe.recv
+			case ir.OpPMonEnter:
+				if err := vm.RT.Locks.Enter(vm.RT, offheap.PageRef(regs[in.A]), t, parker{t}); err != nil {
+					return 0, err
+				}
+			case ir.OpPMonExit:
+				if err := vm.RT.Locks.Exit(vm.RT, offheap.PageRef(regs[in.A]), t); err != nil {
+					return 0, err
+				}
+
+			default:
+				return 0, fmt.Errorf("vm: %s: unimplemented op %s", fn.Name, in.Op)
+			}
+		}
+		return 0, fmt.Errorf("vm: %s: fell off block b%d", fn.Name, bi)
+	}
+}
+
+// invoke builds the callee argument list from the caller's registers and
+// executes the callee.
+func (t *Thread) invoke(callee *ir.Func, regs []Value, in *ir.Instr, recv Value, hasRecv bool) (Value, error) {
+	var buf [8]Value
+	nargs := len(in.Args)
+	total := nargs
+	if hasRecv {
+		total++
+	}
+	args := buf[:0]
+	if total > len(buf) {
+		args = make([]Value, 0, total)
+	}
+	if hasRecv {
+		args = append(args, recv)
+	}
+	for _, r := range in.Args {
+		args = append(args, regs[r])
+	}
+	return t.exec(callee, args)
+}
+
+// instanceOf implements the heap-object subtype test.
+func (t *Thread) instanceOf(a heap.Addr, target *lang.Type) bool {
+	if a == 0 {
+		return false
+	}
+	hp := t.vm.Heap
+	h := t.vm.Prog.H
+	if hp.IsArray(a) {
+		if target.Kind == lang.TArray {
+			return hp.ArrayElemOf(a).Equals(target.Elem)
+		}
+		return target.Kind == lang.TClass && target.Name == "Object"
+	}
+	cls := hp.ClassOf(a)
+	switch target.Kind {
+	case lang.TClass:
+		tc := h.Class(target.Name)
+		return tc != nil && cls.IsSubclassOf(tc)
+	case lang.TIface:
+		ti := h.Iface(target.Name)
+		return ti != nil && cls.Implements(ti)
+	}
+	return false
+}
+
+// recInstanceOf implements the page-record type test: scalar targets check
+// the record's facade class against the instruction's facade class (case
+// 7.1); array targets compare array type IDs (case 7.2).
+func (t *Thread) recInstanceOf(ref offheap.PageRef, in *ir.Instr) bool {
+	if ref == 0 {
+		return false
+	}
+	rt := t.vm.RT
+	if rt.IsArrayRecord(ref) {
+		if in.Type == nil || in.Type.Kind != lang.TArray {
+			return in.Cls != nil && in.Cls.Name == "Facade"
+		}
+		return rt.ArrayTypeOf(ref) == rt.ArrayTypeIndex(in.Type.Elem)
+	}
+	if in.Cls == nil {
+		return false
+	}
+	cls := t.vm.Prog.H.ClassList[rt.ClassID(ref)]
+	return cls.IsSubclassOf(in.Cls)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Field and element access helpers shared by both halves.
+
+func loadField(hp *heap.Heap, obj heap.Addr, f *lang.Field) Value {
+	switch f.Type.Kind {
+	case lang.TBool, lang.TByte:
+		return Value(int64(hp.GetByte(obj, f.Offset)))
+	case lang.TInt:
+		return Value(int64(hp.GetInt(obj, f.Offset)))
+	case lang.TLong:
+		return Value(hp.GetLong(obj, f.Offset))
+	case lang.TDouble:
+		return math.Float64bits(hp.GetDouble(obj, f.Offset))
+	default:
+		return Value(hp.GetRef(obj, f.Offset))
+	}
+}
+
+func storeField(hp *heap.Heap, obj heap.Addr, f *lang.Field, v Value) {
+	switch f.Type.Kind {
+	case lang.TBool, lang.TByte:
+		hp.SetByte(obj, f.Offset, int8(v))
+	case lang.TInt:
+		hp.SetInt(obj, f.Offset, int32(v))
+	case lang.TLong:
+		hp.SetLong(obj, f.Offset, int64(v))
+	case lang.TDouble:
+		hp.SetDouble(obj, f.Offset, math.Float64frombits(v))
+	default:
+		hp.SetRef(obj, f.Offset, heap.Addr(v))
+	}
+}
+
+func loadElem(hp *heap.Heap, arr heap.Addr, elem *lang.Type, i int) Value {
+	off := i * elem.FieldSize()
+	switch elem.Kind {
+	case lang.TBool, lang.TByte:
+		return Value(int64(hp.GetByte(arr, off)))
+	case lang.TInt:
+		return Value(int64(hp.GetInt(arr, off)))
+	case lang.TLong:
+		return Value(hp.GetLong(arr, off))
+	case lang.TDouble:
+		return math.Float64bits(hp.GetDouble(arr, off))
+	default:
+		return Value(hp.GetRef(arr, off))
+	}
+}
+
+func storeElem(hp *heap.Heap, arr heap.Addr, elem *lang.Type, i int, v Value) {
+	off := i * elem.FieldSize()
+	switch elem.Kind {
+	case lang.TBool, lang.TByte:
+		hp.SetByte(arr, off, int8(v))
+	case lang.TInt:
+		hp.SetInt(arr, off, int32(v))
+	case lang.TLong:
+		hp.SetLong(arr, off, int64(v))
+	case lang.TDouble:
+		hp.SetDouble(arr, off, math.Float64frombits(v))
+	default:
+		hp.SetRef(arr, off, heap.Addr(v))
+	}
+}
+
+func loadRecField(rt *offheap.Runtime, ref offheap.PageRef, f *lang.Field) Value {
+	switch f.Type.Kind {
+	case lang.TBool, lang.TByte:
+		return Value(int64(rt.GetByte(ref, f.Offset)))
+	case lang.TInt:
+		return Value(int64(rt.GetInt(ref, f.Offset)))
+	case lang.TLong:
+		return Value(rt.GetLong(ref, f.Offset))
+	case lang.TDouble:
+		return math.Float64bits(rt.GetDouble(ref, f.Offset))
+	default:
+		return Value(rt.GetRef(ref, f.Offset))
+	}
+}
+
+func storeRecField(rt *offheap.Runtime, ref offheap.PageRef, f *lang.Field, v Value) {
+	switch f.Type.Kind {
+	case lang.TBool, lang.TByte:
+		rt.SetByte(ref, f.Offset, int8(v))
+	case lang.TInt:
+		rt.SetInt(ref, f.Offset, int32(v))
+	case lang.TLong:
+		rt.SetLong(ref, f.Offset, int64(v))
+	case lang.TDouble:
+		rt.SetDouble(ref, f.Offset, math.Float64frombits(v))
+	default:
+		rt.SetRef(ref, f.Offset, offheap.PageRef(v))
+	}
+}
+
+func loadRecElem(rt *offheap.Runtime, ref offheap.PageRef, elem *lang.Type, i int) Value {
+	off := i * elem.FieldSize()
+	switch elem.Kind {
+	case lang.TBool, lang.TByte:
+		return Value(int64(rt.GetByte(ref, off)))
+	case lang.TInt:
+		return Value(int64(rt.GetInt(ref, off)))
+	case lang.TLong:
+		return Value(rt.GetLong(ref, off))
+	case lang.TDouble:
+		return math.Float64bits(rt.GetDouble(ref, off))
+	default:
+		return Value(rt.GetRef(ref, off))
+	}
+}
+
+func storeRecElem(rt *offheap.Runtime, ref offheap.PageRef, elem *lang.Type, i int, v Value) {
+	off := i * elem.FieldSize()
+	switch elem.Kind {
+	case lang.TBool, lang.TByte:
+		rt.SetByte(ref, off, int8(v))
+	case lang.TInt:
+		rt.SetInt(ref, off, int32(v))
+	case lang.TLong:
+		rt.SetLong(ref, off, int64(v))
+	case lang.TDouble:
+		rt.SetDouble(ref, off, math.Float64frombits(v))
+	default:
+		rt.SetRef(ref, off, offheap.PageRef(v))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+
+func evalBin(in *ir.Instr, a, b Value) (Value, error) {
+	switch in.NumKind {
+	case ir.KInt, ir.KByte, ir.KBool:
+		x, y := int32(a), int32(b)
+		switch in.Sub {
+		case ir.BinAdd:
+			return Value(uint32(x + y)), nil
+		case ir.BinSub:
+			return Value(uint32(x - y)), nil
+		case ir.BinMul:
+			return Value(uint32(x * y)), nil
+		case ir.BinDiv:
+			if y == 0 {
+				return 0, fmt.Errorf("ArithmeticException: / by zero")
+			}
+			return Value(uint32(x / y)), nil
+		case ir.BinRem:
+			if y == 0 {
+				return 0, fmt.Errorf("ArithmeticException: %% by zero")
+			}
+			return Value(uint32(x % y)), nil
+		case ir.BinAnd:
+			return Value(uint32(x & y)), nil
+		case ir.BinOr:
+			return Value(uint32(x | y)), nil
+		case ir.BinXor:
+			return Value(uint32(x ^ y)), nil
+		case ir.BinShl:
+			return Value(uint32(x << (uint32(y) & 31))), nil
+		case ir.BinShr:
+			return Value(uint32(x >> (uint32(y) & 31))), nil
+		case ir.BinLt:
+			return boolVal(x < y), nil
+		case ir.BinLe:
+			return boolVal(x <= y), nil
+		case ir.BinGt:
+			return boolVal(x > y), nil
+		case ir.BinGe:
+			return boolVal(x >= y), nil
+		case ir.BinEq:
+			return boolVal(x == y), nil
+		case ir.BinNe:
+			return boolVal(x != y), nil
+		}
+	case ir.KLong:
+		x, y := int64(a), int64(b)
+		switch in.Sub {
+		case ir.BinAdd:
+			return Value(x + y), nil
+		case ir.BinSub:
+			return Value(x - y), nil
+		case ir.BinMul:
+			return Value(x * y), nil
+		case ir.BinDiv:
+			if y == 0 {
+				return 0, fmt.Errorf("ArithmeticException: / by zero")
+			}
+			return Value(x / y), nil
+		case ir.BinRem:
+			if y == 0 {
+				return 0, fmt.Errorf("ArithmeticException: %% by zero")
+			}
+			return Value(x % y), nil
+		case ir.BinAnd:
+			return Value(x & y), nil
+		case ir.BinOr:
+			return Value(x | y), nil
+		case ir.BinXor:
+			return Value(x ^ y), nil
+		case ir.BinShl:
+			return Value(x << (uint64(y) & 63)), nil
+		case ir.BinShr:
+			return Value(x >> (uint64(y) & 63)), nil
+		case ir.BinLt:
+			return boolVal(x < y), nil
+		case ir.BinLe:
+			return boolVal(x <= y), nil
+		case ir.BinGt:
+			return boolVal(x > y), nil
+		case ir.BinGe:
+			return boolVal(x >= y), nil
+		case ir.BinEq:
+			return boolVal(x == y), nil
+		case ir.BinNe:
+			return boolVal(x != y), nil
+		}
+	case ir.KDouble:
+		x, y := math.Float64frombits(a), math.Float64frombits(b)
+		switch in.Sub {
+		case ir.BinAdd:
+			return math.Float64bits(x + y), nil
+		case ir.BinSub:
+			return math.Float64bits(x - y), nil
+		case ir.BinMul:
+			return math.Float64bits(x * y), nil
+		case ir.BinDiv:
+			return math.Float64bits(x / y), nil
+		case ir.BinLt:
+			return boolVal(x < y), nil
+		case ir.BinLe:
+			return boolVal(x <= y), nil
+		case ir.BinGt:
+			return boolVal(x > y), nil
+		case ir.BinGe:
+			return boolVal(x >= y), nil
+		case ir.BinEq:
+			return boolVal(x == y), nil
+		case ir.BinNe:
+			return boolVal(x != y), nil
+		}
+	case ir.KRef:
+		switch in.Sub {
+		case ir.BinEq:
+			return boolVal(a == b), nil
+		case ir.BinNe:
+			return boolVal(a != b), nil
+		}
+	}
+	return 0, fmt.Errorf("vm: bad binary op %s on %s", in.Sub, in.NumKind)
+}
+
+func evalUn(in *ir.Instr, a Value) Value {
+	switch in.Sub {
+	case ir.UnNeg:
+		switch in.NumKind {
+		case ir.KInt, ir.KByte:
+			return Value(uint32(-int32(a)))
+		case ir.KLong:
+			return Value(-int64(a))
+		case ir.KDouble:
+			return math.Float64bits(-math.Float64frombits(a))
+		}
+	case ir.UnNot:
+		return boolVal(a == 0)
+	}
+	return 0
+}
+
+func evalConv(from, to ir.NumKind, a Value) Value {
+	// Normalize the source to int64 or float64.
+	var i int64
+	var f float64
+	isF := false
+	switch from {
+	case ir.KByte:
+		i = int64(int8(a))
+	case ir.KInt:
+		i = int64(int32(a))
+	case ir.KLong:
+		i = int64(a)
+	case ir.KDouble:
+		f = math.Float64frombits(a)
+		isF = true
+	}
+	switch to {
+	case ir.KByte:
+		if isF {
+			return Value(uint64(int8(clampToInt32(f))))
+		}
+		return Value(uint64(int8(i)))
+	case ir.KInt:
+		if isF {
+			return Value(uint32(clampToInt32(f)))
+		}
+		return Value(uint32(int32(i)))
+	case ir.KLong:
+		if isF {
+			return Value(clampToInt64(f))
+		}
+		return Value(i)
+	case ir.KDouble:
+		if isF {
+			return a
+		}
+		return math.Float64bits(float64(i))
+	}
+	return a
+}
+
+// clampToInt64 converts a double to long with Java semantics: NaN -> 0,
+// out-of-range values saturate.
+func clampToInt64(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt64:
+		return math.MaxInt64
+	case f <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+// clampToInt32 converts a double to int with Java semantics.
+func clampToInt32(f float64) int32 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt32:
+		return math.MaxInt32
+	case f <= math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(f)
+}

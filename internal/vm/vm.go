@@ -1,0 +1,366 @@
+// Package vm interprets IR programs (internal/ir) against the managed heap
+// (internal/heap) and, for FACADE-transformed programs, the off-heap page
+// store (internal/offheap). It plays the role of the JVM in the paper's
+// evaluation:
+//
+//   - program P allocates every data item as a heap object; the VM's
+//     frames, statics, facade pools, and handles are GC roots, and the
+//     collector's cost grows with the number of live data objects;
+//   - program P' allocates data records in pages via the page half of the
+//     instruction set; the heap holds only control objects and the
+//     per-thread facade pools, so collections trace almost nothing.
+//
+// The same interpreter executes both programs, which is what makes the
+// measured differences attributable to the memory system rather than to
+// differing execution engines.
+package vm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/offheap"
+)
+
+// Value is the VM's raw 64-bit slot: int/long/bool/byte as sign-extended
+// two's complement, double as IEEE bits, heap references as zero-extended
+// addresses, page references as int64 bits.
+type Value = uint64
+
+// Config configures a VM instance.
+type Config struct {
+	// HeapSize is the managed heap budget (-Xmx).
+	HeapSize int
+	// Out receives Sys.print output; defaults to io.Discard.
+	Out io.Writer
+	// RandSeed seeds the deterministic Sys.rand source.
+	RandSeed int64
+	// NativeRT supplies the page store for transformed programs; a fresh
+	// one is created when nil and the program is transformed.
+	NativeRT *offheap.Runtime
+}
+
+// VM executes one linked program.
+type VM struct {
+	Prog *ir.Program
+	Heap *heap.Heap
+	RT   *offheap.Runtime // nil for untransformed programs
+
+	out io.Writer
+
+	// Dispatch tables: selectors index per-class vtables.
+	selectors map[string]int
+	vtables   [][]*ir.Func
+	byKey     map[string]*ir.Func
+
+	// Static fields.
+	statics     []Value
+	staticTypes []*lang.Type
+
+	// String literal cache, indexed by string pool index; entries are heap
+	// addresses (P) or page references (P').
+	strMu    sync.Mutex
+	strCache []Value
+	strDone  []bool
+	strField *lang.Field // String.value
+	strClass *lang.Class
+
+	// Facade machinery (transformed programs only).
+	facadeByName map[string]*lang.Class // facade class per original data class
+	pageRefField *lang.Field            // Facade.pageRef
+	bounds       map[int]int            // facade class ID -> pool bound
+	iterCounter  int
+	rootScope    *offheap.PageManager // allocation scope for literals/globals
+
+	// Monitor table for heap objects (program P's intrinsic locks).
+	monMu     sync.Mutex
+	monitors  map[uint32]*monitor
+	nextMonID uint32
+
+	// Handles: Go-side roots for framework code.
+	handles handleTable
+
+	// Threads registry for root scanning.
+	threadsMu sync.Mutex
+	threads   map[*Thread]struct{}
+	nextTID   int
+
+	rngMu sync.Mutex
+	rngSt uint64
+	outMu sync.Mutex
+}
+
+// New creates a VM for prog and links dispatch tables.
+func New(prog *ir.Program, cfg Config) (*VM, error) {
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	vm := &VM{
+		Prog:      prog,
+		out:       cfg.Out,
+		byKey:     make(map[string]*ir.Func),
+		monitors:  make(map[uint32]*monitor),
+		threads:   make(map[*Thread]struct{}),
+		rngSt:     uint64(cfg.RandSeed)*2862933555777941757 + 3037000493,
+		selectors: make(map[string]int),
+	}
+	vm.Heap = heap.New(heap.Config{HeapSize: cfg.HeapSize}, prog.H)
+	if prog.Transformed {
+		vm.RT = cfg.NativeRT
+		if vm.RT == nil {
+			vm.RT = offheap.NewRuntime()
+		}
+		vm.rootScope = vm.RT.NewManager(nil, -2, -1)
+	}
+	if err := vm.link(); err != nil {
+		return nil, err
+	}
+	vm.Heap.AddRoots(heap.RootFunc(vm.visitRoots))
+	return vm, nil
+}
+
+// link builds vtables, the statics area, and caches per-instruction
+// dispatch information.
+func (vm *VM) link() error {
+	h := vm.Prog.H
+	// Selector assignment: one slot per distinct instance method name.
+	names := make([]string, 0)
+	seen := make(map[string]bool)
+	for _, c := range h.ClassList {
+		for n, m := range c.Methods {
+			if !m.Static && !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		vm.selectors[n] = i
+	}
+	vm.vtables = make([][]*ir.Func, len(h.ClassList))
+	for _, f := range vm.Prog.FuncList {
+		vm.byKey[f.Name] = f
+	}
+	for _, c := range h.ClassList {
+		vt := make([]*ir.Func, len(names))
+		if c.Super != nil {
+			copy(vt, vm.vtables[c.Super.ID])
+		}
+		for n, m := range c.Methods {
+			if m.Static {
+				continue
+			}
+			f := vm.byKey[ir.FuncKey(c.Name, n)]
+			if f == nil {
+				return fmt.Errorf("vm: missing body for %s.%s", c.Name, n)
+			}
+			vt[vm.selectors[n]] = f
+		}
+		vm.vtables[c.ID] = vt
+	}
+
+	// Statics.
+	vm.statics = make([]Value, h.NumStatics)
+	vm.staticTypes = make([]*lang.Type, h.NumStatics)
+	for _, c := range h.ClassList {
+		for _, f := range c.Statics {
+			vm.staticTypes[f.StaticIndex] = f.Type
+		}
+	}
+
+	// Strings.
+	vm.strCache = make([]Value, len(vm.Prog.StringPool))
+	vm.strDone = make([]bool, len(vm.Prog.StringPool))
+	if sc := h.Class("String"); sc != nil {
+		vm.strClass = sc
+		vm.strField = sc.FindField("value")
+		if vm.strField == nil {
+			return fmt.Errorf("vm: String class has no value field")
+		}
+	}
+
+	// Facade metadata. Record sizes are compile-time constants carried on
+	// the allocation instructions (the paper's D_Record_size), so the VM
+	// needs only the facade classes and pool bounds here.
+	if vm.Prog.Transformed {
+		vm.facadeByName = make(map[string]*lang.Class)
+		vm.bounds = make(map[int]int)
+		fb := h.Class("Facade")
+		if fb == nil {
+			return fmt.Errorf("vm: transformed program lacks Facade class")
+		}
+		vm.pageRefField = fb.FindField("pageRef")
+		if vm.pageRefField == nil {
+			return fmt.Errorf("vm: Facade class lacks pageRef field")
+		}
+		for orig, bound := range vm.Prog.Bounds {
+			fc := h.Class(orig + "Facade")
+			if orig == "Object" {
+				fc = fb
+			}
+			if fc == nil {
+				return fmt.Errorf("vm: missing facade class for %s", orig)
+			}
+			vm.facadeByName[orig] = fc
+			vm.bounds[fc.ID] = bound
+		}
+	}
+
+	// Per-instruction caches: selector IDs for OpCall, direct functions
+	// for OpCallStatic.
+	for _, f := range vm.Prog.FuncList {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case ir.OpCall:
+					sel, ok := vm.selectors[in.M.Name]
+					if !ok {
+						return fmt.Errorf("vm: %s: no selector for %s", f.Name, in.M.Name)
+					}
+					in.Imm = int64(sel)
+				case ir.OpCallStatic:
+					key := calleeKey(in.M)
+					callee := vm.byKey[key]
+					if callee == nil {
+						return fmt.Errorf("vm: %s: missing callee %s", f.Name, key)
+					}
+					in.Cache = callee
+				case ir.OpIntr:
+					idx, ok := intrinsicIndex[in.Sym]
+					if !ok {
+						return fmt.Errorf("vm: %s: unknown intrinsic %s", f.Name, in.Sym)
+					}
+					in.Cache = idx
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func calleeKey(m *lang.Method) string {
+	if m.IsCtor {
+		return ir.CtorKey(m.Owner.Name)
+	}
+	return ir.FuncKey(m.Owner.Name, m.Name)
+}
+
+// Func returns the function with the given key, or nil.
+func (vm *VM) Func(key string) *ir.Func { return vm.byKey[key] }
+
+// Out returns the VM's output writer.
+func (vm *VM) Out() io.Writer { return vm.out }
+
+// visitRoots walks every root slot: statics, string cache, handles, and
+// each thread's facade pools and frame registers. Runs with the world
+// stopped.
+func (vm *VM) visitRoots(visit func(heap.Addr) heap.Addr) {
+	for i, t := range vm.staticTypes {
+		if t != nil && t.IsRef() {
+			vm.statics[i] = Value(visit(heap.Addr(vm.statics[i])))
+		}
+	}
+	if !vm.Prog.Transformed {
+		for i, done := range vm.strDone {
+			if done {
+				vm.strCache[i] = Value(visit(heap.Addr(vm.strCache[i])))
+			}
+		}
+	}
+	vm.handles.visit(visit)
+	vm.threadsMu.Lock()
+	threads := make([]*Thread, 0, len(vm.threads))
+	for t := range vm.threads {
+		threads = append(threads, t)
+	}
+	vm.threadsMu.Unlock()
+	for _, t := range threads {
+		t.visitRoots(visit)
+	}
+}
+
+// rand returns the next deterministic pseudo-random value (splitmix64).
+func (vm *VM) rand() uint64 {
+	vm.rngMu.Lock()
+	vm.rngSt += 0x9e3779b97f4a7c15
+	z := vm.rngSt
+	vm.rngMu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// handleTable stores Go-side references into the heap so framework code
+// can hold objects across collections (the moral equivalent of JNI global
+// references).
+type handleTable struct {
+	mu    sync.Mutex
+	vals  []Value
+	isRef []bool
+	free  []int
+}
+
+// Handle names a slot in the VM handle table.
+type Handle int
+
+// NewHandle registers v; isRef marks managed heap references (traced and
+// updated by the collector). Page references pass isRef=false.
+func (vm *VM) NewHandle(v Value, isRef bool) Handle {
+	ht := &vm.handles
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	if n := len(ht.free); n > 0 {
+		i := ht.free[n-1]
+		ht.free = ht.free[:n-1]
+		ht.vals[i] = v
+		ht.isRef[i] = isRef
+		return Handle(i)
+	}
+	ht.vals = append(ht.vals, v)
+	ht.isRef = append(ht.isRef, isRef)
+	return Handle(len(ht.vals) - 1)
+}
+
+// Get returns the current value of h.
+func (vm *VM) Get(h Handle) Value {
+	ht := &vm.handles
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	return ht.vals[h]
+}
+
+// Set updates the value of h.
+func (vm *VM) Set(h Handle, v Value, isRef bool) {
+	ht := &vm.handles
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	ht.vals[h] = v
+	ht.isRef[h] = isRef
+}
+
+// Drop releases h.
+func (vm *VM) Drop(h Handle) {
+	ht := &vm.handles
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	ht.vals[h] = 0
+	ht.isRef[h] = false
+	ht.free = append(ht.free, int(h))
+}
+
+func (ht *handleTable) visit(visit func(heap.Addr) heap.Addr) {
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	for i, r := range ht.isRef {
+		if r {
+			ht.vals[i] = Value(visit(heap.Addr(ht.vals[i])))
+		}
+	}
+}

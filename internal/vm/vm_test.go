@@ -1,0 +1,657 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/lower"
+	"repro/internal/stdlib"
+)
+
+// compile builds an untransformed program from FJ source (stdlib
+// included).
+func compile(t testing.TB, src string) *ir.Program {
+	t.Helper()
+	files, err := stdlib.ParseWith(map[string]string{"t.fj": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := lang.BuildHierarchy(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(h); err != nil {
+		t.Fatal(err)
+	}
+	p, err := lower.Program(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func transform(t testing.TB, p *ir.Program, classes ...string) *ir.Program {
+	t.Helper()
+	p2, err := core.Transform(p, core.Options{DataClasses: classes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p2
+}
+
+// runMain runs Class.main (or its facade twin) and returns printed output.
+func runMain(t testing.TB, p *ir.Program, heapSize int) string {
+	t.Helper()
+	var out bytes.Buffer
+	m, err := New(p, Config{HeapSize: heapSize, Out: &out, RandSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := m.NewThread(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	entry := "Main.main"
+	if p.Transformed && p.DataClasses["Main"] {
+		entry = "MainFacade.main"
+	}
+	if _, err := th.Call(entry); err != nil {
+		t.Fatalf("run: %v (output %q)", err, out.String())
+	}
+	return out.String()
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := map[string]struct {
+		body string
+		want string
+	}{
+		"npe-field":    {"Main m = null; int x = m.f;", "NullPointerException"},
+		"npe-call":     {"Main m = null; m.go();", "NullPointerException"},
+		"bounds":       {"int[] a = new int[3]; int x = a[5];", "ArrayIndexOutOfBounds"},
+		"neg-bounds":   {"int[] a = new int[3]; int x = a[0 - 1];", "ArrayIndexOutOfBounds"},
+		"div-zero":     {"int z = 0; int x = 5 / z;", "ArithmeticException"},
+		"rem-zero":     {"int z = 0; int x = 5 % z;", "ArithmeticException"},
+		"bad-cast":     {"Object o = new Main(); String s = (String) o;", "ClassCastException"},
+		"neg-arr-size": {"int n = 0 - 2; int[] a = new int[n];", "NegativeArraySize"},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			src := "class Main { int f; void go() { } static void main() { " + c.body + " } }"
+			p := compile(t, src)
+			m, err := New(p, Config{HeapSize: 8 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			th, err := m.NewThread(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer th.Close()
+			_, err = th.Call("Main.main")
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("want %s, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+func TestIntrinsicsPrintFormats(t *testing.T) {
+	src := `
+class Main {
+    static void main() {
+        Sys.println(true);
+        Sys.println(false);
+        Sys.print(1);
+        Sys.print(2);
+        Sys.println(3);
+        Sys.println(2147483647);
+        Sys.println(9223372036854775807L);
+        Sys.println(0.25);
+        Sys.println(1.0 / 3.0);
+        Sys.println("text");
+        Sys.println(Sys.sqrt(16.0));
+        Sys.println(Sys.abs(0.0 - 2.5));
+        byte b = (byte) 100;
+        Sys.println(b);
+        Object o = null;
+        Sys.println(o);
+        Sys.println(new Main());
+        Sys.println(new int[2]);
+    }
+}
+`
+	out := runMain(t, compile(t, src), 8<<20)
+	want := "true\nfalse\n123\n2147483647\n9223372036854775807\n0.25\n" +
+		"0.3333333333333333\ntext\n4\n2.5\n100\nnull\nMain\nint[]\n"
+	if out != want {
+		t.Fatalf("got %q\nwant %q", out, want)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	src := `
+class Main {
+    static void main() {
+        for (int i = 0; i < 5; i = i + 1) { Sys.println(Sys.rand(100)); }
+    }
+}
+`
+	p := compile(t, src)
+	a := runMain(t, p, 8<<20)
+	b := runMain(t, p, 8<<20)
+	if a != b {
+		t.Fatalf("rand not deterministic: %q vs %q", a, b)
+	}
+	for _, line := range strings.Fields(a) {
+		if len(line) > 2 {
+			t.Fatalf("rand out of bounds: %s", line)
+		}
+	}
+}
+
+func TestArraycopyOverlap(t *testing.T) {
+	src := `
+class Main {
+    static void main() {
+        int[] a = new int[6];
+        for (int i = 0; i < 6; i = i + 1) { a[i] = i; }
+        Sys.arraycopy(a, 0, a, 2, 4);
+        for (int i = 0; i < 6; i = i + 1) { Sys.print(a[i]); }
+        Sys.println(0);
+    }
+}
+`
+	out := runMain(t, compile(t, src), 8<<20)
+	if out != "0101230\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestMonitorContention(t *testing.T) {
+	// Many Go-side threads hammer a synchronized counter through the
+	// boundary API; the monitor must serialize them (program P).
+	src := `
+class Counter {
+    int n;
+    void bump() {
+        synchronized (this) {
+            int v = this.n;
+            this.n = v + 1;
+        }
+    }
+}
+class Main { static void main() { } }
+`
+	p := compile(t, src)
+	m, err := New(p, Config{HeapSize: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, err := m.NewThread(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer main.Close()
+	obj, err := main.NewObj("Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th, err := m.NewThread(main)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer th.Close()
+			for j := 0; j < per; j++ {
+				if _, err := th.Invoke(obj, "bump"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, err := main.GetField(obj, "Counter", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(v) != workers*per {
+		t.Fatalf("counter = %d want %d", int32(v), workers*per)
+	}
+}
+
+func TestLockPoolContentionTransformed(t *testing.T) {
+	// The same contention through the FACADE lock pool (program P').
+	src := `
+class Counter {
+    int n;
+    void bump() {
+        synchronized (this) {
+            int v = this.n;
+            this.n = v + 1;
+        }
+    }
+}
+class Main { static void main() { } }
+`
+	p := compile(t, src)
+	p2 := transform(t, p, "Counter")
+	m, err := New(p2, Config{HeapSize: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, err := m.NewThread(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer main.Close()
+	obj, err := main.NewObj("Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th, err := m.NewThread(main)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer th.Close()
+			for j := 0; j < per; j++ {
+				if _, err := th.Invoke(obj, "bump"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, err := main.GetField(obj, "Counter", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(v) != workers*per {
+		t.Fatalf("counter = %d want %d", int32(v), workers*per)
+	}
+	// All pool locks returned (§3.4).
+	if m.RT.Locks.InUse() != 0 {
+		t.Fatalf("%d pool locks leaked", m.RT.Locks.InUse())
+	}
+}
+
+func TestHandlesSurviveGC(t *testing.T) {
+	src := `
+class Node {
+    int v;
+    Node(int v) { this.v = v; }
+}
+class Main {
+    static void churn() {
+        for (int i = 0; i < 50000; i = i + 1) {
+            Node n = new Node(i);
+        }
+    }
+    static void main() { }
+}
+`
+	p := compile(t, src)
+	m, err := New(p, Config{HeapSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := m.NewThread(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	// Hold objects via handles, churn to force collections, verify the
+	// held objects moved but stayed intact.
+	var objs []Obj
+	for i := 0; i < 20; i++ {
+		o, err := th.NewObj("Node", I(int64(i*7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o)
+	}
+	if _, err := th.InvokeStatic("Main", "churn"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Heap.Stats().MinorGCs+m.Heap.Stats().FullGCs == 0 {
+		t.Fatal("churn did not trigger a collection")
+	}
+	for i, o := range objs {
+		v, err := th.GetField(o, "Node", "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int32(v) != int32(i*7) {
+			t.Fatalf("handle %d: value %d want %d", i, int32(v), i*7)
+		}
+	}
+}
+
+func TestBoundaryStringRoundtrip(t *testing.T) {
+	src := `
+class Main {
+    static String echo(String s) { return s; }
+    static int len(String s) { return s.length(); }
+    static void main() { }
+}
+`
+	for _, tr := range []bool{false, true} {
+		p := compile(t, src)
+		if tr {
+			p = transform(t, p, "Main")
+		}
+		m, err := New(p, Config{HeapSize: 8 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := m.NewThread(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer th.Close()
+		o, err := th.NewString("hello world")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := th.GoString(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "hello world" {
+			t.Fatalf("transformed=%v: roundtrip %q", tr, got)
+		}
+		n, err := th.InvokeStatic("Main", "len", S("four"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int32(n) != 4 {
+			t.Fatalf("transformed=%v: len = %d", tr, int32(n))
+		}
+		eo, err := th.InvokeStaticObj("Main", "echo", O(o))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = th.GoString(eo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "hello world" {
+			t.Fatalf("transformed=%v: echo %q", tr, got)
+		}
+	}
+}
+
+func TestBulkArrayHelpers(t *testing.T) {
+	src := `class Main { static void main() { } } class D { int x; }`
+	for _, tr := range []bool{false, true} {
+		p := compile(t, src)
+		if tr {
+			p = transform(t, p, "D")
+		}
+		m, err := New(p, Config{HeapSize: 8 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := m.NewThread(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer th.Close()
+		ints := []int32{1, -2, 3, -4, 1 << 30}
+		oi, err := th.NewIntArr(ints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := th.ReadIntArr(oi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ints {
+			if back[i] != ints[i] {
+				t.Fatalf("transformed=%v int[%d]=%d want %d", tr, i, back[i], ints[i])
+			}
+		}
+		ds := []float64{0.5, -1.25, 3e10}
+		od, err := th.NewDoubleArr(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dback, err := th.ReadDoubleArr(od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ds {
+			if dback[i] != ds[i] {
+				t.Fatalf("transformed=%v double[%d]", tr, i)
+			}
+		}
+		// Element access agrees with bulk writes.
+		v, err := th.ArrGet(oi, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int32(v) != 1<<30 {
+			t.Fatalf("ArrGet = %d", int32(v))
+		}
+		if n, _ := th.ArrLen(oi); n != 5 {
+			t.Fatalf("len %d", n)
+		}
+	}
+}
+
+func TestOOMPropagatesToBoundary(t *testing.T) {
+	src := `
+class Blob {
+    long a; long b; long c; long d;
+    Blob next;
+}
+class Main {
+    static Blob build(int n) {
+        Blob head = null;
+        for (int i = 0; i < n; i = i + 1) {
+            Blob b = new Blob();
+            b.next = head;
+            head = b;
+        }
+        return head;
+    }
+    static void main() { }
+}
+`
+	p := compile(t, src)
+	m, err := New(p, Config{HeapSize: 2 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := m.NewThread(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	_, err = th.InvokeStaticObj("Main", "build", I(1<<20))
+	if err == nil || !strings.Contains(err.Error(), "OutOfMemoryError") {
+		t.Fatalf("want OutOfMemoryError, got %v", err)
+	}
+}
+
+func TestIterationScopesAtBoundary(t *testing.T) {
+	src := `class Main { static void main() { } } class D { int x; }`
+	p2 := transform(t, compile(t, src), "D")
+	m, err := New(p2, Config{HeapSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := m.NewThread(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	for i := 0; i < 50; i++ {
+		th.IterationStart()
+		for j := 0; j < 500; j++ {
+			o, err := th.NewObj("D")
+			if err != nil {
+				t.Fatal(err)
+			}
+			th.FreeObj(o)
+		}
+		th.IterationEnd()
+	}
+	st := m.RT.Stats()
+	if st.PagesLive != 0 {
+		t.Fatalf("%d pages live after iterations", st.PagesLive)
+	}
+	if st.PagesCreated > 20 {
+		t.Fatalf("%d pages created; recycling broken at boundary", st.PagesCreated)
+	}
+}
+
+func TestFacadePoolBoundNeverExceeded(t *testing.T) {
+	// Stress virtual calls with multiple data-typed params; facade
+	// allocation happens only at thread start.
+	src := `
+class Pt {
+    int x;
+    Pt(int x) { this.x = x; }
+    int add3(Pt a, Pt b, Pt c) { return this.x + a.x + b.x + c.x; }
+}
+class Main {
+    static void main() {
+        Pt p = new Pt(1);
+        long sum = 0L;
+        for (int i = 0; i < 10000; i = i + 1) {
+            sum = sum + p.add3(new Pt(2), new Pt(3), new Pt(4));
+        }
+        Sys.println(sum);
+    }
+}
+`
+	p := compile(t, src)
+	p2 := transform(t, p, "Pt", "Main")
+	if p2.Bounds["Pt"] != 3 {
+		t.Fatalf("bound for Pt = %d, want 3", p2.Bounds["Pt"])
+	}
+	var out bytes.Buffer
+	m, err := New(p2, Config{HeapSize: 8 << 20, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := m.NewThread(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	if _, err := th.Call("MainFacade.main"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "100000\n" {
+		t.Fatalf("got %q", out.String())
+	}
+	fc := p2.H.Class("PtFacade")
+	n := m.Heap.ClassAllocCount(fc)
+	if n > int64(p2.Bounds["Pt"]+1) {
+		t.Fatalf("allocated %d PtFacades, bound+receiver = %d", n, p2.Bounds["Pt"]+1)
+	}
+}
+
+func TestNullDataArgAtBoundary(t *testing.T) {
+	// A null data reference passed across the boundary of a transformed
+	// program must arrive as FJ null (a null-bound facade), matching
+	// generated call sites.
+	src := `
+class D {
+    int v;
+    D(int v) { this.v = v; }
+    static int probe(D d) {
+        if (d == null) { return -1; }
+        return d.v;
+    }
+    int touch(D other) {
+        if (other == null) { return -2; }
+        return other.v;
+    }
+}
+class Main { static void main() { } }
+`
+	p := compile(t, src)
+	for name, prog := range map[string]*ir.Program{"P": p, "P'": transform(t, p, "D")} {
+		m, err := New(prog, Config{HeapSize: 8 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := m.NewThread(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer th.Close()
+		v, err := th.InvokeStatic("D", "probe", O(NilObj))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if int32(v) != -1 {
+			t.Fatalf("%s: probe(null) = %d", name, int32(v))
+		}
+		d, err := th.NewObj("D", I(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err = th.Invoke(d, "touch", O(NilObj))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if int32(v) != -2 {
+			t.Fatalf("%s: touch(null) = %d", name, int32(v))
+		}
+		v, err = th.Invoke(d, "touch", O(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int32(v) != 9 {
+			t.Fatalf("%s: touch(d) = %d", name, int32(v))
+		}
+	}
+}
+
+func TestVTableDispatchDeep(t *testing.T) {
+	src := `
+class A { int f() { return 1; } int g() { return 10; } }
+class B extends A { int f() { return 2; } }
+class C extends B { int g() { return 30; } }
+class Main {
+    static void main() {
+        A[] xs = new A[3];
+        xs[0] = new A();
+        xs[1] = new B();
+        xs[2] = new C();
+        for (int i = 0; i < 3; i = i + 1) {
+            Sys.println(xs[i].f() * 100 + xs[i].g());
+        }
+    }
+}
+`
+	out := runMain(t, compile(t, src), 8<<20)
+	if out != "110\n210\n230\n" {
+		t.Fatalf("got %q", out)
+	}
+}
