@@ -28,6 +28,7 @@ import (
 	"repro/internal/hyracks"
 	"repro/internal/ir"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/offheap"
 	"repro/internal/vm"
 )
@@ -90,6 +91,13 @@ func reportGraphchi(b *testing.B, m *graphchi.Metrics) {
 	b.ReportMetric(float64(m.PM)/(1<<20), "peakMB")
 	b.ReportMetric(float64(m.DataObjects), "dataObjs")
 	b.ReportMetric(m.Throughput(), "edges/s")
+	// Pause-time distribution of the last run, from the observability
+	// snapshot (latency shape matters as much as total GT for the paper's
+	// argument; a P' run with zero collections reports zeros).
+	pauses := m.Obs.Histograms[obs.HistGCPause]
+	b.ReportMetric(float64(pauses.Quantile(0.5))/1e6, "p50pause-ms")
+	b.ReportMetric(float64(pauses.Quantile(0.95))/1e6, "p95pause-ms")
+	b.ReportMetric(float64(pauses.Max)/1e6, "maxpause-ms")
 }
 
 // ---------------------------------------------------------------------------

@@ -9,7 +9,6 @@ import (
 	"repro/internal/graphchi"
 	"repro/internal/ir"
 	"repro/internal/metrics"
-	"repro/internal/vm"
 )
 
 // table2Cmd reproduces Table 2: GraphChi PR and CC under three heap
@@ -22,6 +21,7 @@ func table2Cmd(args []string) error {
 	workers := fs.Int("workers", 4, "update workers")
 	baseHeap := fs.Int64("heap", 32<<20, "largest heap budget in bytes (scaled 8:6:4)")
 	seed := fs.Uint64("seed", 42, "graph seed")
+	rpt := reportFlag(fs)
 	fs.Parse(args)
 
 	p, p2, err := graphchi.BuildPrograms()
@@ -42,28 +42,22 @@ func table2Cmd(args []string) error {
 				App: app, Workers: *workers, Iterations: *iters,
 				MemoryBudget: heap / 2,
 			}
-			mv, err := vm.New(p, vm.Config{HeapSize: int(heap)})
-			if err != nil {
-				return err
-			}
-			m1, _, err := graphchi.Run(mv, sg, cfg)
+			m1, _, err := graphchi.RunProgram(p, int(heap), sg, cfg)
 			if err != nil {
 				return fmt.Errorf("%s P: %w", app, err)
 			}
-			mv2, err := vm.New(p2, vm.Config{HeapSize: int(heap)})
-			if err != nil {
-				return err
-			}
-			m2, _, err := graphchi.Run(mv2, sg, cfg)
+			m2, _, err := graphchi.RunProgram(p2, int(heap), sg, cfg)
 			if err != nil {
 				return fmt.Errorf("%s P': %w", app, err)
 			}
 			tbl.Row(fmt.Sprintf("%s-%s", app, labels[hi]), m1.ET, m1.UT, m1.LT, m1.GT, metrics.MB(m1.PM), m1.DataObjects, m1.SubIters)
 			tbl.Row(fmt.Sprintf("%s'-%s", app, labels[hi]), m2.ET, m2.UT, m2.LT, m2.GT, metrics.MB(m2.PM), m2.DataObjects, m2.SubIters)
+			rpt.add(graphchiReport(fmt.Sprintf("table2/%s-%s", app, labels[hi]), "P", cfg, heap, m1))
+			rpt.add(graphchiReport(fmt.Sprintf("table2/%s'-%s", app, labels[hi]), "P'", cfg, heap, m2))
 		}
 	}
 	tbl.Render(os.Stdout)
-	return nil
+	return rpt.flush()
 }
 
 // fig4aCmd reproduces Figure 4(a): computational throughput (edges/s) as
@@ -99,11 +93,7 @@ func fig4aCmd(args []string) error {
 			avg := func(prog *irProg) (float64, error) {
 				total := 0.0
 				for r := 0; r < *reps; r++ {
-					mv, err := vm.New(prog, vm.Config{HeapSize: int(*heap)})
-					if err != nil {
-						return 0, err
-					}
-					m, _, err := graphchi.Run(mv, sg, cfg)
+					m, _, err := graphchi.RunProgram(prog, int(*heap), sg, cfg)
 					if err != nil {
 						return 0, err
 					}

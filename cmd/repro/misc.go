@@ -10,7 +10,6 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/graphchi"
 	"repro/internal/metrics"
-	"repro/internal/vm"
 
 	"repro/facade"
 )
@@ -21,6 +20,7 @@ func objcountCmd(args []string) error {
 	fs := flag.NewFlagSet("objcount", flag.ExitOnError)
 	v := fs.Int("v", 10000, "vertices")
 	e := fs.Int("e", 150000, "edges")
+	rpt := reportFlag(fs)
 	fs.Parse(args)
 
 	p, p2, err := graphchi.BuildPrograms()
@@ -30,20 +30,13 @@ func objcountCmd(args []string) error {
 	g := datagen.PowerLawGraph(*v, *e, 42)
 	sg := graphchi.Shard(g, 20, false)
 	cfg := graphchi.Config{App: graphchi.PageRank, Workers: 4, Iterations: 2, MemoryBudget: 8 << 20}
+	const heapSize = 48 << 20
 
-	mv, err := vm.New(p, vm.Config{HeapSize: 48 << 20})
+	m1, _, err := graphchi.RunProgram(p, heapSize, sg, cfg)
 	if err != nil {
 		return err
 	}
-	m1, _, err := graphchi.Run(mv, sg, cfg)
-	if err != nil {
-		return err
-	}
-	mv2, err := vm.New(p2, vm.Config{HeapSize: 48 << 20})
-	if err != nil {
-		return err
-	}
-	m2, _, err := graphchi.Run(mv2, sg, cfg)
+	m2, _, err := graphchi.RunProgram(p2, heapSize, sg, cfg)
 	if err != nil {
 		return err
 	}
@@ -54,7 +47,9 @@ func objcountCmd(args []string) error {
 	tbl.Render(os.Stdout)
 	fmt.Printf("  reduction: %.0fx fewer data-type heap objects\n",
 		float64(m1.DataObjects)/float64(max64(m2.DataObjects, 1)))
-	return nil
+	rpt.add(graphchiReport("objcount/P", "P", cfg, heapSize, m1))
+	rpt.add(graphchiReport("objcount/P'", "P'", cfg, heapSize, m2))
+	return rpt.flush()
 }
 
 func max64(a, b int64) int64 {

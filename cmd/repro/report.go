@@ -1,0 +1,84 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graphchi"
+	"repro/internal/obs"
+)
+
+// reporter accumulates machine-readable run reports for a subcommand and
+// writes them as one JSON document when the command finishes. Commands
+// register it with the -json flag; an empty path disables it.
+type reporter struct {
+	path    string
+	reports []obs.RunReport
+}
+
+// reportFlag registers -json on fs and returns the collector.
+func reportFlag(fs *flag.FlagSet) *reporter {
+	r := &reporter{}
+	fs.StringVar(&r.path, "json", "", "write a machine-readable run report (JSON) to this file")
+	return r
+}
+
+func (r *reporter) enabled() bool { return r.path != "" }
+
+func (r *reporter) add(rep obs.RunReport) {
+	if r.enabled() {
+		r.reports = append(r.reports, rep)
+	}
+}
+
+// flush writes the accumulated reports; a no-op when -json was not given.
+func (r *reporter) flush() error {
+	if !r.enabled() {
+		return nil
+	}
+	f, err := os.Create(r.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.EncodeReports(f, r.reports); err != nil {
+		return fmt.Errorf("writing %s: %w", r.path, err)
+	}
+	fmt.Printf("wrote %d run report(s) to %s\n", len(r.reports), r.path)
+	return nil
+}
+
+// graphchiReport converts one GraphChi run's metrics into a RunReport.
+func graphchiReport(name, program string, cfg graphchi.Config, heapBytes int64, m *graphchi.Metrics) obs.RunReport {
+	rep := obs.NewRunReport(name, program)
+	rep.Config = map[string]any{
+		"app":           cfg.App.String(),
+		"workers":       cfg.Workers,
+		"iterations":    cfg.Iterations,
+		"heap_bytes":    heapBytes,
+		"memory_budget": cfg.MemoryBudget,
+	}
+	rep.WallNanos = m.ET.Nanoseconds()
+	rep.Metrics = map[string]float64{
+		"et_s":           m.ET.Seconds(),
+		"ut_s":           m.UT.Seconds(),
+		"lt_s":           m.LT.Seconds(),
+		"gt_s":           m.GT.Seconds(),
+		"pm_bytes":       float64(m.PM),
+		"heap_peak":      float64(m.HeapPeak),
+		"native_peak":    float64(m.NativePeak),
+		"minor_gcs":      float64(m.MinorGCs),
+		"full_gcs":       float64(m.FullGCs),
+		"sub_iters":      float64(m.SubIters),
+		"data_objects":   float64(m.DataObjects),
+		"pages":          float64(m.Pages),
+		"pages_live_hw":  float64(m.PagesLiveHW),
+		"records":        float64(m.Records),
+		"edges":          float64(m.Edges),
+		"throughput_eps": m.Throughput(),
+	}
+	rep.ClassAllocs = m.ClassAllocs
+	rep.Obs = m.Obs
+	return rep
+}

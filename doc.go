@@ -12,8 +12,15 @@
 // (internal/hyracks) on a simulated shared-nothing cluster
 // (internal/cluster, internal/dfs), and GPS (internal/gps).
 //
-// The public API lives in the facade package; cmd/repro regenerates every
-// table and figure of the paper's §4; cmd/facadec is the standalone
+// The public API lives in the facade package: Compile, Transform, and Run
+// with functional options (WithHeapSize, WithEntry, WithRandSeed,
+// WithObserver); Result.Stats returns a self-contained RunStats mirror of
+// everything a run measured. The measurements come from a per-VM stats
+// registry (internal/obs) — counters, gauges, GC-pause histograms, and a
+// bounded event stream — documented in docs/OBSERVABILITY.md.
+//
+// cmd/repro regenerates every table and figure of the paper's §4 (add
+// -json for machine-readable run reports); cmd/facadec is the standalone
 // compiler driver. bench_test.go in this directory hosts one benchmark per
 // reproduced table/figure plus ablations. See DESIGN.md for the system
 // inventory and EXPERIMENTS.md for paper-vs-measured results.

@@ -13,7 +13,6 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/graphchi"
-	"repro/internal/vm"
 )
 
 func main() {
@@ -36,20 +35,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	mv, err := vm.New(p, vm.Config{HeapSize: heap})
-	if err != nil {
-		log.Fatal(err)
-	}
-	metP, ranks, err := graphchi.Run(mv, sg, cfg)
+	metP, ranks, err := graphchi.RunProgram(p, heap, sg, cfg)
 	if err != nil {
 		log.Fatalf("P: %v", err)
 	}
 
-	mv2, err := vm.New(p2, vm.Config{HeapSize: heap})
-	if err != nil {
-		log.Fatal(err)
-	}
-	metP2, ranks2, err := graphchi.Run(mv2, sg, cfg)
+	metP2, ranks2, err := graphchi.RunProgram(p2, heap, sg, cfg)
 	if err != nil {
 		log.Fatalf("P': %v", err)
 	}
@@ -67,6 +58,8 @@ func main() {
 	fmt.Printf("%-26s %10.2f %10.2f\n", "update time UT (s)", metP.UT.Seconds(), metP2.UT.Seconds())
 	fmt.Printf("%-26s %10.2f %10.2f\n", "load time LT (s)", metP.LT.Seconds(), metP2.LT.Seconds())
 	fmt.Printf("%-26s %10.2f %10.2f\n", "GC time GT (s)", metP.GT.Seconds(), metP2.GT.Seconds())
+	pauses, pauses2 := metP.Obs.Histograms["heap.gc_pause_ns"], metP2.Obs.Histograms["heap.gc_pause_ns"]
+	fmt.Printf("%-26s %10.3f %10.3f\n", "p95 GC pause (ms)", float64(pauses.Quantile(0.95))/1e6, float64(pauses2.Quantile(0.95))/1e6)
 	fmt.Printf("%-26s %10.1f %10.1f\n", "peak memory PM (MB)", float64(metP.PM)/(1<<20), float64(metP2.PM)/(1<<20))
 	fmt.Printf("%-26s %10d %10d\n", "data-type heap objects", metP.DataObjects, metP2.DataObjects)
 	fmt.Printf("%-26s %10d %10d\n", "throughput (edges/s)", int(metP.Throughput()), int(metP2.Throughput()))

@@ -53,7 +53,7 @@ func main() {
 	}
 
 	// 2. Run P on the managed heap (16 MB budget).
-	outP, resP, err := facade.RunMain(prog, facade.RunConfig{HeapSize: 16 << 20})
+	resP, err := facade.Run(prog, facade.WithHeapSize(16<<20))
 	if err != nil {
 		log.Fatalf("run P: %v", err)
 	}
@@ -68,30 +68,28 @@ func main() {
 	}
 
 	// 4. Run P' with the same heap budget.
-	outP2, resP2, err := facade.RunMain(p2, facade.RunConfig{HeapSize: 16 << 20})
+	resP2, err := facade.Run(p2, facade.WithHeapSize(16<<20))
 	if err != nil {
 		log.Fatalf("run P': %v", err)
 	}
 	defer resP2.Close()
 
+	outP, outP2 := resP.Output(), resP2.Output()
 	fmt.Printf("P  output: %s", outP)
 	fmt.Printf("P' output: %s", outP2)
 	if outP != outP2 {
 		log.Fatal("outputs differ — the transform must be semantics-preserving")
 	}
 
-	hs, hs2 := resP.VM.Heap.Stats(), resP2.VM.Heap.Stats()
-	tupleP := resP.VM.Heap.ClassAllocCount(prog.H.Class("Tuple"))
-	tupleP2 := resP2.VM.Heap.ClassAllocCount(p2.H.Class("TupleFacade"))
+	// 5. Compare what the memory system did, via the public stats mirror.
+	st, st2 := resP.Stats(), resP2.Stats()
 	fmt.Println()
 	fmt.Printf("%-34s %12s %12s\n", "", "P (heap)", "P' (facade)")
-	fmt.Printf("%-34s %12d %12d\n", "Tuple heap objects allocated", tupleP, tupleP2)
-	fmt.Printf("%-34s %12d %12d\n", "collections (minor+full)", hs.MinorGCs+hs.FullGCs, hs2.MinorGCs+hs2.FullGCs)
-	fmt.Printf("%-34s %12.1f %12.1f\n", "GC time (ms)", float64(hs.GCTime.Microseconds())/1000, float64(hs2.GCTime.Microseconds())/1000)
-	if resP2.VM.RT != nil {
-		ns := resP2.VM.RT.Stats()
-		fmt.Printf("%-34s %12s %12d\n", "native pages (32 KB, recycled)", "-", ns.PagesCreated)
-		fmt.Printf("%-34s %12s %12d\n", "page records allocated", "-", ns.Records)
-	}
+	fmt.Printf("%-34s %12d %12d\n", "Tuple heap objects allocated", st.ClassAllocs["Tuple"], st2.ClassAllocs["TupleFacade"])
+	fmt.Printf("%-34s %12d %12d\n", "collections (minor+full)", st.Heap.MinorGCs+st.Heap.FullGCs, st2.Heap.MinorGCs+st2.Heap.FullGCs)
+	fmt.Printf("%-34s %12.1f %12.1f\n", "GC time (ms)", float64(st.Heap.GCTime.Microseconds())/1000, float64(st2.Heap.GCTime.Microseconds())/1000)
+	fmt.Printf("%-34s %12.3f %12.3f\n", "p95 GC pause (ms)", float64(st.GCPauses().Quantile(0.95))/1e6, float64(st2.GCPauses().Quantile(0.95))/1e6)
+	fmt.Printf("%-34s %12s %12d\n", "native pages (32 KB, recycled)", "-", st2.Offheap.PagesCreated)
+	fmt.Printf("%-34s %12s %12d\n", "page records allocated", "-", st2.Offheap.Records)
 	fmt.Printf("%-34s %12d %12d\n", "pool bound for Tuple (§3.3)", 0, p2.Bounds["Tuple"])
 }

@@ -90,6 +90,167 @@ class D {
 	}
 }
 
+// allocHeavySrc allocates enough under a small heap to force collections,
+// so stats tests see nonzero GC activity.
+const allocHeavySrc = `
+class Rec {
+    long a;
+    long b;
+    Rec(long a) { this.a = a; this.b = a * 2L; }
+}
+class Main {
+    static void main() {
+        long acc = 0L;
+        for (int it = 0; it < 20; it = it + 1) {
+            Sys.iterStart();
+            for (int i = 0; i < 3000; i = i + 1) {
+                Rec r = new Rec(i);
+                acc = acc + r.b;
+            }
+            Sys.iterEnd();
+        }
+        Sys.println(acc);
+    }
+}
+`
+
+func TestRunStatsMirrorsInternal(t *testing.T) {
+	prog, err := Compile(map[string]string{"x.fj": allocHeavySrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, WithHeapSize(2<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+
+	st := res.Stats()
+	hs := res.VM.Heap.Stats()
+	if st.Heap.AllocBytes != hs.AllocBytes ||
+		st.Heap.AllocObjects != hs.AllocObjects ||
+		st.Heap.MinorGCs != hs.MinorGCs ||
+		st.Heap.FullGCs != hs.FullGCs ||
+		st.Heap.GCTime != hs.GCTime ||
+		st.Heap.PeakUsed != hs.PeakUsed ||
+		st.Heap.HeapSize != hs.HeapSize {
+		t.Fatalf("RunStats.Heap diverges from heap.Stats: %+v vs %+v", st.Heap, hs)
+	}
+	if st.Heap.MinorGCs+st.Heap.FullGCs == 0 {
+		t.Fatal("workload expected to trigger collections")
+	}
+	if st.ClassAllocs["Rec"] == 0 {
+		t.Fatalf("per-class allocation counts missing: %v", st.ClassAllocs)
+	}
+	// Every collection records one pause observation.
+	p := st.GCPauses()
+	if p.Count != st.Heap.MinorGCs+st.Heap.FullGCs {
+		t.Fatalf("pause count %d != collections %d", p.Count, st.Heap.MinorGCs+st.Heap.FullGCs)
+	}
+	if p.Quantile(0.95) < p.Quantile(0.5) || p.Quantile(1) > p.Max {
+		t.Fatalf("quantiles inconsistent: p50=%d p95=%d max=%d", p.Quantile(0.5), p.Quantile(0.95), p.Max)
+	}
+	if st.VM.Instructions == 0 {
+		t.Fatal("instruction counter not flushed")
+	}
+	if st.Counters["vm.instructions"] != st.VM.Instructions {
+		t.Fatal("VMStats must mirror the named counter")
+	}
+}
+
+func TestRunTransformedStats(t *testing.T) {
+	prog, err := Compile(map[string]string{"x.fj": allocHeavySrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Transform(prog, TransformOptions{DataClasses: []string{"Rec", "Main"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p2, WithHeapSize(8<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	st := res.Stats()
+	if st.Offheap.PagesCreated == 0 || st.Offheap.Records == 0 {
+		t.Fatalf("off-heap stats not populated: %+v", st.Offheap)
+	}
+	if st.Offheap.PagesLiveHW < st.Offheap.PagesLive {
+		t.Fatalf("high-water %d below live %d", st.Offheap.PagesLiveHW, st.Offheap.PagesLive)
+	}
+	if st.VM.FacadePoolHits == 0 {
+		t.Fatal("facade pool hits not counted on transformed run")
+	}
+}
+
+func TestRunObserverAndOutputTee(t *testing.T) {
+	prog, err := Compile(map[string]string{"x.fj": allocHeavySrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	var tee strings.Builder
+	res, err := Run(prog,
+		WithHeapSize(2<<20),
+		WithOutput(&tee),
+		WithObserver(func(e Event) { events = append(events, e) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if tee.String() != res.Output() {
+		t.Fatalf("tee %q != output %q", tee.String(), res.Output())
+	}
+	sawGC := false
+	for _, e := range events {
+		if e.Kind == "gc" {
+			sawGC = true
+			break
+		}
+	}
+	if !sawGC {
+		t.Fatalf("observer saw no gc events among %d events", len(events))
+	}
+}
+
+func TestWithRandSeedZeroHonored(t *testing.T) {
+	src := `
+class Main {
+    static void main() {
+        for (int i = 0; i < 5; i = i + 1) { Sys.println(Sys.rand(1000000)); }
+    }
+}
+`
+	prog, err := Compile(map[string]string{"x.fj": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts ...Option) string {
+		t.Helper()
+		res, err := Run(prog, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Close()
+		return res.Output()
+	}
+	seed0 := run(WithRandSeed(0))
+	seed1 := run(WithRandSeed(1))
+	if seed0 == seed1 {
+		t.Fatal("WithRandSeed(0) remapped to seed 1")
+	}
+	// The legacy struct cannot express seed 0: zero value means default.
+	legacy, res, err := RunMain(prog, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if legacy != seed1 {
+		t.Fatal("legacy default seed must stay 1")
+	}
+}
+
 func TestGCStressUnderTinyHeapBothPrograms(t *testing.T) {
 	// Run a heavy allocation workload under a minimal heap: P must
 	// survive via many collections, P' via page recycling.

@@ -8,7 +8,12 @@
 //	p2, err := facade.Transform(prog, facade.TransformOptions{
 //	    DataClasses: []string{"Vertex", "Edge"},
 //	})
-//	out, res, err := facade.RunMain(p2, facade.RunConfig{HeapSize: 64 << 20})
+//	res, err := facade.Run(p2, facade.WithHeapSize(64<<20))
+//	fmt.Print(res.Output())
+//	stats := res.Stats() // GC pauses, page counters, per-class allocs
+//
+// Result.Stats returns RunStats, a self-contained mirror of everything the
+// run measured, so reporting code needs no internal packages.
 //
 // Framework integrations (GraphChi, Hyracks, GPS in internal/...) create a
 // VM directly with NewVM and drive the data path through vm.Thread's
@@ -18,11 +23,14 @@ package facade
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/lang"
 	"repro/internal/lower"
+	"repro/internal/obs"
 	"repro/internal/stdlib"
 	"repro/internal/vm"
 )
@@ -52,49 +60,52 @@ func Transform(p *ir.Program, opts TransformOptions) (*ir.Program, error) {
 	return core.Transform(p, opts)
 }
 
-// RunConfig configures a program run.
-type RunConfig struct {
-	// HeapSize is the managed heap budget in bytes (default 64 MiB).
-	HeapSize int
-	// Entry is the entry function key (default "Main.main").
-	Entry string
-	// RandSeed seeds Sys.rand (default 1).
-	RandSeed int64
-}
-
-// Result carries the outcome of RunMain.
+// Result carries the outcome of a run. The VM and thread remain exported
+// for framework code; reporting code should use Output and Stats instead.
 type Result struct {
 	Value  vm.Value
 	VM     *vm.VM
 	Thread *vm.Thread
+
+	out *bytes.Buffer
 }
 
-// RunMain creates a VM, runs the entry function on a fresh thread, and
-// returns the captured Sys.print output. The VM and thread are returned
-// for stats inspection; call Result.Close when done.
-func RunMain(p *ir.Program, cfg RunConfig) (string, *Result, error) {
-	if cfg.HeapSize == 0 {
-		cfg.HeapSize = 64 << 20
+// Run creates a VM for p, runs the entry function on a fresh thread, and
+// returns the Result. Options configure the heap budget, entry point,
+// random seed, output tee, and event observer:
+//
+//	res, err := facade.Run(p, facade.WithHeapSize(32<<20), facade.WithEntry("App.start"))
+//
+// The Sys.print output is available from Result.Output, and measurements
+// from Result.Stats. Call Result.Close when done.
+func Run(p *ir.Program, opts ...Option) (*Result, error) {
+	o := defaultRunOptions()
+	for _, opt := range opts {
+		opt(&o)
 	}
-	if cfg.Entry == "" {
-		cfg.Entry = "Main.main"
+	out := &bytes.Buffer{}
+	var w io.Writer = out
+	if o.out != nil {
+		w = io.MultiWriter(out, o.out)
 	}
-	if cfg.RandSeed == 0 {
-		cfg.RandSeed = 1
+	reg := obs.NewRegistry()
+	if o.observer != nil {
+		fn := o.observer
+		reg.SetEventSink(func(e obs.Event) { fn(publicEvent(e)) })
 	}
-	var out bytes.Buffer
-	m, err := vm.New(p, vm.Config{HeapSize: cfg.HeapSize, Out: &out, RandSeed: cfg.RandSeed})
+	m, err := vm.New(p, vm.Config{HeapSize: o.heapSize, Out: w, RandSeed: o.randSeed, Obs: reg})
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	t, err := m.NewThread(nil)
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
-	entry := cfg.Entry
+	res := &Result{VM: m, Thread: t, out: out}
+	entry := o.entry
 	if p.Transformed {
 		// If the entry class was transformed, run the facade twin.
-		if dot := indexByte(entry, '.'); dot > 0 {
+		if dot := strings.IndexByte(entry, '.'); dot > 0 {
 			cls, meth := entry[:dot], entry[dot+1:]
 			if p.DataClasses[cls] {
 				entry = cls + "Facade." + meth
@@ -102,11 +113,19 @@ func RunMain(p *ir.Program, cfg RunConfig) (string, *Result, error) {
 		}
 	}
 	v, err := t.Call(entry)
-	res := &Result{Value: v, VM: m, Thread: t}
+	res.Value = v
 	if err != nil {
-		return out.String(), res, fmt.Errorf("running %s: %w", entry, err)
+		return res, fmt.Errorf("running %s: %w", entry, err)
 	}
-	return out.String(), res, nil
+	return res, nil
+}
+
+// Output returns the Sys.print output captured so far.
+func (r *Result) Output() string {
+	if r.out == nil {
+		return ""
+	}
+	return r.out.String()
 }
 
 // Close releases the run's thread.
@@ -116,14 +135,42 @@ func (r *Result) Close() {
 	}
 }
 
+// RunConfig configures a program run.
+//
+// Deprecated: use Run with options (WithHeapSize, WithEntry, WithRandSeed).
+type RunConfig struct {
+	// HeapSize is the managed heap budget in bytes (default 64 MiB).
+	HeapSize int
+	// Entry is the entry function key (default "Main.main").
+	Entry string
+	// RandSeed seeds Sys.rand (default 1; pass WithRandSeed(0) to Run for
+	// an explicit zero seed — this struct cannot express it).
+	RandSeed int64
+}
+
+// RunMain creates a VM, runs the entry function on a fresh thread, and
+// returns the captured Sys.print output. The VM and thread are returned
+// for stats inspection; call Result.Close when done.
+//
+// Deprecated: use Run, which returns the output via Result.Output and
+// measurements via Result.Stats.
+func RunMain(p *ir.Program, cfg RunConfig) (string, *Result, error) {
+	opts := []Option{}
+	if cfg.HeapSize != 0 {
+		opts = append(opts, WithHeapSize(cfg.HeapSize))
+	}
+	if cfg.Entry != "" {
+		opts = append(opts, WithEntry(cfg.Entry))
+	}
+	if cfg.RandSeed != 0 {
+		opts = append(opts, WithRandSeed(cfg.RandSeed))
+	}
+	res, err := Run(p, opts...)
+	if res == nil {
+		return "", nil, err
+	}
+	return res.Output(), res, err
+}
+
 // NewVM builds a VM for a compiled or transformed program.
 func NewVM(p *ir.Program, cfg vm.Config) (*vm.VM, error) { return vm.New(p, cfg) }
-
-func indexByte(s string, c byte) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == c {
-			return i
-		}
-	}
-	return -1
-}

@@ -1,0 +1,59 @@
+package facade
+
+import "io"
+
+// Option configures a Run call (functional options).
+type Option func(*runOptions)
+
+type runOptions struct {
+	heapSize int
+	entry    string
+	randSeed int64
+	seedSet  bool
+	out      io.Writer
+	observer func(Event)
+}
+
+func defaultRunOptions() runOptions {
+	return runOptions{
+		heapSize: 64 << 20,
+		entry:    "Main.main",
+		randSeed: 1,
+	}
+}
+
+// WithHeapSize sets the managed heap budget in bytes (-Xmx). Default is
+// 64 MiB.
+func WithHeapSize(bytes int) Option {
+	return func(o *runOptions) { o.heapSize = bytes }
+}
+
+// WithEntry sets the entry function key (default "Main.main"). For
+// transformed programs the entry is remapped to the facade twin when the
+// entry class was transformed.
+func WithEntry(key string) Option {
+	return func(o *runOptions) { o.entry = key }
+}
+
+// WithRandSeed seeds the deterministic Sys.rand source. Unlike the legacy
+// RunConfig.RandSeed (whose zero value silently meant 1), the seed given
+// here is honored exactly, including 0.
+func WithRandSeed(seed int64) Option {
+	return func(o *runOptions) {
+		o.randSeed = seed
+		o.seedSet = true
+	}
+}
+
+// WithOutput duplicates Sys.print output to w as the program runs; the
+// full output remains available from Result.Output.
+func WithOutput(w io.Writer) Option {
+	return func(o *runOptions) { o.out = w }
+}
+
+// WithObserver streams runtime events (GC cycles, iteration boundaries,
+// page-manager releases) to fn as they happen. fn runs on VM threads and
+// must be fast and must not call back into the VM.
+func WithObserver(fn func(Event)) Option {
+	return func(o *runOptions) { o.observer = fn }
+}

@@ -1,0 +1,171 @@
+package facade
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RunStats is the public, JSON-marshalable mirror of everything a run
+// measured: heap and collector counters, off-heap page-store counters,
+// interpreter counters, per-class allocation counts, and the full
+// observability snapshot (named counters, gauges, histograms, events).
+// It contains no internal types, so callers can report on a run without
+// importing internal/vm or internal/heap.
+type RunStats struct {
+	Heap    HeapStats    `json:"heap"`
+	Offheap OffheapStats `json:"offheap"`
+	VM      VMStats      `json:"vm"`
+
+	// ClassAllocs counts heap allocations per class name; array
+	// allocations appear under "[]elem" keys.
+	ClassAllocs map[string]int64 `json:"class_allocs"`
+
+	Counters   map[string]int64     `json:"counters"`
+	Gauges     map[string]int64     `json:"gauges"`
+	Histograms map[string]Histogram `json:"histograms"`
+	Events     []Event              `json:"events,omitempty"`
+}
+
+// HeapStats mirrors the managed heap's counters.
+type HeapStats struct {
+	AllocBytes   int64         `json:"alloc_bytes"`
+	AllocObjects int64         `json:"alloc_objects"`
+	MinorGCs     int64         `json:"minor_gcs"`
+	FullGCs      int64         `json:"full_gcs"`
+	GCTime       time.Duration `json:"gc_time_ns"`
+	Promoted     int64         `json:"promoted"`
+	MarkedNodes  int64         `json:"marked_nodes"`
+	PeakUsed     int64         `json:"peak_used"`
+	LiveAfterGC  int64         `json:"live_after_gc"`
+	HeapSize     int64         `json:"heap_size"`
+}
+
+// OffheapStats mirrors the native page store's counters; zero for
+// untransformed programs.
+type OffheapStats struct {
+	PagesCreated  int64 `json:"pages_created"`
+	PagesLive     int64 `json:"pages_live"`
+	PagesLiveHW   int64 `json:"pages_live_hw"`
+	PagesRecycled int64 `json:"pages_recycled"`
+	Oversize      int64 `json:"oversize"`
+	Records       int64 `json:"records"`
+	BytesInUse    int64 `json:"bytes_in_use"`
+	PeakBytes     int64 `json:"peak_bytes"`
+	Managers      int64 `json:"managers"`
+}
+
+// VMStats mirrors the interpreter's execution counters.
+type VMStats struct {
+	Instructions      int64 `json:"instructions"`
+	BoundaryCrossings int64 `json:"boundary_crossings"`
+	FacadePoolHits    int64 `json:"facade_pool_hits"`
+}
+
+// Histogram is the public mirror of a fixed-bucket histogram snapshot.
+// Counts[i] holds observations <= Bounds[i]; the final entry of Counts is
+// the overflow bucket.
+type Histogram struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the buckets,
+// clamped to the observed min/max. Returns 0 for an empty histogram.
+func (h Histogram) Quantile(q float64) int64 {
+	return h.snap().Quantile(q)
+}
+
+// Mean returns the average observation, or 0 for an empty histogram.
+func (h Histogram) Mean() float64 { return h.snap().Mean() }
+
+func (h Histogram) snap() obs.HistogramSnapshot {
+	return obs.HistogramSnapshot{
+		Bounds: h.Bounds, Counts: h.Counts,
+		Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+	}
+}
+
+// Event is one entry of the run's bounded event stream.
+type Event struct {
+	// Seq is a global sequence number (gaps mean the ring buffer
+	// overwrote older events).
+	Seq uint64 `json:"seq"`
+	// Nanos is the emission time relative to the start of the run.
+	Nanos int64 `json:"t_ns"`
+	// Kind is the event kind: "gc", "iteration", "phase", "pm_release".
+	Kind  string `json:"kind"`
+	Label string `json:"label,omitempty"`
+	// A, B, C are kind-specific payloads (for "gc": pause ns and bytes).
+	A int64 `json:"a,omitempty"`
+	B int64 `json:"b,omitempty"`
+	C int64 `json:"c,omitempty"`
+}
+
+// GCPauses returns the overall GC pause histogram (nanoseconds), covering
+// minor and full collections. Quantile gives p50/p95/... pause times.
+func (s RunStats) GCPauses() Histogram { return s.Histograms[obs.HistGCPause] }
+
+// Stats snapshots everything the run measured. The snapshot is
+// internally consistent but the run should be complete (Call returned)
+// for totals to be final.
+func (r *Result) Stats() RunStats {
+	hs := r.VM.Heap.Stats()
+	st := RunStats{
+		Heap: HeapStats{
+			AllocBytes:   hs.AllocBytes,
+			AllocObjects: hs.AllocObjects,
+			MinorGCs:     hs.MinorGCs,
+			FullGCs:      hs.FullGCs,
+			GCTime:       hs.GCTime,
+			Promoted:     hs.Promoted,
+			MarkedNodes:  hs.MarkedNodes,
+			PeakUsed:     hs.PeakUsed,
+			LiveAfterGC:  hs.LiveAfterGC,
+			HeapSize:     hs.HeapSize,
+		},
+		ClassAllocs: r.VM.Heap.ClassAllocCounts(),
+	}
+	if r.VM.RT != nil {
+		ns := r.VM.RT.Stats()
+		st.Offheap = OffheapStats{
+			PagesCreated:  ns.PagesCreated,
+			PagesLive:     ns.PagesLive,
+			PagesLiveHW:   ns.PagesLiveHW,
+			PagesRecycled: ns.PagesRecycled,
+			Oversize:      ns.Oversize,
+			Records:       ns.Records,
+			BytesInUse:    ns.BytesInUse,
+			PeakBytes:     ns.PeakBytes,
+			Managers:      ns.Managers,
+		}
+	}
+	snap := r.VM.Obs().Snapshot()
+	st.VM = VMStats{
+		Instructions:      snap.Counters[obs.CtrInstructions],
+		BoundaryCrossings: snap.Counters[obs.CtrBoundaryCalls],
+		FacadePoolHits:    snap.Counters[obs.CtrFacadePoolHits],
+	}
+	st.Counters = snap.Counters
+	st.Gauges = snap.Gauges
+	st.Histograms = make(map[string]Histogram, len(snap.Histograms))
+	for name, h := range snap.Histograms {
+		st.Histograms[name] = Histogram{
+			Bounds: h.Bounds, Counts: h.Counts,
+			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+		}
+	}
+	st.Events = make([]Event, len(snap.Events))
+	for i, e := range snap.Events {
+		st.Events[i] = publicEvent(e)
+	}
+	return st
+}
+
+func publicEvent(e obs.Event) Event {
+	return Event{Seq: e.Seq, Nanos: e.Nanos, Kind: e.Kind, Label: e.Label, A: e.A, B: e.B, C: e.C}
+}

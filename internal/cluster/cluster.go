@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -130,6 +131,16 @@ func (c *Cluster) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// ObsSnapshots returns every node's observability snapshot, indexed by
+// node ID (each node's VM has a private registry).
+func (c *Cluster) ObsSnapshots() []obs.Snapshot {
+	out := make([]obs.Snapshot, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.VM.Obs().Snapshot()
+	}
+	return out
 }
 
 // ParallelEach runs fn on every node concurrently and returns the first

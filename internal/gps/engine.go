@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -55,6 +56,10 @@ type Result struct {
 	FullGCs    int64
 	Values     []float64 // final vertex values / point assignments
 	Centroids  [][2]float64
+
+	// NodeObs holds each node's observability snapshot (indexed by node
+	// ID); supersteps appear as EvIteration events in each.
+	NodeObs []obs.Snapshot
 }
 
 // partition is one node's share of the graph.
@@ -223,10 +228,11 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 	}
 
 	for step := 0; step < cfg.Supersteps; step++ {
+		step := step
 		first := step == 0
 		last := step == cfg.Supersteps-1
 		err = cl.ParallelEach(func(n *cluster.Node) error {
-			return superstep(cl, n, states[n.ID], cfg, first, last)
+			return superstep(cl, n, states[n.ID], cfg, step, first, last)
 		})
 		if err != nil {
 			return nil, err
@@ -274,10 +280,14 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 }
 
 // superstep runs one node's compute phase and sends one frame per peer.
-func superstep(cl *cluster.Cluster, n *cluster.Node, st *nodeState, cfg Config, first, last bool) error {
+func superstep(cl *cluster.Cluster, n *cluster.Node, st *nodeState, cfg Config, step int, first, last bool) error {
+	stepStart := time.Now()
 	t := n.Main
 	t.IterationStart()
 	defer t.IterationEnd()
+	defer func() {
+		n.VM.Obs().Emit(obs.EvIteration, "superstep", int64(step), time.Since(stepStart).Nanoseconds(), int64(n.ID))
+	}()
 
 	// Deliver incoming messages (u32 local target already translated by
 	// sender? No: sender sends global IDs; translate here).
@@ -398,6 +408,7 @@ func resultFrom(cl *cluster.Cluster, start time.Time) *Result {
 		NativePeak: st.MaxNative,
 		MinorGCs:   st.MinorGCs,
 		FullGCs:    st.FullGCs,
+		NodeObs:    cl.ObsSnapshots(),
 	}
 }
 
@@ -452,11 +463,16 @@ func runKMeans(cl *cluster.Cluster, g *datagen.Graph, cfg Config) (*Result, erro
 	var mu = make(chan struct{}, 1)
 	mu <- struct{}{}
 	for step := 0; step < cfg.Supersteps; step++ {
+		step := step
 		sums := make([]float64, 3*k)
 		err := cl.ParallelEach(func(n *cluster.Node) error {
+			stepStart := time.Now()
 			t := n.Main
 			t.IterationStart()
 			defer t.IterationEnd()
+			defer func() {
+				n.VM.Obs().Emit(obs.EvIteration, "superstep", int64(step), time.Since(stepStart).Nanoseconds(), int64(n.ID))
+			}()
 			ocx, err := t.NewDoubleArr(cx)
 			if err != nil {
 				return err

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -63,8 +65,15 @@ type Metrics struct {
 	SubIters    int
 	DataObjects int64 // heap objects allocated for the data classes
 	Pages       int64 // native pages created (P' only)
+	PagesLiveHW int64 // high-water mark of simultaneously live pages
 	Records     int64 // page records allocated (P' only)
 	Edges       int64 // edges processed (NumEdges * Iterations)
+
+	// Obs is the run's full observability snapshot (GC pause histograms,
+	// safepoint waits, page counters, interpreter counters, event ring).
+	Obs obs.Snapshot
+	// ClassAllocs counts heap allocations per class/array type.
+	ClassAllocs map[string]int64
 }
 
 // Throughput returns edges processed per second (Figure 4a's metric).
@@ -124,7 +133,9 @@ func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, err
 	met := &Metrics{Edges: int64(sg.NumEdges()) * int64(cfg.Iterations)}
 	start := time.Now()
 
+	reg := machine.Obs()
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		iterStart := time.Now()
 		main.IterationStart()
 		for _, iv := range intervals {
 			if err := runInterval(main, pool, prog, sg, cfg, values, iv, met); err != nil {
@@ -133,6 +144,7 @@ func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, err
 			met.SubIters++
 		}
 		main.IterationEnd()
+		reg.Emit(obs.EvIteration, "graphchi", int64(iter), time.Since(iterStart).Nanoseconds(), int64(len(intervals)))
 	}
 
 	met.ET = time.Since(start)
@@ -145,11 +157,26 @@ func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, err
 		ns := machine.RT.Stats()
 		met.NativePeak = ns.PeakBytes
 		met.Pages = ns.PagesCreated
+		met.PagesLiveHW = ns.PagesLiveHW
 		met.Records = ns.Records
 	}
 	met.PM = met.HeapPeak + met.NativePeak
 	met.DataObjects = countDataObjects(machine)
+	met.ClassAllocs = machine.Heap.ClassAllocCounts()
+	met.Obs = reg.Snapshot()
 	return met, values, nil
+}
+
+// RunProgram builds a VM for prog with the given heap budget and runs the
+// engine on it. It is the entry point for callers that only need metrics:
+// everything the run measured comes back in Metrics (including the
+// observability snapshot), so no VM or heap types leak out.
+func RunProgram(prog *ir.Program, heapSize int, sg *ShardedGraph, cfg Config) (*Metrics, []float64, error) {
+	machine, err := vm.New(prog, vm.Config{HeapSize: heapSize})
+	if err != nil {
+		return nil, nil, err
+	}
+	return Run(machine, sg, cfg)
 }
 
 // countDataObjects totals heap allocations of the profiled data classes

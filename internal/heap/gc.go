@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Collector implementation. Minor collections evacuate live nursery
@@ -24,6 +26,7 @@ func (hp *Heap) collectSTW(full bool) error {
 			full = true
 		}
 	}
+	promotedBefore := hp.stats.promoted.Load()
 	if full {
 		err = hp.fullGC()
 		hp.stats.fullGCs.Add(1)
@@ -31,7 +34,16 @@ func (hp *Heap) collectSTW(full bool) error {
 		hp.minorGC()
 		hp.stats.minorGCs.Add(1)
 	}
-	hp.stats.gcNanos.Add(time.Since(start).Nanoseconds())
+	pause := time.Since(start).Nanoseconds()
+	hp.stats.gcNanos.Add(pause)
+	hp.hPause.Observe(pause)
+	if full {
+		hp.hPauseFull.Observe(pause)
+		hp.obs.Emit(obs.EvGC, "full", pause, hp.stats.liveAfterGC.Load(), 0)
+	} else {
+		hp.hPauseMinor.Observe(pause)
+		hp.obs.Emit(obs.EvGC, "minor", pause, hp.stats.promoted.Load()-promotedBefore, 0)
+	}
 	return err
 }
 
@@ -78,6 +90,7 @@ func (hp *Heap) minorGC() {
 
 	// copyYoung evacuates a nursery object to the old generation,
 	// leaving a forwarding address in its GC word.
+	var promotedBytes int64
 	var copyYoung func(a Addr) Addr
 	copyYoung = func(a Addr) Addr {
 		if a == 0 || !hp.inYoung(a) {
@@ -93,10 +106,12 @@ func (hp *Heap) minorGC() {
 		hp.setU32(a+hdrGC, dst)
 		hp.stats.promoted.Add(1)
 		hp.stats.marked.Add(1)
+		promotedBytes += int64(size)
 		return dst
 	}
 
 	hp.visitAllRoots(copyYoung)
+	hp.cRemsetScanned.Add(int64(len(hp.remset)))
 	for slot := range hp.remset {
 		v := Addr(hp.getU64(slot))
 		hp.setU64(slot, uint64(copyYoung(v)))
@@ -114,6 +129,7 @@ func (hp *Heap) minorGC() {
 	hp.remset = make(map[Addr]struct{})
 	hp.invalidateTLABs()
 	hp.notePeakLocked()
+	hp.cPromotedBytes.Add(promotedBytes)
 }
 
 // ---------------------------------------------------------------------------
@@ -310,12 +326,14 @@ func (hp *Heap) fullGC() error {
 
 	// Phase 4: move. Slide the old generation in address order (dest <=
 	// src), then evacuate nursery survivors.
+	var movedBytes int64
 	for a := hp.oldBase; a < hp.oldPos; {
 		size := Addr(hp.objSize(a))
 		if hp.marked(a) {
 			dst := hp.getU32(a + hdrGC)
 			if dst != a {
 				copy(hp.arena[dst:dst+size], hp.arena[a:a+size])
+				movedBytes += int64(size)
 			}
 			hp.setU32(dst+hdrGC, 0)
 		}
@@ -326,7 +344,9 @@ func (hp *Heap) fullGC() error {
 		dst := hp.getU32(a + hdrGC)
 		copy(hp.arena[dst:dst+size], hp.arena[a:a+size])
 		hp.setU32(dst+hdrGC, 0)
+		movedBytes += int64(size)
 	}
+	hp.cEvacuated.Add(movedBytes)
 
 	hp.oldPos = newPos
 	hp.youngPos = hp.oldEnd

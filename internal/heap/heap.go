@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/lang"
+	"repro/internal/obs"
 )
 
 // Addr is a heap address: a byte offset into the arena. 0 is null.
@@ -71,6 +72,10 @@ type Config struct {
 	// mark phase (the paper's runs use HotSpot's parallel collector).
 	// Defaults to min(GOMAXPROCS, 4); 1 forces single-threaded marking.
 	GCWorkers int
+	// Obs receives the heap's observability instruments (pause and
+	// allocation-size histograms, promotion counters). A fresh private
+	// registry is created when nil.
+	Obs *obs.Registry
 }
 
 // Stats is a snapshot of allocation and collection counters.
@@ -140,6 +145,18 @@ type Heap struct {
 		liveAfterGC  atomic.Int64
 	}
 
+	// Observability instruments (internal/obs). Hot paths use the direct
+	// pointers; the registry is only consulted at creation/snapshot time.
+	obs            *obs.Registry
+	hPause         *obs.Histogram // every stop-the-world pause, ns
+	hPauseMinor    *obs.Histogram
+	hPauseFull     *obs.Histogram
+	hSafepointWait *obs.Histogram // mutator wait entering the VM during GC, ns
+	hAllocSize     *obs.Histogram // per-allocation sizes, bytes
+	cPromotedBytes *obs.Counter   // bytes evacuated young -> old
+	cEvacuated     *obs.Counter   // objects evacuated by minor collections
+	cRemsetScanned *obs.Counter   // remembered-set slots scanned by minor GCs
+
 	sp safepointState
 }
 
@@ -195,9 +212,24 @@ func New(cfg Config, h *lang.Hierarchy) *Heap {
 	}
 	// One mark bit per 8 bytes of heap.
 	hp.markBits = make([]uint32, (cfg.HeapSize/8+31)/32)
+	hp.obs = cfg.Obs
+	if hp.obs == nil {
+		hp.obs = obs.NewRegistry()
+	}
+	hp.hPause = hp.obs.Histogram(obs.HistGCPause, obs.GCPauseBounds)
+	hp.hPauseMinor = hp.obs.Histogram(obs.HistGCPauseMinor, obs.GCPauseBounds)
+	hp.hPauseFull = hp.obs.Histogram(obs.HistGCPauseFull, obs.GCPauseBounds)
+	hp.hSafepointWait = hp.obs.Histogram(obs.HistSafepointWait, obs.SafepointWaitBounds)
+	hp.hAllocSize = hp.obs.Histogram(obs.HistAllocSize, obs.AllocSizeBounds)
+	hp.cPromotedBytes = hp.obs.Counter(obs.CtrPromotedBytes)
+	hp.cEvacuated = hp.obs.Counter(obs.CtrEvacuated)
+	hp.cRemsetScanned = hp.obs.Counter(obs.CtrRemsetScanned)
 	hp.sp.init()
 	return hp
 }
+
+// Obs returns the heap's observability registry.
+func (hp *Heap) Obs() *obs.Registry { return hp.obs }
 
 // Size returns the configured heap size in bytes.
 func (hp *Heap) Size() int { return len(hp.arena) }
@@ -300,6 +332,7 @@ func (hp *Heap) AllocObject(tc *ThreadCtx, cls *lang.Class) (Addr, error) {
 	atomic.AddInt64(&hp.classCounts[cls.ID], 1)
 	hp.stats.allocObjects.Add(1)
 	hp.stats.allocBytes.Add(int64(size))
+	hp.hAllocSize.Observe(int64(size))
 	return a, nil
 }
 
@@ -319,6 +352,7 @@ func (hp *Heap) AllocArray(tc *ThreadCtx, elem *lang.Type, n int) (Addr, error) 
 	atomic.AddInt64(&hp.arrCounts[idx], 1)
 	hp.stats.allocObjects.Add(1)
 	hp.stats.allocBytes.Add(int64(size))
+	hp.hAllocSize.Observe(int64(size))
 	return a, nil
 }
 
@@ -534,6 +568,27 @@ func (hp *Heap) ClassAllocCount(cls *lang.Class) int64 {
 func (hp *Heap) ArrayAllocCount(elem *lang.Type) int64 {
 	idx := hp.ArrayTypeIndex(elem)
 	return atomic.LoadInt64(&hp.arrCounts[idx])
+}
+
+// ClassAllocCounts returns the allocation count per class name (plus
+// "[]T" entries for arrays of element type T), nonzero entries only — the
+// paper's per-data-class allocation profile (§4.1), in the form the -json
+// run report embeds.
+func (hp *Heap) ClassAllocCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for id := range hp.classCounts {
+		if c := atomic.LoadInt64(&hp.classCounts[id]); c != 0 {
+			out[hp.h.ClassList[id].Name] = c
+		}
+	}
+	hp.arrMu.Lock()
+	for idx, elem := range hp.arrTypes {
+		if c := atomic.LoadInt64(&hp.arrCounts[idx]); c != 0 {
+			out["[]"+elem.String()] = c
+		}
+	}
+	hp.arrMu.Unlock()
+	return out
 }
 
 // UsedBytes returns the bytes currently occupied (live + garbage).

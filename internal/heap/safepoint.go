@@ -3,6 +3,7 @@ package heap
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stop-the-world coordination. Mutator threads are either "running"
@@ -73,12 +74,18 @@ func (tc *ThreadCtx) BeginExternal() {
 }
 
 // EndExternal re-enters mutator state, blocking while a collection is
-// pending or in progress.
+// pending or in progress. Time spent blocked is recorded in the
+// safepoint-wait histogram (the wait is measured only when a collection
+// is actually pending, keeping the common path free of clock reads).
 func (tc *ThreadCtx) EndExternal() {
 	sp := &tc.hp.sp
 	sp.mu.Lock()
-	for sp.wanted.Load() {
-		sp.cond.Wait()
+	if sp.wanted.Load() {
+		start := time.Now()
+		for sp.wanted.Load() {
+			sp.cond.Wait()
+		}
+		tc.hp.hSafepointWait.Observe(time.Since(start).Nanoseconds())
 	}
 	if !tc.running {
 		tc.running = true

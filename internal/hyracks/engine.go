@@ -10,6 +10,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/heap"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Job is a MapReduce-style Hyracks job: every node maps its local
@@ -43,6 +44,10 @@ type Result struct {
 	FullGCs     int64
 	ShuffledMB  float64
 	OutputBytes int64
+
+	// NodeObs holds each node's observability snapshot (indexed by node
+	// ID); the map/reduce phases appear as EvPhase events in each.
+	NodeObs []obs.Snapshot
 }
 
 // RunJob executes the job over the dataset partitions on a fresh cluster
@@ -67,6 +72,7 @@ func RunJob(prog *ir.Program, job Job, parts [][]byte, ccfg cluster.Config, fair
 		if n.ID < len(parts) {
 			part = parts[n.ID]
 		}
+		phaseStart := time.Now()
 		frames, err := job.Map(n, part, reducers)
 		if err != nil {
 			return fmt.Errorf("node %d map: %w", n.ID, err)
@@ -74,9 +80,12 @@ func RunJob(prog *ir.Program, job Job, parts [][]byte, ccfg cluster.Config, fair
 		if len(frames) != reducers {
 			return fmt.Errorf("node %d map returned %d frames for %d reducers", n.ID, len(frames), reducers)
 		}
+		var shuffled int64
 		for r, f := range frames {
+			shuffled += int64(len(f))
 			cl.Net.Send(cluster.Frame{From: n.ID, To: r, Tag: "shuffle", Data: f})
 		}
+		n.VM.Obs().Emit(obs.EvPhase, "map", int64(n.ID), time.Since(phaseStart).Nanoseconds(), shuffled)
 		return nil
 	})
 	if mapErr != nil {
@@ -90,11 +99,13 @@ func RunJob(prog *ir.Program, job Job, parts [][]byte, ccfg cluster.Config, fair
 			f := cl.Net.Recv(n.ID)
 			frames = append(frames, f.Data)
 		}
+		phaseStart := time.Now()
 		out, err := job.Reduce(n, frames)
 		if err != nil {
 			return fmt.Errorf("node %d reduce: %w", n.ID, err)
 		}
 		fs.Write(fmt.Sprintf("/out/%s/part-%d", job.Name(), n.ID), out)
+		n.VM.Obs().Emit(obs.EvPhase, "reduce", int64(n.ID), time.Since(phaseStart).Nanoseconds(), int64(len(out)))
 		return nil
 	})
 	if redErr != nil {
@@ -117,6 +128,7 @@ func RunJob(prog *ir.Program, job Job, parts [][]byte, ccfg cluster.Config, fair
 		res.OME = true
 		res.OMEAt = res.ET
 	}
+	res.NodeObs = cl.ObsSnapshots()
 	return res, nil
 }
 
@@ -134,6 +146,7 @@ func failOrErr(res *Result, err error, start time.Time, cl *cluster.Cluster) (*R
 		res.PM = st.MaxTotal
 		res.MinorGCs = st.MinorGCs
 		res.FullGCs = st.FullGCs
+		res.NodeObs = cl.ObsSnapshots()
 		return res, nil
 	}
 	return nil, err

@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -38,38 +39,67 @@ func (t *Table) Row(vals ...any) {
 	t.rows = append(t.rows, row)
 }
 
-// Render writes the table to w.
+// Render writes the table to w. Columns whose body cells are all numeric
+// (a "-" placeholder counts) are right-aligned under their header, the
+// usual convention for measurement tables; text columns stay left-aligned.
 func (t *Table) Render(w io.Writer) {
 	widths := make([]int, len(t.Headers))
+	numeric := make([]bool, len(t.Headers))
 	for i, h := range t.Headers {
 		widths[i] = len(h)
+		numeric[i] = len(t.rows) > 0
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if i >= len(widths) {
+				continue
+			}
+			if len(c) > widths[i] {
 				widths[i] = len(c)
+			}
+			if !isNumericCell(c) {
+				numeric[i] = false
 			}
 		}
 	}
 	if t.Title != "" {
 		fmt.Fprintf(w, "%s\n", t.Title)
 	}
-	line := func(cells []string) {
+	line := func(cells []string, alignRight bool) {
 		parts := make([]string, len(cells))
 		for i, c := range cells {
-			parts[i] = pad(c, widths[i])
+			if alignRight && numeric[i] {
+				parts[i] = padLeft(c, widths[i])
+			} else {
+				parts[i] = pad(c, widths[i])
+			}
 		}
 		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
 	}
-	line(t.Headers)
+	line(t.Headers, true)
 	sep := make([]string, len(t.Headers))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
-	line(sep)
+	line(sep, false)
 	for _, r := range t.rows {
-		line(r)
+		line(r, true)
 	}
+}
+
+// isNumericCell reports whether a rendered cell is a number, optionally
+// with a trailing unit suffix ("2.0x", "85%"); "-" and "" are neutral
+// placeholders that do not break a numeric column.
+func isNumericCell(s string) bool {
+	if s == "" || s == "-" || s == "inf" {
+		return true
+	}
+	s = strings.TrimRight(s, "x%")
+	if s == "" {
+		return false
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
 }
 
 func pad(s string, w int) string {
@@ -79,12 +109,35 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
-// MB formats a byte count in mebibytes.
-func MB(b int64) string { return fmt.Sprintf("%.1f", float64(b)/(1<<20)) }
+func padLeft(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
 
-// Ratio formats a/b as "N.Nx" (guarding zero).
+// MB formats a byte count in mebibytes. Negative counts (an uninitialized
+// or inapplicable measurement) render as the "-" placeholder rather than a
+// nonsense negative size; zero renders as "0.0".
+func MB(b int64) string {
+	if b < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(b)/(1<<20))
+}
+
+// Ratio formats a/b as "N.Nx". Degenerate inputs render as placeholders:
+// a negative duration on either side gives "-" (clocks went backwards or
+// the measurement is missing), 0/0 gives "-", and a positive a over a zero
+// b gives "inf".
 func Ratio(a, b time.Duration) string {
+	if a < 0 || b < 0 {
+		return "-"
+	}
 	if b == 0 {
+		if a == 0 {
+			return "-"
+		}
 		return "inf"
 	}
 	return fmt.Sprintf("%.1fx", float64(a)/float64(b))

@@ -48,3 +48,52 @@ func TestFloatAndHelpers(t *testing.T) {
 		t.Fatal("Ratio zero")
 	}
 }
+
+func TestHelperEdgeCases(t *testing.T) {
+	if MB(0) != "0.0" {
+		t.Fatalf("MB(0): %s", MB(0))
+	}
+	if MB(-1) != "-" {
+		t.Fatalf("MB(-1): %s", MB(-1))
+	}
+	if Ratio(-time.Second, time.Second) != "-" {
+		t.Fatal("Ratio negative a")
+	}
+	if Ratio(time.Second, -time.Second) != "-" {
+		t.Fatal("Ratio negative b")
+	}
+	if Ratio(0, 0) != "-" {
+		t.Fatal("Ratio 0/0")
+	}
+	if Ratio(0, time.Second) != "0.0x" {
+		t.Fatal("Ratio 0/1")
+	}
+}
+
+func TestNumericColumnsRightAligned(t *testing.T) {
+	tbl := NewTable("", "name", "count")
+	tbl.Row("a", 7)
+	tbl.Row("bbbb", 12345)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	// Body lines: numeric column right-aligned (short value padded left),
+	// text column left-aligned.
+	if !strings.Contains(lines[2], "a         7") {
+		t.Fatalf("numeric column not right-aligned: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "bbbb  12345") {
+		t.Fatalf("wide value misaligned: %q", lines[3])
+	}
+	// Mixed (non-numeric) columns stay left-aligned: the short "3" row is
+	// padded on the right, not pushed to the column's right edge.
+	tbl2 := NewTable("", "verylongheader")
+	tbl2.Row("OME(1.2)")
+	tbl2.Row(3)
+	var sb2 strings.Builder
+	tbl2.Render(&sb2)
+	l := strings.Split(strings.TrimRight(sb2.String(), "\n"), "\n")
+	if got := l[3]; strings.TrimSpace(got) != "3" || !strings.HasPrefix(got, "  3 ") {
+		t.Fatalf("mixed column should stay left-aligned: %q", got)
+	}
+}

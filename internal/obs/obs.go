@@ -1,0 +1,234 @@
+// Package obs is the runtime observability layer: low-overhead atomic
+// counters, gauges, and fixed-bucket histograms, plus a bounded event ring
+// buffer, collected under a Registry whose Snapshot marshals to JSON.
+//
+// The layers that matter to the paper's evaluation publish here:
+//
+//   - internal/heap records per-collection pause times (minor/full),
+//     safepoint wait times, allocation sizes, promoted/evacuated bytes,
+//     and remembered-set scan counts;
+//   - internal/offheap records page acquire/release/recycle traffic and
+//     the live-page high-water mark;
+//   - internal/vm records instructions executed, boundary crossings, and
+//     facade-pool hits;
+//   - the framework engines (graphchi, hyracks, gps) emit iteration and
+//     phase events.
+//
+// Hot paths hold direct pointers to their instruments — the Registry map
+// is consulted only at creation and snapshot time, so an Observe or Add
+// costs one or two atomic operations.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value with high-water tracking.
+type Gauge struct {
+	v  atomic.Int64
+	hw atomic.Int64
+}
+
+// Set stores v and raises the high-water mark if exceeded.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	g.raise(v)
+}
+
+// Add adjusts the gauge by d and returns the new value, raising the
+// high-water mark if exceeded.
+func (g *Gauge) Add(d int64) int64 {
+	v := g.v.Add(d)
+	g.raise(v)
+	return v
+}
+
+func (g *Gauge) raise(v int64) {
+	for {
+		cur := g.hw.Load()
+		if v <= cur || g.hw.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HighWater returns the largest value the gauge has held.
+func (g *Gauge) HighWater() int64 { return g.hw.Load() }
+
+// Registry names and owns a process's instruments. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	events *Ring
+	sink   atomic.Pointer[func(Event)]
+}
+
+// NewRegistry creates an empty registry with a default-capacity event
+// ring.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		events:   NewRing(DefaultRingCapacity),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use. Later calls ignore bounds.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetEventSink installs a callback invoked synchronously for every emitted
+// event (nil uninstalls). Sinks must be fast; they run on the emitting
+// thread, which may be a stopped-world collector.
+func (r *Registry) SetEventSink(fn func(Event)) {
+	if fn == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&fn)
+}
+
+// Emit records an event in the ring buffer, stamped with nanoseconds since
+// the registry was created, and forwards it to the sink if one is set.
+func (r *Registry) Emit(kind, label string, a, b, c int64) {
+	e := Event{
+		Nanos: time.Since(r.start).Nanoseconds(),
+		Kind:  kind,
+		Label: label,
+		A:     a,
+		B:     b,
+		C:     c,
+	}
+	r.events.Append(e)
+	if fn := r.sink.Load(); fn != nil {
+		(*fn)(e)
+	}
+}
+
+// Events returns the registry's event ring.
+func (r *Registry) Events() *Ring { return r.events }
+
+// Snapshot captures every instrument's current value. It is safe to call
+// concurrently with updates; individual values are atomically read but the
+// snapshot as a whole is not a consistent cut.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c.Load()
+	}
+	gauges := make(map[string]int64, len(r.gauges)*2)
+	for n, g := range r.gauges {
+		gauges[n] = g.Load()
+		gauges[n+".hw"] = g.HighWater()
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h.Snapshot()
+	}
+	r.mu.Unlock()
+	return Snapshot{
+		Counters:   counters,
+		Gauges:     gauges,
+		Histograms: hists,
+		Events:     r.events.Snapshot(),
+	}
+}
+
+// Snapshot is a JSON-marshalable capture of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Events     []Event                      `json:"events,omitempty"`
+}
+
+// Instrument names used across the runtime. Centralized so reports and
+// dashboards do not chase string literals through the packages.
+const (
+	// Heap (internal/heap).
+	HistGCPause       = "heap.gc_pause_ns"       // every stop-the-world pause
+	HistGCPauseMinor  = "heap.gc_minor_pause_ns" // minor collections only
+	HistGCPauseFull   = "heap.gc_full_pause_ns"  // full collections only
+	HistSafepointWait = "heap.safepoint_wait_ns" // mutator wait at safepoints
+	HistAllocSize     = "heap.alloc_size_bytes"  // per-allocation sizes
+	CtrPromotedBytes  = "heap.promoted_bytes"    // bytes evacuated young->old by minor GCs
+	CtrEvacuated      = "heap.evacuated_bytes"   // bytes moved by full-GC compaction
+	CtrRemsetScanned  = "heap.remset_slots_scanned"
+
+	// Off-heap page store (internal/offheap).
+	CtrPageAcquires = "offheap.page_acquires"
+	CtrPageReleases = "offheap.page_releases"
+	CtrPageRecycles = "offheap.page_recycles"
+	GaugePagesLive  = "offheap.pages_live"
+
+	// VM (internal/vm).
+	CtrInstructions   = "vm.instructions"
+	CtrBoundaryCalls  = "vm.boundary_crossings"
+	CtrFacadePoolHits = "vm.facade_pool_hits"
+
+	// Event kinds.
+	EvGC             = "gc"         // label minor|full, A=pause ns, B=promoted objs (minor) / live bytes (full)
+	EvIteration      = "iteration"  // label start|end, A=iteration ordinal
+	EvPhase          = "phase"      // label map|reduce|superstep..., A=ordinal
+	EvManagerRelease = "pm_release" // A=iterID, B=threadID, C=pages released
+)

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ReportSchema versions the -json run-report format. Consumers should
+// reject reports whose schema they do not understand.
+const ReportSchema = "facade.run/v1"
+
+// RunReport is one machine-readable run record: what was run, how long it
+// took, the headline metrics, per-data-class allocation counts, and the
+// full registry snapshot (GC pause histograms, offheap page high-water
+// marks, events). This is the trajectory format benchmark tooling
+// consumes.
+type RunReport struct {
+	Schema  string         `json:"schema"`
+	Name    string         `json:"name"`              // e.g. "table2/PR-8g"
+	Program string         `json:"program,omitempty"` // "P" or "P'"
+	Config  map[string]any `json:"config,omitempty"`
+
+	WallNanos int64 `json:"wall_ns"`
+
+	// Metrics holds the headline scalar results (seconds, bytes, counts)
+	// keyed by short names matching the rendered table columns.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// ClassAllocs counts heap allocations per class name ("[]T" for
+	// arrays of element type T), nonzero entries only.
+	ClassAllocs map[string]int64 `json:"class_allocs,omitempty"`
+
+	Obs Snapshot `json:"obs"`
+}
+
+// NewRunReport creates a report with the schema stamped.
+func NewRunReport(name, program string) RunReport {
+	return RunReport{
+		Schema:  ReportSchema,
+		Name:    name,
+		Program: program,
+		Metrics: make(map[string]float64),
+	}
+}
+
+// ReportFile is the on-disk container for one or more run reports.
+type ReportFile struct {
+	Schema  string      `json:"schema"`
+	Reports []RunReport `json:"reports"`
+}
+
+// EncodeReports writes a ReportFile as indented JSON.
+func EncodeReports(w io.Writer, reports []RunReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ReportFile{Schema: ReportSchema, Reports: reports})
+}

@@ -1,0 +1,81 @@
+package obs
+
+import "sync"
+
+// DefaultRingCapacity bounds the event ring of a fresh Registry. At ~64
+// bytes per event the default ring holds the full GC and iteration event
+// stream of a typical repro run in under 256 KB.
+const DefaultRingCapacity = 4096
+
+// Event is one runtime occurrence: a collection, an iteration boundary, a
+// page-manager release. Kind names the occurrence, Label refines it, and
+// A/B/C carry kind-specific payloads (documented at the Ev* constants).
+type Event struct {
+	Seq   uint64 `json:"seq"`
+	Nanos int64  `json:"t_ns"` // nanoseconds since the registry was created
+	Kind  string `json:"kind"`
+	Label string `json:"label,omitempty"`
+	A     int64  `json:"a,omitempty"`
+	B     int64  `json:"b,omitempty"`
+	C     int64  `json:"c,omitempty"`
+}
+
+// Ring is a bounded event buffer: when full, new events overwrite the
+// oldest. Sequence numbers are global, so a snapshot reveals how many
+// events were dropped.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever appended
+}
+
+// NewRing creates a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append records an event, assigning its sequence number.
+func (r *Ring) Append(e Event) {
+	r.mu.Lock()
+	e.Seq = r.next
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[int(r.next)%cap(r.buf)] = e
+	}
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently buffered.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total returns the number of events ever appended (including overwritten
+// ones).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns the buffered events oldest-first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	if len(r.buf) < cap(r.buf) || r.next == 0 {
+		copy(out, r.buf)
+		return out
+	}
+	head := int(r.next) % cap(r.buf) // oldest element
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}

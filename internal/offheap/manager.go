@@ -3,6 +3,8 @@ package offheap
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Size classes for record allocation (§3.6): each class serves a range of
@@ -40,6 +42,7 @@ type PageManager struct {
 
 	cur      [numClasses]*page
 	pages    []*page
+	hwPages  int // most pages this manager has owned at once
 	released bool
 
 	// IterID identifies the iteration this manager serves; -1 is the
@@ -76,6 +79,7 @@ func (m *PageManager) alloc(size int) PageRef {
 		}
 		p := m.rt.getPage(want)
 		m.pages = append(m.pages, p)
+		m.notePages()
 		p.pos = size
 		zero(p.buf[:size])
 		return MakeRef(p.idx, 0)
@@ -84,6 +88,7 @@ func (m *PageManager) alloc(size int) PageRef {
 	if p == nil || p.pos+size > len(p.buf) {
 		p = m.rt.getPage(PageSize)
 		m.pages = append(m.pages, p)
+		m.notePages()
 		m.cur[ci] = p
 	}
 	off := p.pos
@@ -98,13 +103,28 @@ func zero(b []byte) {
 	}
 }
 
+// notePages updates the manager's page high-water mark; callers are the
+// owning thread (Alloc is single-threaded by construction).
+func (m *PageManager) notePages() {
+	if len(m.pages) > m.hwPages {
+		m.hwPages = len(m.pages)
+	}
+}
+
+// PageHighWater returns the most pages this manager has owned at once
+// (excluding children).
+func (m *PageManager) PageHighWater() int { return m.hwPages }
+
 // ReleaseAll releases every page owned by this manager and, recursively,
 // by its children — the bulk reclamation that ends a (sub-)iteration.
+// The release is announced on the runtime's event stream with the
+// manager's identity and page high-water mark.
 func (m *PageManager) ReleaseAll() {
 	if m.released {
 		return
 	}
 	m.released = true
+	m.rt.obs.Emit(obs.EvManagerRelease, "", int64(m.IterID), int64(m.ThreadID), int64(m.hwPages))
 	m.childMu.Lock()
 	children := m.children
 	m.children = nil

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/lang"
+	"repro/internal/obs"
 )
 
 // PageRef is a reference to a record in native memory: the page index+1 in
@@ -96,12 +97,20 @@ type Runtime struct {
 		peakBytes     atomic.Int64
 		managers      atomic.Int64
 	}
+
+	// Observability instruments (internal/obs).
+	obs           *obs.Registry
+	cPageAcquires *obs.Counter
+	cPageReleases *obs.Counter
+	cPageRecycles *obs.Counter
+	gPagesLive    *obs.Gauge
 }
 
 // Stats is a snapshot of the native store counters.
 type Stats struct {
 	PagesCreated  int64 // distinct page allocations from the OS (Go) side
 	PagesLive     int64 // pages currently owned by some manager
+	PagesLiveHW   int64 // high-water mark of simultaneously live pages
 	PagesRecycled int64 // page reuses through the free pool
 	Oversize      int64 // oversize allocations (> PageSize records)
 	Records       int64 // records ever allocated
@@ -110,22 +119,39 @@ type Stats struct {
 	Managers      int64 // page managers ever created
 }
 
-// NewRuntime creates an empty native store.
-func NewRuntime() *Runtime {
+// NewRuntime creates an empty native store with a private observability
+// registry.
+func NewRuntime() *Runtime { return NewRuntimeWith(nil) }
+
+// NewRuntimeWith creates an empty native store publishing its instruments
+// to reg (a fresh private registry when nil).
+func NewRuntimeWith(reg *obs.Registry) *Runtime {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	rt := &Runtime{
-		arrIndex: make(map[string]int),
-		Locks:    NewLockPool(defaultLockPoolSize),
+		arrIndex:      make(map[string]int),
+		Locks:         NewLockPool(defaultLockPoolSize),
+		obs:           reg,
+		cPageAcquires: reg.Counter(obs.CtrPageAcquires),
+		cPageReleases: reg.Counter(obs.CtrPageReleases),
+		cPageRecycles: reg.Counter(obs.CtrPageRecycles),
+		gPagesLive:    reg.Gauge(obs.GaugePagesLive),
 	}
 	empty := make([]*page, 0)
 	rt.table.Store(&empty)
 	return rt
 }
 
+// Obs returns the store's observability registry.
+func (rt *Runtime) Obs() *obs.Registry { return rt.obs }
+
 // Stats returns a snapshot of the counters.
 func (rt *Runtime) Stats() Stats {
 	return Stats{
 		PagesCreated:  rt.stats.pagesCreated.Load(),
 		PagesLive:     rt.stats.pagesLive.Load(),
+		PagesLiveHW:   rt.gPagesLive.HighWater(),
 		PagesRecycled: rt.stats.pagesRecycled.Load(),
 		Oversize:      rt.stats.oversize.Load(),
 		Records:       rt.stats.records.Load(),
@@ -165,6 +191,8 @@ func (rt *Runtime) getPage(size int) *page {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.stats.pagesLive.Add(1)
+	rt.cPageAcquires.Inc()
+	rt.gPagesLive.Add(1)
 	if size <= PageSize {
 		size = PageSize
 		if n := len(rt.free); n > 0 {
@@ -172,6 +200,7 @@ func (rt *Runtime) getPage(size int) *page {
 			rt.free = rt.free[:n-1]
 			p.pos = 0
 			rt.stats.pagesRecycled.Add(1)
+			rt.cPageRecycles.Inc()
 			rt.addBytes(int64(len(p.buf)))
 			return p
 		}
@@ -201,6 +230,8 @@ func (rt *Runtime) releasePage(p *page) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.stats.pagesLive.Add(-1)
+	rt.cPageReleases.Inc()
+	rt.gPagesLive.Add(-1)
 	rt.addBytes(-int64(len(p.buf)))
 	if len(p.buf) == PageSize && !rt.DisableRecycle {
 		p.released.Store(false) // recyclable pages are reborn via the pool

@@ -111,7 +111,7 @@ func (t *Thread) makeString(s string) (Value, error) {
 
 // NewString converts a Go string at the boundary and returns a handle.
 func (t *Thread) NewString(s string) (Obj, error) {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	v, err := t.makeString(s)
 	if err != nil {
@@ -123,7 +123,7 @@ func (t *Thread) NewString(s string) (Obj, error) {
 // GoString reads a String object/record back into a Go string (an
 // exit-point conversion).
 func (t *Thread) GoString(o Obj) (string, error) {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	if o == NilObj {
 		return "", nil
@@ -141,7 +141,7 @@ func (t *Thread) GoString(o Obj) (string, error) {
 // NewObj allocates a data object of class and runs its constructor with
 // the given arguments.
 func (t *Thread) NewObj(class string, args ...Arg) (Obj, error) {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	v, err := t.newValue(class, args)
 	if err != nil {
@@ -312,7 +312,7 @@ func (t *Thread) NewArr(elem string, n int) (Obj, error) {
 	if err != nil {
 		return NilObj, err
 	}
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	if t.vm.Prog.Transformed {
 		ref, err := t.iter.Current().AllocArray(t.vm.RT.ArrayTypeIndex(ty), ty.FieldSize(), n)
@@ -378,7 +378,7 @@ func (t *Thread) InvokeObj(o Obj, method string, args ...Arg) (Obj, error) {
 }
 
 func (t *Thread) invokeBoundary(o Obj, method string, args []Arg, retObj bool) (Value, Obj, error) {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	if o == NilObj {
 		return 0, NilObj, errNPE("boundary call " + method)
@@ -447,7 +447,7 @@ func (t *Thread) InvokeStaticObj(class, method string, args ...Arg) (Obj, error)
 }
 
 func (t *Thread) invokeStatic(class, method string, args []Arg, retObj bool) (Value, Obj, error) {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	key := ir.FuncKey(class, method)
 	if t.vm.Prog.Transformed {
@@ -534,7 +534,7 @@ func (t *Thread) fieldOf(o Obj, class, field string) (*lang.Field, Value, error)
 
 // GetField reads a primitive field as a raw value.
 func (t *Thread) GetField(o Obj, class, field string) (Value, error) {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	f, v, err := t.fieldOf(o, class, field)
 	if err != nil {
@@ -548,7 +548,7 @@ func (t *Thread) GetField(o Obj, class, field string) (Value, error) {
 
 // SetField writes a primitive field.
 func (t *Thread) SetField(o Obj, class, field string, val Value) error {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	f, v, err := t.fieldOf(o, class, field)
 	if err != nil {
@@ -568,7 +568,7 @@ func (t *Thread) GetObjField(o Obj, class, field string) (Obj, error) {
 	if err != nil {
 		return NilObj, err
 	}
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	return t.wrapObj(v), nil
 }
@@ -584,7 +584,7 @@ func (t *Thread) SetObjField(o Obj, class, field string, val Obj) error {
 
 // ArrLen returns the length of a data array.
 func (t *Thread) ArrLen(o Obj) (int, error) {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	if o == NilObj {
 		return 0, errNPE("array length")
@@ -598,7 +598,7 @@ func (t *Thread) ArrLen(o Obj) (int, error) {
 
 // ArrGet reads element i of a data array as a raw value.
 func (t *Thread) ArrGet(o Obj, i int) (Value, error) {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	v := t.vm.Get(o)
 	if t.vm.Prog.Transformed {
@@ -619,7 +619,7 @@ func (t *Thread) ArrGet(o Obj, i int) (Value, error) {
 
 // ArrSet writes element i of a data array.
 func (t *Thread) ArrSet(o Obj, i int, val Value) error {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	v := t.vm.Get(o)
 	if t.vm.Prog.Transformed {
@@ -646,7 +646,7 @@ func (t *Thread) ArrGetObj(o Obj, i int) (Obj, error) {
 	if err != nil {
 		return NilObj, err
 	}
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	return t.wrapObj(v), nil
 }
@@ -670,7 +670,7 @@ func f64bits(f float64) Value { return math.Float64bits(f) }
 
 // arrBody returns raw write access parameters for a data array.
 func (t *Thread) arrCopyIn(o Obj, data []byte) error {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	v := t.vm.Get(o)
 	if t.vm.Prog.Transformed {
@@ -682,7 +682,7 @@ func (t *Thread) arrCopyIn(o Obj, data []byte) error {
 }
 
 func (t *Thread) arrCopyOut(o Obj, n int) ([]byte, error) {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	v := t.vm.Get(o)
 	if t.vm.Prog.Transformed {

@@ -32,6 +32,9 @@ func (t *Thread) exec(fn *ir.Func, args []Value) (Value, error) {
 	t.frames = append(t.frames, fr)
 	v, err := t.run(fr)
 	t.frames = t.frames[:len(t.frames)-1]
+	if len(t.frames) == 0 {
+		t.flushObsCounters()
+	}
 	t.freeRegs(fn.NumRegs, onStack)
 	if err != nil {
 		return 0, err
@@ -48,6 +51,7 @@ func (t *Thread) run(fr *frame) (Value, error) {
 blocks:
 	for {
 		instrs := fn.Blocks[bi].Instrs
+		t.instrs += int64(len(instrs))
 		for ii := range instrs {
 			in := &instrs[ii]
 			switch in.Op {
@@ -289,12 +293,14 @@ blocks:
 					return 0, fmt.Errorf("vm: no receiver pool for type id %d", tw)
 				}
 				hp.SetLong(heap.Addr(pe.recv), vm.pageRefField.Offset, int64(ref))
+				t.poolHits++
 				regs[in.Dst] = pe.recv
 			case ir.OpPoolGet:
 				pe := t.pools[in.Cls.ID]
 				if pe == nil {
 					return 0, fmt.Errorf("vm: no parameter pool for %s", in.Cls.Name)
 				}
+				t.poolHits++
 				regs[in.Dst] = pe.params[int(in.Imm)]
 			case ir.OpRecvPool:
 				// Devirtualized resolve (§3.6 optimization): the callee is
@@ -309,6 +315,7 @@ blocks:
 					return 0, fmt.Errorf("vm: no receiver pool for %s", in.Cls.Name)
 				}
 				hp.SetLong(heap.Addr(pe.recv), vm.pageRefField.Offset, int64(ref))
+				t.poolHits++
 				regs[in.Dst] = pe.recv
 			case ir.OpPMonEnter:
 				if err := vm.RT.Locks.Enter(vm.RT, offheap.PageRef(regs[in.A]), t, parker{t}); err != nil {

@@ -47,6 +47,11 @@ type Thread struct {
 	// FacadeCount is the number of facade objects this thread allocated
 	// at pool initialization (the paper's per-thread facade census).
 	FacadeCount int
+
+	// Execution counters accumulated without atomics on the hot path and
+	// flushed to the VM's shared registry when the outermost frame pops.
+	instrs   int64
+	poolHits int64
 }
 
 var iterIDMu sync.Mutex
@@ -185,6 +190,29 @@ func (t *Thread) freeRegs(n int, onStack bool) {
 	}
 }
 
+// enterBoundary crosses from framework (Go) code into interpreted code:
+// it counts the boundary crossing and re-enters the mutator state. Every
+// framework entry point that runs IR or touches records calls this
+// instead of EndExternal directly.
+func (t *Thread) enterBoundary() {
+	t.vm.cBoundary.Inc()
+	t.tc.EndExternal()
+}
+
+// flushObsCounters publishes the thread-local execution counters to the
+// shared registry. Called when the outermost interpreter frame returns,
+// so hot loops never touch an atomic.
+func (t *Thread) flushObsCounters() {
+	if t.instrs != 0 {
+		t.vm.cInstr.Add(t.instrs)
+		t.instrs = 0
+	}
+	if t.poolHits != 0 {
+		t.vm.cPoolHits.Add(t.poolHits)
+		t.poolHits = 0
+	}
+}
+
 // Call executes the function with the given key. The caller supplies raw
 // argument values matching the function's parameter registers (for
 // instance methods, the receiver first). The thread enters the mutator
@@ -194,14 +222,14 @@ func (t *Thread) Call(key string, args ...Value) (Value, error) {
 	if fn == nil {
 		return 0, fmt.Errorf("vm: no function %s", key)
 	}
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	return t.exec(fn, args)
 }
 
 // CallFunc is Call with a pre-resolved function.
 func (t *Thread) CallFunc(fn *ir.Func, args ...Value) (Value, error) {
-	t.tc.EndExternal()
+	t.enterBoundary()
 	defer t.tc.BeginExternal()
 	return t.exec(fn, args)
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/ir"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/offheap"
 )
 
@@ -43,6 +44,10 @@ type Config struct {
 	// NativeRT supplies the page store for transformed programs; a fresh
 	// one is created when nil and the program is transformed.
 	NativeRT *offheap.Runtime
+	// Obs receives the run's observability instruments (heap pause
+	// histograms, page-store counters, VM execution counters, events). A
+	// fresh registry is created when nil.
+	Obs *obs.Registry
 }
 
 // VM executes one linked program.
@@ -93,12 +98,24 @@ type VM struct {
 	rngMu sync.Mutex
 	rngSt uint64
 	outMu sync.Mutex
+
+	// Observability: one registry shared by the heap, the page store, and
+	// the interpreter's own execution counters. Threads accumulate
+	// locally and flush into these on returning to the boundary.
+	obs       *obs.Registry
+	cInstr    *obs.Counter // IR instructions executed
+	cBoundary *obs.Counter // control-path -> data-path boundary crossings
+	cPoolHits *obs.Counter // facade pool accesses (resolve/pool-get/recv-pool)
 }
 
 // New creates a VM for prog and links dispatch tables.
 func New(prog *ir.Program, cfg Config) (*VM, error) {
 	if cfg.Out == nil {
 		cfg.Out = io.Discard
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
 	vm := &VM{
 		Prog:      prog,
@@ -108,12 +125,16 @@ func New(prog *ir.Program, cfg Config) (*VM, error) {
 		threads:   make(map[*Thread]struct{}),
 		rngSt:     uint64(cfg.RandSeed)*2862933555777941757 + 3037000493,
 		selectors: make(map[string]int),
+		obs:       reg,
+		cInstr:    reg.Counter(obs.CtrInstructions),
+		cBoundary: reg.Counter(obs.CtrBoundaryCalls),
+		cPoolHits: reg.Counter(obs.CtrFacadePoolHits),
 	}
-	vm.Heap = heap.New(heap.Config{HeapSize: cfg.HeapSize}, prog.H)
+	vm.Heap = heap.New(heap.Config{HeapSize: cfg.HeapSize, Obs: reg}, prog.H)
 	if prog.Transformed {
 		vm.RT = cfg.NativeRT
 		if vm.RT == nil {
-			vm.RT = offheap.NewRuntime()
+			vm.RT = offheap.NewRuntimeWith(reg)
 		}
 		vm.rootScope = vm.RT.NewManager(nil, -2, -1)
 	}
@@ -257,6 +278,10 @@ func (vm *VM) Func(key string) *ir.Func { return vm.byKey[key] }
 
 // Out returns the VM's output writer.
 func (vm *VM) Out() io.Writer { return vm.out }
+
+// Obs returns the VM's observability registry, shared with the heap and
+// (for transformed programs) the page store.
+func (vm *VM) Obs() *obs.Registry { return vm.obs }
 
 // visitRoots walks every root slot: statics, string cache, handles, and
 // each thread's facade pools and frame registers. Runs with the world
