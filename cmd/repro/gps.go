@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro/internal/datagen"
+	"repro/internal/faults"
 	"repro/internal/gps"
 	"repro/internal/metrics"
 )
@@ -21,18 +22,25 @@ func gpsCmd(args []string) error {
 	nodes := fs.Int("nodes", 2, "cluster nodes")
 	heap := fs.Int64("heap", 16<<20, "per-node heap")
 	steps := fs.Int("steps", 4, "supersteps")
+	faultSpec := fs.String("faults", "", `deterministic fault-injection spec (e.g. "drop=0.05,crash=1,seed=7")`)
+	rpt := reportFlag(fs)
 	fs.Parse(args)
 
+	fcfg, err := parseFaultFlag(*faultSpec)
+	if err != nil {
+		return err
+	}
 	p, p2, err := gps.BuildPrograms()
 	if err != nil {
 		return err
 	}
 	tbl := metrics.NewTable("§4.3: GPS on LiveJournal-like graphs (P vs P')",
 		"app", "graph", "ET(s)", "ET'(s)", "ΔET%", "GT(s)", "GT'(s)", "ΔGT%", "PM(MB)", "PM'(MB)", "ΔPM%")
+	var rec gps.Recovery
 	for _, app := range []gps.App{gps.PageRank, gps.KMeans, gps.RandomWalk} {
 		for s := 1; s <= *scales; s++ {
 			g := datagen.PowerLawGraph(*v*s, *e*s, uint64(100+s))
-			cfg := gps.Config{App: app, Nodes: *nodes, HeapPerNode: int(*heap), Supersteps: *steps, Seed: 7}
+			cfg := gps.Config{App: app, Nodes: *nodes, HeapPerNode: int(*heap), Supersteps: *steps, Seed: 7, Faults: fcfg}
 			r1, err := gps.Run(p, g, cfg)
 			if err != nil {
 				return fmt.Errorf("%s x%d P: %w", app, s, err)
@@ -41,6 +49,16 @@ func gpsCmd(args []string) error {
 			if err != nil {
 				return fmt.Errorf("%s x%d P': %w", app, s, err)
 			}
+			name := fmt.Sprintf("gps/%s-x%d", app, s)
+			rpt.add(gpsReport(name, "P", cfg, g.NumEdges(), r1))
+			rpt.add(gpsReport(name, "P'", cfg, g.NumEdges(), r2))
+			for _, r := range []*gps.Result{r1, r2} {
+				rec.Checkpoints += r.Recovery.Checkpoints
+				rec.Restores += r.Recovery.Restores
+				rec.NodeRestarts += r.Recovery.NodeRestarts
+				rec.Crashes += r.Recovery.Crashes
+				rec.OOMRecoveries += r.Recovery.OOMRecoveries
+			}
 			tbl.Row(app.String(), fmt.Sprintf("x%d(%dE)", s, g.NumEdges()),
 				r1.ET, r2.ET, pct(r1.ET.Seconds(), r2.ET.Seconds()),
 				r1.GT, r2.GT, pct(r1.GT.Seconds(), r2.GT.Seconds()),
@@ -48,7 +66,23 @@ func gpsCmd(args []string) error {
 		}
 	}
 	tbl.Render(os.Stdout)
-	return nil
+	if fcfg != nil {
+		fmt.Printf("fault injection: %d checkpoints, %d crashes, %d node restarts, %d restores, %d OOM recoveries\n",
+			rec.Checkpoints, rec.Crashes, rec.NodeRestarts, rec.Restores, rec.OOMRecoveries)
+	}
+	return rpt.flush()
+}
+
+// parseFaultFlag turns a -faults spec into a config (nil when empty).
+func parseFaultFlag(spec string) (*faults.Config, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	c, err := faults.Parse(spec)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	return &c, nil
 }
 
 // pct formats the reduction of b relative to a.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/dfs"
+	"repro/internal/faults"
 	"repro/internal/hyracks"
 	"repro/internal/ir"
 	"repro/internal/metrics"
@@ -42,8 +43,9 @@ type hyracksPoint struct {
 	res  *hyracks.Result
 }
 
-// runHyracks runs one app over all dataset sizes for one program.
-func runHyracks(prog *ir.Program, app string, s *hyracksScale, fairCap int64) ([]hyracksPoint, error) {
+// runHyracks runs one app over all dataset sizes for one program. fcfg,
+// when non-nil, enables deterministic fault injection on every run.
+func runHyracks(prog *ir.Program, app string, s *hyracksScale, fairCap int64, fcfg *faults.Config) ([]hyracksPoint, error) {
 	var out []hyracksPoint
 	for _, size := range s.sizes {
 		total := int(int64(size) * s.unit)
@@ -73,7 +75,7 @@ func runHyracks(prog *ir.Program, app string, s *hyracksScale, fairCap int64) ([
 			job = hyracks.ExternalSortJob{KeyLen: s.keyLen, RecLen: s.recLen, RunRecords: s.runRecs}
 		}
 		res, err := hyracks.RunJob(prog, job, parts,
-			cluster.Config{NumNodes: s.nodes, HeapPerNode: int(s.heap)}, fairCap, dfs.New())
+			cluster.Config{NumNodes: s.nodes, HeapPerNode: int(s.heap), Faults: fcfg}, fairCap, dfs.New())
 		if err != nil {
 			return nil, fmt.Errorf("%s size %d: %w", app, size, err)
 		}
@@ -94,7 +96,13 @@ func fmtET(r *hyracks.Result) string {
 func table3Cmd(args []string) error {
 	fs := flag.NewFlagSet("table3", flag.ExitOnError)
 	s := hyracksFlags(fs)
+	faultSpec := fs.String("faults", "", `deterministic fault-injection spec (e.g. "drop=0.05,crash=1,seed=7")`)
+	rpt := reportFlag(fs)
 	fs.Parse(args)
+	fcfg, err := parseFaultFlag(*faultSpec)
+	if err != nil {
+		return err
+	}
 	p, p2, err := hyracks.BuildPrograms()
 	if err != nil {
 		return err
@@ -108,11 +116,21 @@ func table3Cmd(args []string) error {
 	}
 	runs := []runSet{{"", p, 0}, {"'", p2, s.heap * 8}}
 	results := map[string][]hyracksPoint{}
+	var rec hyracks.Recovery
 	for _, app := range []string{"ES", "WC"} {
 		for _, rs := range runs {
-			pts, err := runHyracks(rs.prog, app, s, rs.cap)
+			pts, err := runHyracks(rs.prog, app, s, rs.cap, fcfg)
 			if err != nil {
 				return err
+			}
+			prgName := "P" + rs.label
+			for _, pt := range pts {
+				rpt.add(hyracksReport(fmt.Sprintf("table3/%s-%dGB", app, pt.size), prgName, pt.size, pt.res))
+				rec.Crashes += pt.res.Recovery.Crashes
+				rec.NodeRestarts += pt.res.Recovery.NodeRestarts
+				rec.TaskRetries += pt.res.Recovery.TaskRetries
+				rec.TasksDegraded += pt.res.Recovery.TasksDegraded
+				rec.OOMRecoveries += pt.res.Recovery.OOMRecoveries
 			}
 			results[app+rs.label] = pts
 		}
@@ -129,7 +147,11 @@ func table3Cmd(args []string) error {
 			results["WC"][i].res.GT, results["WC'"][i].res.GT)
 	}
 	tbl.Render(os.Stdout)
-	return nil
+	if fcfg != nil {
+		fmt.Printf("fault injection: %d crashes, %d node restarts, %d task retries, %d tasks degraded, %d OOM recoveries\n",
+			rec.Crashes, rec.NodeRestarts, rec.TaskRetries, rec.TasksDegraded, rec.OOMRecoveries)
+	}
+	return rpt.flush()
 }
 
 // fig4bcCmd reproduces Figure 4(b) and 4(c): peak per-node memory of ES
@@ -143,11 +165,11 @@ func fig4bcCmd(args []string) error {
 		return err
 	}
 	for _, app := range []string{"ES", "WC"} {
-		pts, err := runHyracks(p, app, s, 0)
+		pts, err := runHyracks(p, app, s, 0, nil)
 		if err != nil {
 			return err
 		}
-		pts2, err := runHyracks(p2, app, s, 0)
+		pts2, err := runHyracks(p2, app, s, 0, nil)
 		if err != nil {
 			return err
 		}

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cluster"
+	"repro/internal/gps"
 	"repro/internal/graphchi"
+	"repro/internal/hyracks"
 	"repro/internal/obs"
 )
 
@@ -47,6 +50,93 @@ func (r *reporter) flush() error {
 	}
 	fmt.Printf("wrote %d run report(s) to %s\n", len(r.reports), r.path)
 	return nil
+}
+
+// gpsReport converts one GPS run into a RunReport, including the run's
+// fault-recovery and network counters.
+func gpsReport(name, program string, cfg gps.Config, edges int, r *gps.Result) obs.RunReport {
+	rep := obs.NewRunReport(name, program)
+	rep.Config = map[string]any{
+		"app":        cfg.App.String(),
+		"nodes":      cfg.Nodes,
+		"heap_bytes": cfg.HeapPerNode,
+		"supersteps": cfg.Supersteps,
+		"edges":      edges,
+	}
+	if cfg.Faults != nil {
+		rep.Config["faults"] = cfg.Faults
+	}
+	rep.WallNanos = r.ET.Nanoseconds()
+	rep.Metrics = map[string]float64{
+		"et_s":             r.ET.Seconds(),
+		"gt_s":             r.GT.Seconds(),
+		"pm_bytes":         float64(r.PM),
+		"heap_peak":        float64(r.HeapPeak),
+		"native_peak":      float64(r.NativePeak),
+		"minor_gcs":        float64(r.MinorGCs),
+		"full_gcs":         float64(r.FullGCs),
+		"checkpoints":      float64(r.Recovery.Checkpoints),
+		"checkpoint_bytes": float64(r.Recovery.CheckpointBytes),
+		"restores":         float64(r.Recovery.Restores),
+		"node_restarts":    float64(r.Recovery.NodeRestarts),
+		"crashes":          float64(r.Recovery.Crashes),
+		"oom_recoveries":   float64(r.Recovery.OOMRecoveries),
+	}
+	addNetMetrics(rep.Metrics, r.Net)
+	if len(r.NodeObs) > 0 {
+		rep.Obs = r.NodeObs[0]
+	}
+	return rep
+}
+
+// hyracksReport converts one Hyracks job run into a RunReport, including
+// the run's fault-recovery and network counters.
+func hyracksReport(name, program string, sizeGB int, r *hyracks.Result) obs.RunReport {
+	rep := obs.NewRunReport(name, program)
+	rep.Config = map[string]any{
+		"job":     r.Job,
+		"size_gb": sizeGB,
+	}
+	rep.WallNanos = r.ET.Nanoseconds()
+	ome := 0.0
+	if r.OME {
+		ome = 1
+	}
+	rep.Metrics = map[string]float64{
+		"et_s":           r.ET.Seconds(),
+		"gt_s":           r.GT.Seconds(),
+		"ome":            ome,
+		"pm_bytes":       float64(r.PM),
+		"heap_peak":      float64(r.HeapPeak),
+		"native_peak":    float64(r.NativePeak),
+		"minor_gcs":      float64(r.MinorGCs),
+		"full_gcs":       float64(r.FullGCs),
+		"shuffled_mb":    r.ShuffledMB,
+		"output_bytes":   float64(r.OutputBytes),
+		"crashes":        float64(r.Recovery.Crashes),
+		"node_restarts":  float64(r.Recovery.NodeRestarts),
+		"task_retries":   float64(r.Recovery.TaskRetries),
+		"tasks_degraded": float64(r.Recovery.TasksDegraded),
+		"oom_recoveries": float64(r.Recovery.OOMRecoveries),
+	}
+	addNetMetrics(rep.Metrics, r.Net)
+	if len(r.NodeObs) > 0 {
+		rep.Obs = r.NodeObs[0]
+	}
+	return rep
+}
+
+// addNetMetrics folds the cluster network counters into a metrics map.
+func addNetMetrics(m map[string]float64, n cluster.NetStats) {
+	m["net_frames_sent"] = float64(n.FramesSent)
+	m["net_frames_delivered"] = float64(n.FramesDelivered)
+	m["net_drops"] = float64(n.Drops)
+	m["net_retries"] = float64(n.Retries)
+	m["net_dups"] = float64(n.Dups)
+	m["net_deduped"] = float64(n.Deduped)
+	m["net_reorders"] = float64(n.Reorders)
+	m["net_delays"] = float64(n.Delays)
+	m["net_black_holed"] = float64(n.BlackHoled)
 }
 
 // graphchiReport converts one GraphChi run's metrics into a RunReport.

@@ -293,3 +293,61 @@ class Main {
 		t.Fatal("expected sustained collection activity")
 	}
 }
+
+func TestWithFaultsInjectsAndCounts(t *testing.T) {
+	prog, err := Compile(map[string]string{"x.fj": allocHeavySrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A malformed spec fails the Run call.
+	if _, err := Run(prog, WithFaults("bogus=1")); err == nil {
+		t.Fatal("malformed faults spec accepted")
+	}
+
+	// An injected allocation failure surfaces as OutOfMemoryError and is
+	// counted in RunStats.Faults.
+	res, err := Run(prog, WithHeapSize(2<<20), WithFaults("allocat=1,seed=7"))
+	if err == nil || !strings.Contains(err.Error(), "OutOfMemoryError") {
+		t.Fatalf("injected alloc fault not surfaced as OOM: %v", err)
+	}
+	if res == nil {
+		t.Fatal("Result must be returned alongside the program error")
+	}
+	defer res.Close()
+	if got := res.Stats().Faults.HeapAllocInjected; got != 1 {
+		t.Fatalf("HeapAllocInjected = %d, want 1", got)
+	}
+
+	// An empty spec disables injection entirely.
+	clean, err := Run(prog, WithHeapSize(2<<20), WithFaults(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	if st := clean.Stats().Faults; st != (FaultStats{}) {
+		t.Fatalf("fault-free run reports injections: %+v", st)
+	}
+}
+
+func TestWithFaultsPageInjection(t *testing.T) {
+	prog, err := Compile(map[string]string{"x.fj": allocHeavySrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Transform(prog, TransformOptions{DataClasses: []string{"Rec", "Main"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p2, WithHeapSize(8<<20), WithFaults("pageat=1,seed=7"))
+	if err == nil || !strings.Contains(err.Error(), "page store exhausted") {
+		t.Fatalf("injected page fault not surfaced: %v", err)
+	}
+	if res == nil {
+		t.Fatal("Result must be returned alongside the program error")
+	}
+	defer res.Close()
+	if got := res.Stats().Faults.PageAcquireInjected; got != 1 {
+		t.Fatalf("PageAcquireInjected = %d, want 1", got)
+	}
+}

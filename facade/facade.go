@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/ir"
 	"repro/internal/lang"
 	"repro/internal/lower"
@@ -88,12 +89,18 @@ func Run(p *ir.Program, opts ...Option) (*Result, error) {
 	if o.out != nil {
 		w = io.MultiWriter(out, o.out)
 	}
+	if o.faultsErr != nil {
+		return nil, o.faultsErr
+	}
 	reg := obs.NewRegistry()
 	if o.observer != nil {
 		fn := o.observer
 		reg.SetEventSink(func(e obs.Event) { fn(publicEvent(e)) })
 	}
-	m, err := vm.New(p, vm.Config{HeapSize: o.heapSize, Out: w, RandSeed: o.randSeed, Obs: reg})
+	m, err := vm.New(p, vm.Config{
+		HeapSize: o.heapSize, Out: w, RandSeed: o.randSeed, Obs: reg,
+		Faults: faults.New(o.faults),
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,17 +1,24 @@
 package facade
 
-import "io"
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/faults"
+)
 
 // Option configures a Run call (functional options).
 type Option func(*runOptions)
 
 type runOptions struct {
-	heapSize int
-	entry    string
-	randSeed int64
-	seedSet  bool
-	out      io.Writer
-	observer func(Event)
+	heapSize  int
+	entry     string
+	randSeed  int64
+	seedSet   bool
+	out       io.Writer
+	observer  func(Event)
+	faults    *faults.Config
+	faultsErr error
 }
 
 func defaultRunOptions() runOptions {
@@ -56,4 +63,21 @@ func WithOutput(w io.Writer) Option {
 // must be fast and must not call back into the VM.
 func WithObserver(fn func(Event)) Option {
 	return func(o *runOptions) { o.observer = fn }
+}
+
+// WithFaults enables deterministic fault injection from a spec string like
+// "alloc=0.001,page=0.001,seed=7" (see docs/ROBUSTNESS.md for the grammar;
+// an empty spec disables injection). Injected heap and page-store failures
+// surface exactly like real memory exhaustion — as OutOfMemoryError /
+// heap.ErrOutOfMemory — and the counts absorbed appear in
+// RunStats.Faults. A malformed spec fails the Run call.
+func WithFaults(spec string) Option {
+	return func(o *runOptions) {
+		cfg, err := faults.Parse(spec)
+		if err != nil {
+			o.faultsErr = fmt.Errorf("faults spec: %w", err)
+			return
+		}
+		o.faults = &cfg
+	}
 }

@@ -16,6 +16,7 @@ type RunStats struct {
 	Heap    HeapStats    `json:"heap"`
 	Offheap OffheapStats `json:"offheap"`
 	VM      VMStats      `json:"vm"`
+	Faults  FaultStats   `json:"faults"`
 
 	// ClassAllocs counts heap allocations per class name; array
 	// allocations appear under "[]elem" keys.
@@ -53,6 +54,13 @@ type OffheapStats struct {
 	BytesInUse    int64 `json:"bytes_in_use"`
 	PeakBytes     int64 `json:"peak_bytes"`
 	Managers      int64 `json:"managers"`
+}
+
+// FaultStats counts the injected faults a run absorbed (all zero unless
+// the run was configured with WithFaults).
+type FaultStats struct {
+	HeapAllocInjected   int64 `json:"heap_alloc_injected"`
+	PageAcquireInjected int64 `json:"page_acquire_injected"`
 }
 
 // VMStats mirrors the interpreter's execution counters.
@@ -149,6 +157,10 @@ func (r *Result) Stats() RunStats {
 		Instructions:      snap.Counters[obs.CtrInstructions],
 		BoundaryCrossings: snap.Counters[obs.CtrBoundaryCalls],
 		FacadePoolHits:    snap.Counters[obs.CtrFacadePoolHits],
+	}
+	st.Faults = FaultStats{
+		HeapAllocInjected:   snap.Counters[obs.CtrFaultHeapAlloc],
+		PageAcquireInjected: snap.Counters[obs.CtrFaultPageAcquire],
 	}
 	st.Counters = snap.Counters
 	st.Gauges = snap.Gauges

@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/ir"
 	"repro/internal/lang"
 	"repro/internal/lower"
@@ -86,8 +89,23 @@ func TestParallelEachRunsAllAndPropagatesErrors(t *testing.T) {
 		}
 		return nil
 	})
-	if err == nil || err.Error() != "boom" {
-		t.Fatalf("error not propagated: %v", err)
+	if err == nil || err.Error() != "node 2: boom" {
+		t.Fatalf("error not tagged with its node: %v", err)
+	}
+	// Every failing node contributes, not just an arbitrary winner.
+	err = cl.ParallelEach(func(n *Node) error {
+		if n.ID%2 == 1 {
+			return fmt.Errorf("boom %d", n.ID)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "node 1: boom 1") ||
+		!strings.Contains(err.Error(), "node 3: boom 3") {
+		t.Fatalf("joined error missing a node: %v", err)
+	}
+	ne := FirstNodeError(err)
+	if ne == nil || ne.ID != 1 {
+		t.Fatalf("FirstNodeError = %+v", ne)
 	}
 }
 
@@ -100,11 +118,17 @@ func TestNetworkDeliversAndCounts(t *testing.T) {
 	defer cl.Close()
 	cl.Net.Send(Frame{From: 0, To: 1, Tag: "x", Data: []byte("abcd")})
 	cl.Net.Send(Frame{From: 1, To: 0, Tag: "y", Data: []byte("zz")})
-	f := cl.Net.Recv(1)
+	f, err := cl.Net.Recv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f.From != 0 || string(f.Data) != "abcd" {
 		t.Fatalf("frame: %+v", f)
 	}
-	g := cl.Net.Recv(0)
+	g, err := cl.Net.Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g.Tag != "y" {
 		t.Fatalf("frame: %+v", g)
 	}
@@ -140,5 +164,133 @@ func TestStatsAggregate(t *testing.T) {
 	st := cl.Stats()
 	if st.MaxHeapPeak == 0 {
 		t.Fatal("no heap peak recorded")
+	}
+}
+
+// TestUnboundedMailboxNoDeadlock is the regression test for the fixed-cap
+// mailbox deadlock: a sender flooding far more frames than the old 1024
+// channel capacity must never block, even with no consumer running.
+func TestUnboundedMailboxNoDeadlock(t *testing.T) {
+	p := testProgram(t)
+	cl, err := New(p, Config{NumNodes: 2, HeapPerNode: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 5000; i++ {
+			cl.Net.Send(Frame{From: 0, To: 1, Data: []byte("x")})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender blocked: mailbox is not unbounded")
+	}
+	for i := 0; i < 5000; i++ {
+		if _, err := cl.Net.Recv(1); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+}
+
+// TestRecvStallNamesNodes: a receiver with a silent peer gets a diagnosable
+// error naming the quiet link instead of hanging.
+func TestRecvStallNamesNodes(t *testing.T) {
+	p := testProgram(t)
+	cl, err := New(p, Config{NumNodes: 3, HeapPerNode: 4 << 20, RecvTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Net.Send(Frame{From: 1, To: 2, Data: []byte("only one")})
+	if _, err := cl.Net.Recv(2); err != nil {
+		t.Fatalf("first frame should arrive: %v", err)
+	}
+	_, err = cl.Net.Recv(2)
+	if err == nil {
+		t.Fatal("stalled Recv returned no error")
+	}
+	if !strings.Contains(err.Error(), "node 2") || !strings.Contains(err.Error(), "node 0") {
+		t.Fatalf("stall error does not name the receiver and quiet sender: %v", err)
+	}
+}
+
+// TestFaultyLinkStillDeliversExactlyOnce: drop/dup/reorder injection must
+// not lose or duplicate frames as seen by the receiver.
+func TestFaultyLinkStillDeliversExactlyOnce(t *testing.T) {
+	p := testProgram(t)
+	fc, err := faults.Parse("drop=0.3,dup=0.3,reorder=0.3,seed=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(p, Config{NumNodes: 2, HeapPerNode: 4 << 20, Faults: &fc, RecvTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const frames = 400
+	for i := 0; i < frames; i++ {
+		cl.Net.Send(Frame{From: 0, To: 1, Data: []byte{byte(i), byte(i >> 8)}})
+	}
+	got := make(map[int]int)
+	for i := 0; i < frames; i++ {
+		f, err := cl.Net.Recv(1)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got[int(f.Data[0])|int(f.Data[1])<<8]++
+	}
+	for i := 0; i < frames; i++ {
+		if got[i] != 1 {
+			t.Fatalf("frame %d delivered %d times", i, got[i])
+		}
+	}
+	st := cl.Net.Stats()
+	if st.Drops == 0 || st.Dups == 0 || st.Deduped == 0 {
+		t.Fatalf("injection had no effect: %+v", st)
+	}
+}
+
+// TestCrashBlackHolesAndRestartRevives: frames to a crashed node vanish;
+// a restarted node receives again on a fresh VM.
+func TestCrashBlackHolesAndRestartRevives(t *testing.T) {
+	p := testProgram(t)
+	cl, err := New(p, Config{NumNodes: 2, HeapPerNode: 4 << 20, RecvTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	oldVM := cl.Nodes[1].VM
+	cl.Net.Send(Frame{From: 0, To: 1, Data: []byte("pending")})
+	cl.Net.Crash(1)
+	cl.Net.Send(Frame{From: 0, To: 1, Data: []byte("void")})
+	if !cl.Net.Crashed(1) {
+		t.Fatal("node not marked crashed")
+	}
+	if err := cl.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Nodes[1].VM == oldVM {
+		t.Fatal("restart did not build a fresh VM")
+	}
+	if cl.Restarts() != 1 {
+		t.Fatalf("restarts = %d", cl.Restarts())
+	}
+	// Both the pre-crash queued frame and the black-holed frame are gone.
+	if f, ok := cl.Net.TryRecv(1); ok {
+		t.Fatalf("crashed node kept frame %q", f.Data)
+	}
+	cl.Net.Send(Frame{From: 0, To: 1, Data: []byte("alive")})
+	f, err := cl.Net.Recv(1)
+	if err != nil || string(f.Data) != "alive" {
+		t.Fatalf("restarted node recv: %v %q", err, f.Data)
+	}
+	// The rebuilt VM still executes programs.
+	v, err := cl.Nodes[1].Main.InvokeStatic("Work", "square", vm.I(9))
+	if err != nil || int32(v) != 81 {
+		t.Fatalf("restarted VM broken: %v %d", err, int32(v))
 	}
 }

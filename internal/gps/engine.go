@@ -2,13 +2,19 @@ package gps
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/datagen"
+	"repro/internal/faults"
+	"repro/internal/heap"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/offheap"
 	"repro/internal/vm"
 )
 
@@ -43,6 +49,26 @@ type Config struct {
 	K           int // k-means clusters
 	Walkers     int // random-walk walkers
 	Seed        int64
+
+	// Faults configures deterministic fault injection (nil disables).
+	// When any fault is enabled the engine checkpoints vertex state at
+	// every superstep boundary so crashed or OOM-killed nodes can be
+	// rebuilt and the superstep replayed.
+	Faults *faults.Config
+
+	// RecvTimeout bounds the superstep barrier's wait for peer frames
+	// (cluster.DefaultRecvTimeout when zero).
+	RecvTimeout time.Duration
+}
+
+// Recovery counts the fault-tolerance work a run performed.
+type Recovery struct {
+	Checkpoints     int64 // superstep checkpoints taken
+	CheckpointBytes int64 // codec-encoded checkpoint payload, summed
+	Restores        int64 // checkpoint restores (one per recovery)
+	NodeRestarts    int64 // node VMs rebuilt from scratch
+	Crashes         int64 // planned whole-node crashes survived
+	OOMRecoveries   int64 // out-of-memory failures recovered
 }
 
 // Result reports one run (§4.3's ET/GT/space comparison).
@@ -56,6 +82,11 @@ type Result struct {
 	FullGCs    int64
 	Values     []float64 // final vertex values / point assignments
 	Centroids  [][2]float64
+
+	// Recovery and Net report the run's fault-tolerance activity; both
+	// are zero for a fault-free run.
+	Recovery Recovery
+	Net      cluster.NetStats
 
 	// NodeObs holds each node's observability snapshot (indexed by node
 	// ID); supersteps appear as EvIteration events in each.
@@ -110,6 +141,8 @@ func partitionGraph(g *datagen.Graph, nodes int, initVal func(int) float64) []*p
 // nodeState is the per-node VM-side state.
 type nodeState struct {
 	part     *partition
+	vm       *vm.VM // incarnation the handles below belong to
+	built    bool
 	vsObj    vm.Obj // GPSVertex[] (or KPoint[])
 	adjObj   vm.Obj
 	outT     vm.Obj // reusable out-target buffer
@@ -117,7 +150,32 @@ type nodeState struct {
 	incoming [][]byte
 }
 
-// msg frame format: n × (u32 globalTarget, f64 value).
+// msg frame format: n × (u32 globalTarget, f64 value). Checkpoints reuse
+// the exact same codec: a node's vertex state serializes to n × (u32
+// globalID, f64 value).
+
+// checkpoint is the superstep-boundary recovery state: every node's
+// codec-encoded vertex values plus the frames it was about to consume.
+// Restoring it and re-running the superstep replays the computation.
+type checkpoint struct {
+	step     int
+	vals     [][]byte   // per node: n × (u32 id, f64 value)
+	incoming [][][]byte // per node: the superstep's undelivered frames
+}
+
+// maxReplays bounds recovery attempts for a single superstep, so a fault
+// storm degenerates into an error instead of an infinite replay loop.
+const maxReplays = 4
+
+// engine carries one PR/RW run's cluster-side state.
+type engine struct {
+	cl     *cluster.Cluster
+	cfg    Config
+	parts  []*partition
+	states []*nodeState
+	plan   []faults.Crash
+	rec    Recovery
+}
 
 // Run executes the job and returns metrics plus final values (vertex
 // values for PR/RW, assignments for k-means).
@@ -134,7 +192,13 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 	if cfg.Walkers <= 0 {
 		cfg.Walkers = g.NumVertices / 4
 	}
-	cl, err := cluster.New(prog, cluster.Config{NumNodes: cfg.Nodes, HeapPerNode: cfg.HeapPerNode, RandSeed: cfg.Seed})
+	cl, err := cluster.New(prog, cluster.Config{
+		NumNodes:    cfg.Nodes,
+		HeapPerNode: cfg.HeapPerNode,
+		RandSeed:    cfg.Seed,
+		Faults:      cfg.Faults,
+		RecvTimeout: cfg.RecvTimeout,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -150,52 +214,19 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 		}
 		return 0.0
 	}
-	parts := partitionGraph(g, cfg.Nodes, initVal)
-	states := make([]*nodeState, cfg.Nodes)
+	e := &engine{
+		cl:     cl,
+		cfg:    cfg,
+		parts:  partitionGraph(g, cfg.Nodes, initVal),
+		states: make([]*nodeState, cfg.Nodes),
+		plan:   cl.CrashPlan(cfg.Supersteps),
+	}
 	start := time.Now()
 
 	// Build partitions inside the VMs (before any iteration: vertex
 	// objects live for the whole job).
 	err = cl.ParallelEach(func(n *cluster.Node) error {
-		st := &nodeState{part: parts[n.ID]}
-		states[n.ID] = st
-		t := n.Main
-		oIds, err := t.NewIntArr(st.part.ids)
-		if err != nil {
-			return err
-		}
-		defer t.FreeObj(oIds)
-		oVals, err := t.NewDoubleArr(st.part.vals)
-		if err != nil {
-			return err
-		}
-		defer t.FreeObj(oVals)
-		oIdx, err := t.NewIntArr(st.part.adjIndex)
-		if err != nil {
-			return err
-		}
-		defer t.FreeObj(oIdx)
-		st.vsObj, err = t.InvokeStaticObj("GPSDriver", "buildPartition", vm.O(oIds), vm.O(oVals), vm.O(oIdx))
-		if err != nil {
-			return err
-		}
-		st.adjObj, err = t.NewIntArr(st.part.adj)
-		if err != nil {
-			return err
-		}
-		maxOut := len(st.part.adj)
-		if cfg.App == RandomWalk {
-			maxOut = cfg.Walkers // every walker could land here
-		}
-		if maxOut == 0 {
-			maxOut = 1
-		}
-		st.outT, err = t.NewArr("int", maxOut)
-		if err != nil {
-			return err
-		}
-		st.outV, err = t.NewArr("double", maxOut)
-		return err
+		return e.buildNodeState(n, nil)
 	})
 	if err != nil {
 		return nil, err
@@ -207,7 +238,7 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 		for w := 0; w < cfg.Walkers; w++ {
 			v := int32((w * 7919) % g.NumVertices)
 			node := int(v) % cfg.Nodes
-			seedByNode[node] = append(seedByNode[node], parts[node].local[v])
+			seedByNode[node] = append(seedByNode[node], e.parts[node].local[v])
 		}
 		err = cl.ParallelEach(func(n *cluster.Node) error {
 			if len(seedByNode[n.ID]) == 0 {
@@ -219,7 +250,7 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 				return err
 			}
 			defer t.FreeObj(oSeed)
-			_, err = t.InvokeStatic("GPSDriver", "seedWalkers", vm.O(states[n.ID].vsObj), vm.O(oSeed))
+			_, err = t.InvokeStatic("GPSDriver", "seedWalkers", vm.O(e.states[n.ID].vsObj), vm.O(oSeed))
 			return err
 		})
 		if err != nil {
@@ -228,41 +259,16 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 	}
 
 	for step := 0; step < cfg.Supersteps; step++ {
-		step := step
-		first := step == 0
-		last := step == cfg.Supersteps-1
-		err = cl.ParallelEach(func(n *cluster.Node) error {
-			return superstep(cl, n, states[n.ID], cfg, step, first, last)
-		})
-		if err != nil {
+		if err := e.runSuperstep(step); err != nil {
 			return nil, err
-		}
-		// Barrier: collect this superstep's frames for the next.
-		for _, n := range cl.Nodes {
-			states[n.ID].incoming = states[n.ID].incoming[:0]
-			for i := 0; i < cfg.Nodes; i++ {
-				f := cl.Net.Recv(n.ID)
-				if len(f.Data) > 0 {
-					states[n.ID].incoming = append(states[n.ID].incoming, f.Data)
-				}
-			}
 		}
 	}
 
 	// Extract final values.
 	values := make([]float64, g.NumVertices)
 	err = cl.ParallelEach(func(n *cluster.Node) error {
-		st := states[n.ID]
-		t := n.Main
-		out, err := t.NewArr("double", len(st.part.ids))
-		if err != nil {
-			return err
-		}
-		defer t.FreeObj(out)
-		if _, err := t.InvokeStatic("GPSDriver", "extractValues", vm.O(st.vsObj), vm.O(out)); err != nil {
-			return err
-		}
-		vals, err := t.ReadDoubleArr(out)
+		st := e.states[n.ID]
+		vals, err := readValues(n, st)
 		if err != nil {
 			return err
 		}
@@ -276,7 +282,279 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 	}
 	res := resultFrom(cl, start)
 	res.Values = values
+	res.Recovery = e.rec
 	return res, nil
+}
+
+// tolerant reports whether the run checkpoints and recovers (any fault
+// injection enabled). A fault-free run pays nothing for the machinery.
+func (e *engine) tolerant() bool { return e.cl.Injector() != nil }
+
+// crashAt returns the planned crash for this superstep, if any.
+func (e *engine) crashAt(step int) *faults.Crash {
+	for i := range e.plan {
+		if e.plan[i].Occasion == step {
+			return &e.plan[i]
+		}
+	}
+	return nil
+}
+
+// buildNodeState (re)builds one node's VM-side partition state. vals
+// overrides the initial vertex values (checkpoint restore); nil uses the
+// partition's initial values. Handles from a previous build on the same VM
+// incarnation are freed first; handles into a replaced VM are simply
+// forgotten with it.
+func (e *engine) buildNodeState(n *cluster.Node, vals []float64) error {
+	st := e.states[n.ID]
+	if st == nil {
+		st = &nodeState{part: e.parts[n.ID]}
+		e.states[n.ID] = st
+	}
+	t := n.Main
+	if st.built && st.vm == n.VM {
+		t.FreeObj(st.vsObj)
+		t.FreeObj(st.adjObj)
+		t.FreeObj(st.outT)
+		t.FreeObj(st.outV)
+	}
+	st.built = false
+	st.vm = n.VM
+	if vals == nil {
+		vals = st.part.vals
+	}
+	oIds, err := t.NewIntArr(st.part.ids)
+	if err != nil {
+		return err
+	}
+	defer t.FreeObj(oIds)
+	oVals, err := t.NewDoubleArr(vals)
+	if err != nil {
+		return err
+	}
+	defer t.FreeObj(oVals)
+	oIdx, err := t.NewIntArr(st.part.adjIndex)
+	if err != nil {
+		return err
+	}
+	defer t.FreeObj(oIdx)
+	st.vsObj, err = t.InvokeStaticObj("GPSDriver", "buildPartition", vm.O(oIds), vm.O(oVals), vm.O(oIdx))
+	if err != nil {
+		return err
+	}
+	st.adjObj, err = t.NewIntArr(st.part.adj)
+	if err != nil {
+		return err
+	}
+	maxOut := len(st.part.adj)
+	if e.cfg.App == RandomWalk {
+		maxOut = e.cfg.Walkers // every walker could land here
+	}
+	if maxOut == 0 {
+		maxOut = 1
+	}
+	st.outT, err = t.NewArr("int", maxOut)
+	if err != nil {
+		return err
+	}
+	st.outV, err = t.NewArr("double", maxOut)
+	if err != nil {
+		return err
+	}
+	st.built = true
+	return nil
+}
+
+// runSuperstep drives one superstep through compute, recovery (if a crash
+// was planned or a node OOMed), and the frame barrier.
+func (e *engine) runSuperstep(step int) error {
+	var ckpt *checkpoint
+	if e.tolerant() {
+		c, err := e.takeCheckpoint(step)
+		if err != nil {
+			return err
+		}
+		ckpt = c
+	}
+	crash := e.crashAt(step)
+	for attempt := 0; ; attempt++ {
+		if attempt > maxReplays {
+			return fmt.Errorf("gps: superstep %d still failing after %d recovery attempts", step, maxReplays)
+		}
+		var failed int
+		var kind string
+		if crash != nil {
+			// The node dies mid-superstep: it computes nothing and its
+			// mailbox black-holes, while the surviving nodes finish their
+			// compute and send into the void.
+			e.rec.Crashes++
+			e.cl.Net.Crash(crash.Node)
+			failed, kind = crash.Node, "crash"
+			if err := e.compute(step, crash.Node); err != nil {
+				return err
+			}
+			crash = nil // the planned crash fires once
+		} else {
+			err := e.compute(step, -1)
+			if err == nil {
+				return e.barrier()
+			}
+			ne := cluster.FirstNodeError(err)
+			if ckpt == nil || ne == nil || !isOOM(ne.Err) {
+				return err
+			}
+			e.rec.OOMRecoveries++
+			failed, kind = ne.ID, "oom"
+		}
+		if err := e.recover(step, ckpt, failed, kind); err != nil {
+			return err
+		}
+	}
+}
+
+// compute runs the superstep's compute phase on every node except skip.
+func (e *engine) compute(step, skip int) error {
+	first := step == 0
+	last := step == e.cfg.Supersteps-1
+	return e.cl.ParallelEach(func(n *cluster.Node) error {
+		if n.ID == skip {
+			return nil
+		}
+		return superstep(e.cl, n, e.states[n.ID], e.cfg, step, first, last)
+	})
+}
+
+// barrier collects one frame per peer for every node. Frames are filed by
+// sender ID, so the next superstep delivers them in a canonical order no
+// matter how injected delays and reorders shuffled their arrival — this is
+// what makes a faulty run's result bit-identical to the fault-free one.
+func (e *engine) barrier() error {
+	for _, n := range e.cl.Nodes {
+		byFrom := make([][]byte, len(e.cl.Nodes))
+		for i := 0; i < len(e.cl.Nodes); i++ {
+			f, err := e.cl.Net.Recv(n.ID)
+			if err != nil {
+				return err
+			}
+			byFrom[f.From] = f.Data
+		}
+		st := e.states[n.ID]
+		st.incoming = nil
+		for _, d := range byFrom {
+			if len(d) > 0 {
+				st.incoming = append(st.incoming, d)
+			}
+		}
+	}
+	return nil
+}
+
+// takeCheckpoint serializes every node's vertex state through the frame
+// codec and snapshots its undelivered frames.
+func (e *engine) takeCheckpoint(step int) (*checkpoint, error) {
+	ck := &checkpoint{
+		step:     step,
+		vals:     make([][]byte, len(e.cl.Nodes)),
+		incoming: make([][][]byte, len(e.cl.Nodes)),
+	}
+	err := e.cl.ParallelEach(func(n *cluster.Node) error {
+		st := e.states[n.ID]
+		vals, err := readValues(n, st)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 0, len(vals)*12)
+		for i, v := range vals {
+			var b [12]byte
+			binary.LittleEndian.PutUint32(b[0:], uint32(st.part.ids[i]))
+			binary.LittleEndian.PutUint64(b[4:], math.Float64bits(v))
+			buf = append(buf, b[:]...)
+		}
+		ck.vals[n.ID] = buf
+		ck.incoming[n.ID] = append([][]byte(nil), st.incoming...)
+		reg := n.VM.Obs()
+		reg.Counter(obs.CtrCheckpoints).Inc()
+		reg.Counter(obs.CtrCheckpointBytes).Add(int64(len(buf)))
+		reg.Emit(obs.EvCheckpoint, "save", int64(step), int64(len(buf)), int64(n.ID))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.rec.Checkpoints++
+	for _, b := range ck.vals {
+		e.rec.CheckpointBytes += int64(len(b))
+	}
+	return ck, nil
+}
+
+// recover rebuilds the failed node with a fresh VM, discards the aborted
+// attempt's frames, and winds every node back to the checkpoint so the
+// superstep can replay.
+func (e *engine) recover(step int, ckpt *checkpoint, failed int, kind string) error {
+	if err := e.cl.RestartNode(failed); err != nil {
+		return err
+	}
+	e.rec.NodeRestarts++
+	e.rec.Restores++
+	reg := e.cl.Nodes[failed].VM.Obs()
+	reg.Counter(obs.CtrNodeRestarts).Inc()
+	reg.Emit(obs.EvRecovery, kind, int64(failed), int64(step), 0)
+	// The aborted attempt's frames (sent by surviving nodes before the
+	// failure surfaced) are stale: the replay will resend them.
+	for id := range e.cl.Nodes {
+		for {
+			if _, ok := e.cl.Net.TryRecv(id); !ok {
+				break
+			}
+		}
+	}
+	return e.restore(ckpt)
+}
+
+// restore rebuilds every node's vertex state and incoming frames from the
+// checkpoint. All nodes are rebuilt, not just the failed one: survivors
+// already consumed their incoming frames and advanced their vertex values
+// during the aborted attempt.
+func (e *engine) restore(ckpt *checkpoint) error {
+	return e.cl.ParallelEach(func(n *cluster.Node) error {
+		buf := ckpt.vals[n.ID]
+		vals := make([]float64, len(buf)/12)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*12+4:]))
+		}
+		if err := e.buildNodeState(n, vals); err != nil {
+			return err
+		}
+		e.states[n.ID].incoming = ckpt.incoming[n.ID]
+		reg := n.VM.Obs()
+		reg.Counter(obs.CtrRestores).Inc()
+		reg.Emit(obs.EvCheckpoint, "restore", int64(ckpt.step), int64(len(buf)), int64(n.ID))
+		return nil
+	})
+}
+
+// readValues extracts a node's current vertex values in partition order.
+func readValues(n *cluster.Node, st *nodeState) ([]float64, error) {
+	t := n.Main
+	out, err := t.NewArr("double", len(st.part.ids))
+	if err != nil {
+		return nil, err
+	}
+	defer t.FreeObj(out)
+	if _, err := t.InvokeStatic("GPSDriver", "extractValues", vm.O(st.vsObj), vm.O(out)); err != nil {
+		return nil, err
+	}
+	return t.ReadDoubleArr(out)
+}
+
+// isOOM classifies memory-exhaustion failures — real or injected, managed
+// heap or page store — which the engine recovers from; anything else is a
+// genuine bug and propagates.
+func isOOM(err error) bool {
+	return errors.Is(err, heap.ErrOutOfMemory) ||
+		errors.Is(err, offheap.ErrPageExhausted) ||
+		strings.Contains(err.Error(), "OutOfMemoryError")
 }
 
 // superstep runs one node's compute phase and sends one frame per peer.
@@ -408,6 +686,7 @@ func resultFrom(cl *cluster.Cluster, start time.Time) *Result {
 		NativePeak: st.MaxNative,
 		MinorGCs:   st.MinorGCs,
 		FullGCs:    st.FullGCs,
+		Net:        cl.Net.Stats(),
 		NodeObs:    cl.ObsSnapshots(),
 	}
 }

@@ -3,10 +3,12 @@ package gps
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/facade"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/faults"
 	"repro/internal/ir"
 )
 
@@ -185,5 +187,104 @@ func TestGPSGCProfileModest(t *testing.T) {
 	}
 	if res.GT > res.ET {
 		t.Fatalf("GC time %v exceeds run time %v", res.GT, res.ET)
+	}
+}
+
+// TestPageRankFaultMatrix runs PageRank under each fault class (and all of
+// them combined) and asserts the results are bit-identical to a fault-free
+// run: retries, dedup, canonical barrier ordering, and checkpoint/replay
+// must make injected faults invisible to the computation.
+func TestPageRankFaultMatrix(t *testing.T) {
+	p, p2 := programs(t)
+	g := datagen.PowerLawGraph(250, 2000, 7)
+	base := Config{App: PageRank, Nodes: 3, HeapPerNode: 16 << 20, Supersteps: 4}
+
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"drop", "drop=0.1,seed=11"},
+		{"dup", "dup=0.15,seed=12"},
+		{"delay", "delay=2ms,delayp=0.2,seed=13"},
+		{"reorder", "reorder=0.3,seed=14"},
+		{"crash", "crash=1,seed=15"},
+		{"all", "drop=0.05,dup=0.1,delay=1ms,delayp=0.1,reorder=0.1,crash=1,seed=42"},
+	}
+	for name, prog := range map[string]*ir.Program{"P": p, "P'": p2} {
+		clean, err := Run(prog, g, base)
+		if err != nil {
+			t.Fatalf("%s fault-free: %v", name, err)
+		}
+		if clean.Recovery != (Recovery{}) {
+			t.Fatalf("%s fault-free run reports recovery work: %+v", name, clean.Recovery)
+		}
+		for _, tc := range cases {
+			t.Run(name+"/"+tc.name, func(t *testing.T) {
+				fc, err := faults.Parse(tc.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := base
+				cfg.Faults = &fc
+				cfg.RecvTimeout = 5 * time.Second
+				res, err := Run(prog, g, cfg)
+				if err != nil {
+					t.Fatalf("faulty run: %v", err)
+				}
+				for v := range clean.Values {
+					if res.Values[v] != clean.Values[v] {
+						t.Fatalf("vertex %d diverged: fault-free=%v faulty=%v",
+							v, clean.Values[v], res.Values[v])
+					}
+				}
+				if res.Recovery.Checkpoints != int64(base.Supersteps) {
+					t.Fatalf("checkpoints = %d, want one per superstep (%d)",
+						res.Recovery.Checkpoints, base.Supersteps)
+				}
+				if fc.Drop > 0 && res.Net.Retries == 0 {
+					t.Fatal("drop injection produced no retries")
+				}
+				if fc.Dup > 0 && res.Net.Deduped == 0 {
+					t.Fatal("dup injection produced no dedups")
+				}
+				if fc.Crashes > 0 {
+					if res.Recovery.Crashes < 1 || res.Recovery.NodeRestarts < 1 ||
+						res.Recovery.Restores < 1 {
+						t.Fatalf("crash not reflected in recovery stats: %+v", res.Recovery)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPageRankOOMNodeRecovers injects a single allocation failure on one
+// node mid-run; the engine must restore from checkpoint, replay the
+// superstep, and still converge to the fault-free answer.
+func TestPageRankOOMNodeRecovers(t *testing.T) {
+	p, _ := programs(t)
+	g := datagen.PowerLawGraph(250, 2000, 7)
+	base := Config{App: PageRank, Nodes: 3, HeapPerNode: 16 << 20, Supersteps: 4}
+	clean, err := Run(p, g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fire the 2nd slow-path allocation on every node's injector stream:
+	// past the initial partition build, inside a checkpointed superstep.
+	fc := faults.Config{Seed: 3, AllocAt: 2}
+	cfg := base
+	cfg.Faults = &fc
+	res, err := Run(p, g, cfg)
+	if err != nil {
+		t.Fatalf("run with injected alloc fault: %v", err)
+	}
+	for v := range clean.Values {
+		if res.Values[v] != clean.Values[v] {
+			t.Fatalf("vertex %d diverged after OOM recovery: %v vs %v",
+				v, clean.Values[v], res.Values[v])
+		}
+	}
+	if res.Recovery.OOMRecoveries < 1 || res.Recovery.Restores < 1 {
+		t.Fatalf("expected OOM recovery in stats: %+v", res.Recovery)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/obs"
 )
@@ -76,6 +77,11 @@ type Config struct {
 	// allocation-size histograms, promotion counters). A fresh private
 	// registry is created when nil.
 	Obs *obs.Registry
+	// Faults, when non-nil, is consulted on every slow-path allocation:
+	// a firing faults.HeapAlloc point fails the allocation with
+	// ErrOutOfMemory ahead of true exhaustion (deterministic OOM
+	// injection for robustness tests).
+	Faults *faults.Injector
 }
 
 // Stats is a snapshot of allocation and collection counters.
@@ -157,6 +163,11 @@ type Heap struct {
 	cEvacuated     *obs.Counter   // objects evacuated by minor collections
 	cRemsetScanned *obs.Counter   // remembered-set slots scanned by minor GCs
 
+	// Fault injection: nil when disabled, so the slow path pays one nil
+	// check.
+	inj        *faults.Injector
+	cFaultsInj *obs.Counter
+
 	sp safepointState
 }
 
@@ -224,8 +235,23 @@ func New(cfg Config, h *lang.Hierarchy) *Heap {
 	hp.cPromotedBytes = hp.obs.Counter(obs.CtrPromotedBytes)
 	hp.cEvacuated = hp.obs.Counter(obs.CtrEvacuated)
 	hp.cRemsetScanned = hp.obs.Counter(obs.CtrRemsetScanned)
+	hp.inj = cfg.Faults
+	hp.cFaultsInj = hp.obs.Counter(obs.CtrFaultHeapAlloc)
 	hp.sp.init()
 	return hp
+}
+
+// injectAllocFault consults the fault injector; when the heap.alloc point
+// fires, the allocation fails with ErrOutOfMemory (wrapped, so errors.Is
+// matches and the failure rides the same rails as a true exhaustion).
+func (hp *Heap) injectAllocFault() error {
+	if hp.inj == nil || !hp.inj.Fire(faults.HeapAlloc) {
+		return nil
+	}
+	n := hp.cFaultsInj.Load() + 1
+	hp.cFaultsInj.Inc()
+	hp.obs.Emit(obs.EvFault, string(faults.HeapAlloc), n, 0, 0)
+	return fmt.Errorf("%w (injected fault)", ErrOutOfMemory)
 }
 
 // Obs returns the heap's observability registry.
@@ -372,6 +398,9 @@ func (hp *Heap) allocRaw(tc *ThreadCtx, size int) (Addr, error) {
 }
 
 func (hp *Heap) allocSlow(tc *ThreadCtx, size int) (Addr, error) {
+	if err := hp.injectAllocFault(); err != nil {
+		return 0, err
+	}
 	for attempt := 0; ; attempt++ {
 		hp.mu.Lock()
 		if hp.youngPos+tlabSize <= hp.youngEnd {
@@ -396,6 +425,9 @@ func (hp *Heap) allocSlow(tc *ThreadCtx, size int) (Addr, error) {
 }
 
 func (hp *Heap) allocLarge(tc *ThreadCtx, size int) (Addr, error) {
+	if err := hp.injectAllocFault(); err != nil {
+		return 0, err
+	}
 	for attempt := 0; ; attempt++ {
 		hp.mu.Lock()
 		if hp.oldPos+Addr(size) <= hp.oldEnd {

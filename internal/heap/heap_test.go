@@ -1,11 +1,13 @@
 package heap
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/faults"
 	"repro/internal/lang"
 )
 
@@ -556,5 +558,31 @@ func TestPeakTracksUsage(t *testing.T) {
 	}
 	if hp.Stats().PeakUsed == 0 {
 		t.Fatal("peak usage not tracked")
+	}
+}
+
+func TestInjectedAllocFault(t *testing.T) {
+	h := testHierarchy(t)
+	inj := faults.New(&faults.Config{Seed: 7, AllocAt: 1})
+	hp := New(Config{HeapSize: 4 << 20, Faults: inj}, h)
+	tc := hp.RegisterThread()
+	tc.EndExternal()
+	defer func() {
+		tc.BeginExternal()
+		hp.UnregisterThread(tc)
+	}()
+	node := hp.Hierarchy().Class("Node")
+	// The first slow-path allocation is the scheduled fault: it must fail
+	// with the same sentinel a real exhaustion produces.
+	_, err := hp.AllocObject(tc, node)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// A one-shot schedule leaves the heap fully usable afterwards.
+	if _, err := hp.AllocObject(tc, node); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Fires()[string(faults.HeapAlloc)]; got != 1 {
+		t.Fatalf("injector recorded %d heap.alloc fires, want 1", got)
 	}
 }

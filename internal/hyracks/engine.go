@@ -11,6 +11,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/offheap"
 )
 
 // Job is a MapReduce-style Hyracks job: every node maps its local
@@ -25,6 +26,15 @@ type Job interface {
 	// Reduce consumes the frames shuffled to this node and returns the
 	// node's output file contents.
 	Reduce(n *cluster.Node, frames [][]byte) ([]byte, error)
+}
+
+// Recovery counts the fault-tolerance work a job performed.
+type Recovery struct {
+	Crashes       int64 // planned whole-node crashes survived
+	NodeRestarts  int64 // node VMs rebuilt from scratch
+	TaskRetries   int64 // map/reduce tasks re-executed (same logical task)
+	TasksDegraded int64 // tasks drained to a healthy helper node
+	OOMRecoveries int64 // out-of-memory failures recovered
 }
 
 // Result reports one job run (a row of Table 3 plus the memory points of
@@ -45,16 +55,35 @@ type Result struct {
 	ShuffledMB  float64
 	OutputBytes int64
 
+	// Recovery and Net report the run's fault-tolerance activity; both
+	// are zero for a fault-free run.
+	Recovery Recovery
+	Net      cluster.NetStats
+
 	// NodeObs holds each node's observability snapshot (indexed by node
 	// ID); the map/reduce phases appear as EvPhase events in each.
 	NodeObs []obs.Snapshot
 }
+
+// Hyracks recovery occasions for the crash plan: 0 = map, 1 = reduce.
+// CrashPlan never picks occasion 0, so planned crashes land in the reduce
+// phase — after useful work exists to lose.
+const crashOccasions = 2
 
 // RunJob executes the job over the dataset partitions on a fresh cluster
 // for prog. fairCap, when > 0, fails a run whose per-node total memory
 // (heap + native) exceeded it — the paper's fairness rule for P', whose
 // native memory is otherwise unbounded ("an execution of P' that consumes
 // more than 8GB memory is considered an out-of-memory failure").
+//
+// Task failures are tolerated per the degradation ladder: a task that dies
+// of memory exhaustion is retried once on its own node (the failed
+// attempt's iteration pages are already recycled, and the heap garbage is
+// collectible), then drained to a healthy helper node, and only counts as
+// an OME result when no node can run it. A planned node crash in the
+// reduce phase is recovered by rebuilding the node and re-running its
+// task from the engine-held shuffle frames. Map tasks send no frames until
+// they succeed, so a retried task never double-delivers.
 func RunJob(prog *ir.Program, job Job, parts [][]byte, ccfg cluster.Config, fairCap int64, fs *dfs.FS) (*Result, error) {
 	cl, err := cluster.New(prog, ccfg)
 	if err != nil {
@@ -64,52 +93,121 @@ func RunJob(prog *ir.Program, job Job, parts [][]byte, ccfg cluster.Config, fair
 	res := &Result{Job: job.Name()}
 	start := time.Now()
 	reducers := len(cl.Nodes)
+	var rec Recovery
 
-	// Map phase: every node maps its partition and sends one frame to
-	// each reducer.
-	mapErr := cl.ParallelEach(func(n *cluster.Node) error {
+	mapTask := func(n *cluster.Node, logical int) error {
 		part := []byte{}
-		if n.ID < len(parts) {
-			part = parts[n.ID]
+		if logical < len(parts) {
+			part = parts[logical]
 		}
 		phaseStart := time.Now()
 		frames, err := job.Map(n, part, reducers)
 		if err != nil {
-			return fmt.Errorf("node %d map: %w", n.ID, err)
+			return fmt.Errorf("map: %w", err)
 		}
 		if len(frames) != reducers {
-			return fmt.Errorf("node %d map returned %d frames for %d reducers", n.ID, len(frames), reducers)
+			return fmt.Errorf("map returned %d frames for %d reducers", len(frames), reducers)
 		}
 		var shuffled int64
 		for r, f := range frames {
 			shuffled += int64(len(f))
-			cl.Net.Send(cluster.Frame{From: n.ID, To: r, Tag: "shuffle", Data: f})
+			// Frames carry the logical mapper's ID even when a helper node
+			// runs the task, so the shuffle sees one frame per mapper.
+			cl.Net.Send(cluster.Frame{From: logical, To: r, Tag: "shuffle", Data: f})
 		}
-		n.VM.Obs().Emit(obs.EvPhase, "map", int64(n.ID), time.Since(phaseStart).Nanoseconds(), shuffled)
+		n.VM.Obs().Emit(obs.EvPhase, "map", int64(logical), time.Since(phaseStart).Nanoseconds(), shuffled)
 		return nil
-	})
-	if mapErr != nil {
-		return failOrErr(res, mapErr, start, cl)
 	}
 
-	// Reduce phase: every node drains one frame per mapper and reduces.
-	redErr := cl.ParallelEach(func(n *cluster.Node) error {
-		frames := make([][]byte, 0, len(cl.Nodes))
-		for i := 0; i < len(cl.Nodes); i++ {
-			f := cl.Net.Recv(n.ID)
-			frames = append(frames, f.Data)
-		}
-		phaseStart := time.Now()
-		out, err := job.Reduce(n, frames)
-		if err != nil {
-			return fmt.Errorf("node %d reduce: %w", n.ID, err)
-		}
-		fs.Write(fmt.Sprintf("/out/%s/part-%d", job.Name(), n.ID), out)
-		n.VM.Obs().Emit(obs.EvPhase, "reduce", int64(n.ID), time.Since(phaseStart).Nanoseconds(), int64(len(out)))
+	// Map phase: every node maps its partition. Failures are collected
+	// per-node (not short-circuited) so the recovery ladder below can run.
+	mapErrs := make([]error, len(cl.Nodes))
+	_ = cl.ParallelEach(func(n *cluster.Node) error {
+		mapErrs[n.ID] = mapTask(n, n.ID)
 		return nil
 	})
-	if redErr != nil {
-		return failOrErr(res, redErr, start, cl)
+	for id, merr := range mapErrs {
+		if merr == nil {
+			continue
+		}
+		final, err := recoverTask(cl, &rec, "map", id, merr, mapErrs,
+			func(n *cluster.Node) error { return mapTask(n, id) })
+		if err != nil {
+			return nil, err
+		}
+		if final != nil {
+			return failOrErr(res, &rec, final, start, cl)
+		}
+	}
+
+	// Shuffle: the engine drains every reducer's frames before the reduce
+	// phase starts, filed by mapper ID. Canonical ordering makes merge
+	// ties deterministic, and holding the frames engine-side means a
+	// crashed reducer's task can replay without re-running its mappers.
+	shuffle := make([][][]byte, reducers)
+	for r := range cl.Nodes {
+		byFrom := make([][]byte, len(cl.Nodes))
+		for i := 0; i < len(cl.Nodes); i++ {
+			f, err := cl.Net.Recv(r)
+			if err != nil {
+				return nil, err
+			}
+			byFrom[f.From] = f.Data
+		}
+		shuffle[r] = byFrom
+	}
+
+	reduceTask := func(n *cluster.Node, logical int) error {
+		phaseStart := time.Now()
+		out, err := job.Reduce(n, shuffle[logical])
+		if err != nil {
+			return fmt.Errorf("reduce: %w", err)
+		}
+		fs.Write(fmt.Sprintf("/out/%s/part-%d", job.Name(), logical), out)
+		n.VM.Obs().Emit(obs.EvPhase, "reduce", int64(logical), time.Since(phaseStart).Nanoseconds(), int64(len(out)))
+		return nil
+	}
+
+	// Planned crashes land in the reduce phase (occasion 1): the node dies
+	// with its task unstarted and is rebuilt from scratch.
+	crashed := make(map[int]bool)
+	for _, c := range cl.CrashPlan(crashOccasions) {
+		crashed[c.Node] = true
+	}
+	redErrs := make([]error, len(cl.Nodes))
+	_ = cl.ParallelEach(func(n *cluster.Node) error {
+		if crashed[n.ID] {
+			return nil
+		}
+		redErrs[n.ID] = reduceTask(n, n.ID)
+		return nil
+	})
+	for id := range crashed {
+		rec.Crashes++
+		cl.Net.Crash(id)
+		if err := cl.RestartNode(id); err != nil {
+			return nil, err
+		}
+		rec.NodeRestarts++
+		reg := cl.Nodes[id].VM.Obs()
+		reg.Counter(obs.CtrNodeRestarts).Inc()
+		reg.Counter(obs.CtrTaskRetries).Inc()
+		reg.Emit(obs.EvRecovery, "crash", int64(id), 1, 0)
+		rec.TaskRetries++
+		redErrs[id] = reduceTask(cl.Nodes[id], id)
+	}
+	for id, rerr := range redErrs {
+		if rerr == nil {
+			continue
+		}
+		final, err := recoverTask(cl, &rec, "reduce", id, rerr, redErrs,
+			func(n *cluster.Node) error { return reduceTask(n, id) })
+		if err != nil {
+			return nil, err
+		}
+		if final != nil {
+			return failOrErr(res, &rec, final, start, cl)
+		}
 	}
 
 	res.ET = time.Since(start)
@@ -128,13 +226,62 @@ func RunJob(prog *ir.Program, job Job, parts [][]byte, ccfg cluster.Config, fair
 		res.OME = true
 		res.OMEAt = res.ET
 	}
+	res.Recovery = rec
+	res.Net = cl.Net.Stats()
 	res.NodeObs = cl.ObsSnapshots()
 	return res, nil
 }
 
+// recoverTask runs the degradation ladder for a failed task: retry once on
+// the task's own node, then drain to a healthy helper, then give up. It
+// returns (finalErr, nil) when the ladder is exhausted and the failure
+// should be classified (OME or real), (nil, nil) when the task eventually
+// succeeded, and (nil, err) for infrastructure errors.
+func recoverTask(cl *cluster.Cluster, rec *Recovery, phase string, id int, taskErr error, peerErrs []error, run func(*cluster.Node) error) (error, error) {
+	if !isOOM(taskErr) {
+		return taskErr, nil
+	}
+	rec.OOMRecoveries++
+	// Rung 1: retry on the same node. For transformed programs the failed
+	// attempt's iteration already released its pages (the forced
+	// page-recycle boundary); for P the dead attempt's objects are
+	// collectible garbage.
+	n := cl.Nodes[id]
+	reg := n.VM.Obs()
+	reg.Counter(obs.CtrTaskRetries).Inc()
+	reg.Emit(obs.EvRecovery, "oom", int64(id), 0, 0)
+	rec.TaskRetries++
+	retryErr := run(n)
+	if retryErr == nil {
+		return nil, nil
+	}
+	if !isOOM(retryErr) {
+		return retryErr, nil
+	}
+	// Rung 2: drain the task to a healthy node (one whose own task did not
+	// fail). When every node is out of memory the run is a genuine OME —
+	// exactly the Table 3 data point.
+	for h := range cl.Nodes {
+		if h == id || (h < len(peerErrs) && peerErrs[h] != nil) {
+			continue
+		}
+		helper := cl.Nodes[h]
+		hreg := helper.VM.Obs()
+		hreg.Counter(obs.CtrTasksDegraded).Inc()
+		hreg.Emit(obs.EvDegraded, phase, int64(id), int64(h), 0)
+		rec.TasksDegraded++
+		helpErr := run(helper)
+		if helpErr == nil {
+			return nil, nil
+		}
+		return helpErr, nil
+	}
+	return retryErr, nil
+}
+
 // failOrErr classifies a phase error: OutOfMemoryError becomes an OME
 // result (a Table 3 data point); anything else is a real error.
-func failOrErr(res *Result, err error, start time.Time, cl *cluster.Cluster) (*Result, error) {
+func failOrErr(res *Result, rec *Recovery, err error, start time.Time, cl *cluster.Cluster) (*Result, error) {
 	if isOOM(err) {
 		res.OME = true
 		res.OMEAt = time.Since(start)
@@ -146,13 +293,19 @@ func failOrErr(res *Result, err error, start time.Time, cl *cluster.Cluster) (*R
 		res.PM = st.MaxTotal
 		res.MinorGCs = st.MinorGCs
 		res.FullGCs = st.FullGCs
+		res.Recovery = *rec
+		res.Net = cl.Net.Stats()
 		res.NodeObs = cl.ObsSnapshots()
 		return res, nil
 	}
 	return nil, err
 }
 
+// isOOM classifies memory exhaustion across both memory systems: the
+// managed heap's sentinel, the page store's typed exhaustion error, and
+// the FJ-level OutOfMemoryError string.
 func isOOM(err error) bool {
 	return errors.Is(err, heap.ErrOutOfMemory) ||
+		errors.Is(err, offheap.ErrPageExhausted) ||
 		(err != nil && strings.Contains(err.Error(), "OutOfMemoryError"))
 }

@@ -5,10 +5,12 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/dfs"
+	"repro/internal/faults"
 	"repro/internal/ir"
 )
 
@@ -177,5 +179,182 @@ func TestWordCountOMEShape(t *testing.T) {
 	}
 	if resP2.OME {
 		t.Fatalf("P' hit the fairness cap too (PM=%d)", resP2.PM)
+	}
+}
+
+// outputFiles snapshots a job's output directory as path -> contents.
+func outputFiles(t *testing.T, fs *dfs.FS, dir string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, p := range fs.List(dir) {
+		d, err := fs.Read(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[p] = d
+	}
+	return out
+}
+
+// TestFaultMatrixJobsMatchBaseline runs word count and external sort under
+// network faults and a planned node crash, asserting the produced files are
+// byte-identical to a fault-free run of the same job: at-least-once sends
+// plus receiver dedup plus engine-held shuffle replay make the faults
+// invisible to the output.
+func TestFaultMatrixJobsMatchBaseline(t *testing.T) {
+	p, p2 := programs(t)
+
+	corpus := datagen.CorpusSkewed(20000, 50, 9)
+	wcParts := datagen.Partition(corpus, 3)
+
+	const keyLen, recLen = 8, 32
+	recs := datagen.SortRecords(600, keyLen, recLen-keyLen, 3)
+	var sortData []byte
+	for _, r := range recs {
+		sortData = append(sortData, r...)
+	}
+	sortParts := make([][]byte, 3)
+	per := (600 / 3) * recLen
+	for i := range sortParts {
+		sortParts[i] = sortData[i*per : (i+1)*per]
+	}
+
+	jobs := []struct {
+		name  string
+		job   Job
+		parts [][]byte
+	}{
+		{"WC", WordCountJob{}, wcParts},
+		{"ES", ExternalSortJob{KeyLen: keyLen, RecLen: recLen, RunRecords: 64}, sortParts},
+	}
+	specs := []struct {
+		name string
+		spec string
+	}{
+		// A job shuffles only reducers*nodes frames, so the per-frame
+		// probabilities run high to guarantee each fault class fires.
+		{"net", "drop=0.3,dup=0.5,reorder=0.3,seed=8"},
+		{"crash", "crash=1,seed=9"},
+		{"all", "drop=0.2,dup=0.5,delay=1ms,delayp=0.3,crash=1,seed=17"},
+	}
+
+	for name, prog := range map[string]*ir.Program{"P": p, "P'": p2} {
+		for _, j := range jobs {
+			cleanFS := dfs.New()
+			cleanRes, err := RunJob(prog, j.job, j.parts,
+				cluster.Config{NumNodes: 3, HeapPerNode: 16 << 20}, 0, cleanFS)
+			if err != nil {
+				t.Fatalf("%s/%s fault-free: %v", name, j.name, err)
+			}
+			if cleanRes.OME || cleanRes.Recovery != (Recovery{}) {
+				t.Fatalf("%s/%s fault-free run not clean: OME=%v rec=%+v",
+					name, j.name, cleanRes.OME, cleanRes.Recovery)
+			}
+			want := outputFiles(t, cleanFS, "/out/"+j.name+"/")
+
+			for _, tc := range specs {
+				t.Run(name+"/"+j.name+"/"+tc.name, func(t *testing.T) {
+					fc, err := faults.Parse(tc.spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fs := dfs.New()
+					res, err := RunJob(prog, j.job, j.parts, cluster.Config{
+						NumNodes: 3, HeapPerNode: 16 << 20,
+						Faults: &fc, RecvTimeout: 5 * time.Second,
+					}, 0, fs)
+					if err != nil {
+						t.Fatalf("faulty run: %v", err)
+					}
+					if res.OME {
+						t.Fatal("faulty run reported OME")
+					}
+					got := outputFiles(t, fs, "/out/"+j.name+"/")
+					if len(got) != len(want) {
+						t.Fatalf("%d output files, want %d", len(got), len(want))
+					}
+					for pth, d := range want {
+						if !bytes.Equal(got[pth], d) {
+							t.Fatalf("output %s differs from fault-free run", pth)
+						}
+					}
+					if fc.Drop > 0 && res.Net.Retries == 0 {
+						t.Fatal("drop injection produced no retries")
+					}
+					if fc.Dup > 0 && res.Net.Deduped == 0 {
+						t.Fatal("dup injection produced no dedups")
+					}
+					if fc.Crashes > 0 &&
+						(res.Recovery.Crashes < 1 || res.Recovery.NodeRestarts < 1) {
+						t.Fatalf("crash not reflected in recovery stats: %+v", res.Recovery)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMapOOMRetriesOnSameNode injects one allocation failure per node early
+// in the map phase; every task must recover via the first ladder rung (retry
+// on its own node) and the job output must be unaffected.
+func TestMapOOMRetriesOnSameNode(t *testing.T) {
+	p, _ := programs(t)
+	corpus := datagen.CorpusSkewed(20000, 50, 9)
+	parts := datagen.Partition(corpus, 3)
+	fc := faults.Config{Seed: 3, AllocAt: 2}
+	fs := dfs.New()
+	res, err := RunJob(p, WordCountJob{}, parts,
+		cluster.Config{NumNodes: 3, HeapPerNode: 16 << 20, Faults: &fc}, 0, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OME {
+		t.Fatal("retryable alloc fault escalated to OME")
+	}
+	if res.Recovery.OOMRecoveries < 1 || res.Recovery.TaskRetries < 1 {
+		t.Fatalf("expected same-node retries in recovery stats: %+v", res.Recovery)
+	}
+	if res.Recovery.TasksDegraded != 0 {
+		t.Fatalf("one-shot fault should not reach the helper rung: %+v", res.Recovery)
+	}
+	want := goWordCount(corpus)
+	got := parseWCOutput(t, fs)
+	for w, c := range want {
+		if got[w] != c {
+			t.Fatalf("count[%q] = %d want %d", w, got[w], c)
+		}
+	}
+}
+
+// TestTaskDrainsToHelperNode uses a probabilistic per-node alloc fault whose
+// fixed seed makes one node fail its task twice (initial + retry) while a
+// peer stays healthy: the task must drain to the helper and the output must
+// still be exact.
+func TestTaskDrainsToHelperNode(t *testing.T) {
+	p, _ := programs(t)
+	corpus := datagen.CorpusSkewed(20000, 50, 9)
+	parts := datagen.Partition(corpus, 3)
+	fc := faults.Config{Seed: 5, AllocProb: 0.1}
+	fs := dfs.New()
+	res, err := RunJob(p, WordCountJob{}, parts,
+		cluster.Config{NumNodes: 3, HeapPerNode: 16 << 20, Faults: &fc}, 0, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OME {
+		t.Fatal("degradable fault escalated to OME")
+	}
+	if res.Recovery.TasksDegraded < 1 {
+		t.Fatalf("expected a task drained to a helper node: %+v", res.Recovery)
+	}
+	want := goWordCount(corpus)
+	got := parseWCOutput(t, fs)
+	if len(got) != len(want) {
+		t.Fatalf("%d distinct words, want %d", len(got), len(want))
+	}
+	for w, c := range want {
+		if got[w] != c {
+			t.Fatalf("count[%q] = %d want %d", w, got[w], c)
+		}
 	}
 }

@@ -226,9 +226,25 @@ const (
 	CtrBoundaryCalls  = "vm.boundary_crossings"
 	CtrFacadePoolHits = "vm.facade_pool_hits"
 
+	// Fault injection (internal/faults consumers).
+	CtrFaultHeapAlloc   = "faults.heap_alloc_injected"   // injected allocation failures
+	CtrFaultPageAcquire = "faults.page_acquire_injected" // injected page-acquire failures
+
+	// Recovery (cluster engines).
+	CtrCheckpoints     = "recovery.checkpoints"      // superstep checkpoints taken
+	CtrCheckpointBytes = "recovery.checkpoint_bytes" // codec-encoded checkpoint payload
+	CtrRestores        = "recovery.restores"         // checkpoint restores (crash or OOM)
+	CtrNodeRestarts    = "recovery.node_restarts"    // node VMs rebuilt after a crash
+	CtrTaskRetries     = "recovery.task_retries"     // map/reduce tasks re-executed
+	CtrTasksDegraded   = "recovery.tasks_degraded"   // tasks drained to a healthy node
+
 	// Event kinds.
 	EvGC             = "gc"         // label minor|full, A=pause ns, B=promoted objs (minor) / live bytes (full)
 	EvIteration      = "iteration"  // label start|end, A=iteration ordinal
 	EvPhase          = "phase"      // label map|reduce|superstep..., A=ordinal
 	EvManagerRelease = "pm_release" // A=iterID, B=threadID, C=pages released
+	EvFault          = "fault"      // label = fault point, A=occurrence count
+	EvCheckpoint     = "checkpoint" // label save|restore, A=superstep, B=payload bytes
+	EvRecovery       = "recovery"   // label crash|oom, A=node, B=occasion (superstep/phase)
+	EvDegraded       = "degraded"   // label map|reduce, A=failed node, B=helper node
 )

@@ -63,10 +63,13 @@ func (rt *Runtime) NewManager(parent *PageManager, iterID, threadID int) *PageMa
 	return m
 }
 
-// alloc returns a page reference to size zeroed bytes.
-func (m *PageManager) alloc(size int) PageRef {
+// alloc returns a page reference to size zeroed bytes. Allocation from a
+// released manager and page-acquire failures surface as typed errors
+// (ErrReleasedManager, ErrPageExhausted) rather than panics, so they can
+// propagate through the VM boundary and be recovered from.
+func (m *PageManager) alloc(size int) (PageRef, error) {
 	if m.released {
-		panic("offheap: allocation from a released page manager")
+		return 0, fmt.Errorf("%w (iteration %d, thread %d)", ErrReleasedManager, m.IterID, m.ThreadID)
 	}
 	size = (size + 7) &^ 7
 	ci := classFor(size)
@@ -77,16 +80,23 @@ func (m *PageManager) alloc(size int) PageRef {
 		if want < PageSize {
 			want = PageSize
 		}
-		p := m.rt.getPage(want)
+		p, err := m.rt.getPage(want)
+		if err != nil {
+			return 0, err
+		}
 		m.pages = append(m.pages, p)
 		m.notePages()
 		p.pos = size
 		zero(p.buf[:size])
-		return MakeRef(p.idx, 0)
+		return MakeRef(p.idx, 0), nil
 	}
 	p := m.cur[ci]
 	if p == nil || p.pos+size > len(p.buf) {
-		p = m.rt.getPage(PageSize)
+		var err error
+		p, err = m.rt.getPage(PageSize)
+		if err != nil {
+			return 0, err
+		}
 		m.pages = append(m.pages, p)
 		m.notePages()
 		m.cur[ci] = p
@@ -94,7 +104,7 @@ func (m *PageManager) alloc(size int) PageRef {
 	off := p.pos
 	p.pos += size
 	zero(p.buf[off : off+size])
-	return MakeRef(p.idx, off)
+	return MakeRef(p.idx, off), nil
 }
 
 func zero(b []byte) {
@@ -160,21 +170,31 @@ func (m *PageManager) PageCount() int { return len(m.pages) }
 
 // AllocRecord allocates a zeroed scalar record with the given type ID and
 // body size and returns its page reference.
-func (m *PageManager) AllocRecord(typeID uint16, bodySize int) PageRef {
-	ref := m.alloc(ScalarHeader + bodySize)
+func (m *PageManager) AllocRecord(typeID uint16, bodySize int) (PageRef, error) {
+	ref, err := m.alloc(ScalarHeader + bodySize)
+	if err != nil {
+		return 0, err
+	}
 	b := m.rt.bytesFor(ref)
 	putU16(b, typeID)
 	m.rt.stats.records.Add(1)
-	return ref
+	return ref, nil
 }
 
 // AllocArray allocates a zeroed array record for n elements of elemSize
-// bytes, tagged with the array type index.
+// bytes, tagged with the array type index (-1, from an exhausted
+// ArrayTypeIndex registry, is rejected with ErrTooManyArrayTypes).
 func (m *PageManager) AllocArray(arrTypeIdx int, elemSize, n int) (PageRef, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("offheap: negative array size %d", n)
 	}
-	ref := m.alloc(ArrayHeader + n*elemSize)
+	if arrTypeIdx < 0 {
+		return 0, ErrTooManyArrayTypes
+	}
+	ref, err := m.alloc(ArrayHeader + n*elemSize)
+	if err != nil {
+		return 0, err
+	}
 	b := m.rt.bytesFor(ref)
 	putU16(b, arrayTypeBit|uint16(arrTypeIdx))
 	putU32(b[4:], uint32(n))

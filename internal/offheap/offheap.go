@@ -23,11 +23,30 @@
 package offheap
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/obs"
+)
+
+// Typed allocation errors. These propagate through the VM boundary like
+// heap.ErrOutOfMemory does, so both injected faults and programmer errors
+// are recoverable and testable instead of process-killing panics.
+var (
+	// ErrReleasedManager is returned for an allocation from a page
+	// manager whose iteration has already been released (§3.6: a record
+	// must not outlive its iteration).
+	ErrReleasedManager = errors.New("offheap: allocation from a released page manager")
+	// ErrTooManyArrayTypes is returned when the dense array-type registry
+	// is exhausted (the type word reserves 14 bits for the index).
+	ErrTooManyArrayTypes = errors.New("offheap: too many distinct array element types")
+	// ErrPageExhausted is returned when a page acquire fails — today only
+	// via injected faults, standing in for native allocation failure.
+	ErrPageExhausted = errors.New("offheap: page store exhausted")
 )
 
 // PageRef is a reference to a record in native memory: the page index+1 in
@@ -104,6 +123,10 @@ type Runtime struct {
 	cPageReleases *obs.Counter
 	cPageRecycles *obs.Counter
 	gPagesLive    *obs.Gauge
+
+	// Fault injection: nil when disabled.
+	inj        *faults.Injector
+	cFaultsInj *obs.Counter
 }
 
 // Stats is a snapshot of the native store counters.
@@ -146,6 +169,16 @@ func NewRuntimeWith(reg *obs.Registry) *Runtime {
 // Obs returns the store's observability registry.
 func (rt *Runtime) Obs() *obs.Registry { return rt.obs }
 
+// SetFaultInjector installs a fault injector consulted on every page
+// acquire (nil disables injection). Call before the store is shared
+// between threads.
+func (rt *Runtime) SetFaultInjector(inj *faults.Injector) {
+	rt.inj = inj
+	if inj != nil && rt.cFaultsInj == nil {
+		rt.cFaultsInj = rt.obs.Counter(obs.CtrFaultPageAcquire)
+	}
+}
+
 // Stats returns a snapshot of the counters.
 func (rt *Runtime) Stats() Stats {
 	return Stats{
@@ -161,7 +194,9 @@ func (rt *Runtime) Stats() Stats {
 	}
 }
 
-// ArrayTypeIndex returns the dense index for an array element type.
+// ArrayTypeIndex returns the dense index for an array element type, or -1
+// when the registry is exhausted (the allocation sites turn -1 into
+// ErrTooManyArrayTypes; lookups of already-registered types never fail).
 func (rt *Runtime) ArrayTypeIndex(elem *lang.Type) int {
 	key := elem.String()
 	rt.arrMu.Lock()
@@ -171,7 +206,7 @@ func (rt *Runtime) ArrayTypeIndex(elem *lang.Type) int {
 	}
 	i := len(rt.arrTypes)
 	if i >= int(arrayTypeBit) {
-		panic("too many distinct array element types")
+		return -1
 	}
 	rt.arrTypes = append(rt.arrTypes, elem)
 	rt.arrIndex[key] = i
@@ -187,7 +222,15 @@ func (rt *Runtime) ArrayElemType(idx int) *lang.Type {
 
 // getPage allocates or recycles a page of at least size bytes. Pages
 // larger than PageSize ("oversize") are never recycled through the pool.
-func (rt *Runtime) getPage(size int) *page {
+// The faults.PageAcquire point is evaluated first: a firing point fails
+// the acquire with ErrPageExhausted, modeling native allocation failure.
+func (rt *Runtime) getPage(size int) (*page, error) {
+	if rt.inj != nil && rt.inj.Fire(faults.PageAcquire) {
+		n := rt.cFaultsInj.Load() + 1
+		rt.cFaultsInj.Inc()
+		rt.obs.Emit(obs.EvFault, string(faults.PageAcquire), n, 0, 0)
+		return nil, fmt.Errorf("%w (injected fault)", ErrPageExhausted)
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.stats.pagesLive.Add(1)
@@ -202,7 +245,7 @@ func (rt *Runtime) getPage(size int) *page {
 			rt.stats.pagesRecycled.Add(1)
 			rt.cPageRecycles.Inc()
 			rt.addBytes(int64(len(p.buf)))
-			return p
+			return p, nil
 		}
 	} else {
 		rt.stats.oversize.Add(1)
@@ -215,7 +258,7 @@ func (rt *Runtime) getPage(size int) *page {
 	rt.table.Store(&next)
 	rt.stats.pagesCreated.Add(1)
 	rt.addBytes(int64(size))
-	return p
+	return p, nil
 }
 
 // releasePage returns a page to the free pool (or drops oversize pages

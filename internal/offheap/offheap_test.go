@@ -1,11 +1,13 @@
 package offheap
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/faults"
 	"repro/internal/lang"
 )
 
@@ -13,12 +15,21 @@ func newScope(rt *Runtime, iterCounter *int, tid int) *IterScope {
 	return rt.NewIterScope(nil, iterCounter, tid)
 }
 
+func mustRecord(t testing.TB, m *PageManager, typeID uint16, size int) PageRef {
+	t.Helper()
+	ref, err := m.AllocRecord(typeID, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
 func TestRecordRoundtrip(t *testing.T) {
 	rt := NewRuntime()
 	ic := 0
 	s := newScope(rt, &ic, 0)
 	defer s.Close()
-	ref := s.Current().AllocRecord(7, 64)
+	ref := mustRecord(t, s.Current(), 7, 64)
 	if rt.ClassID(ref) != 7 || rt.IsArrayRecord(ref) {
 		t.Fatal("bad scalar header")
 	}
@@ -81,7 +92,7 @@ func TestRecordValuesSurviveRandomOps(t *testing.T) {
 		shadow := make(map[slot]int64)
 		var refs []PageRef
 		for i := 0; i < 50; i++ {
-			refs = append(refs, s.Current().AllocRecord(uint16(i%100), 128))
+			refs = append(refs, mustRecord(t, s.Current(), uint16(i%100), 128))
 		}
 		for op := 0; op < 2000; op++ {
 			sl := slot{refs[rng.Intn(len(refs))], rng.Intn(15) * 8}
@@ -134,7 +145,7 @@ func TestNestedIterations(t *testing.T) {
 	defer s.Close()
 	s.IterationStart()
 	outer := s.Current()
-	outerRec := outer.AllocRecord(1, 32)
+	outerRec := mustRecord(t, outer, 1, 32)
 	rt.SetInt(outerRec, 0, 77)
 	for sub := 0; sub < 5; sub++ {
 		s.IterationStart()
@@ -224,8 +235,8 @@ func TestContiguousSmallAllocations(t *testing.T) {
 	defer s.Close()
 	// Policy 1: consecutive small records of the same size class are
 	// contiguous within a page.
-	a := s.Current().AllocRecord(1, 20)
-	b := s.Current().AllocRecord(1, 20)
+	a := mustRecord(t, s.Current(), 1, 20)
+	b := mustRecord(t, s.Current(), 1, 20)
 	pa, oa := splitRef(a)
 	pb, ob := splitRef(b)
 	if pa != pb || ob != oa+24 { // 4-byte header + 20 rounded to 24
@@ -241,7 +252,7 @@ func TestLockPoolMutualExclusion(t *testing.T) {
 	ic := 0
 	s := newScope(rt, &ic, 0)
 	defer s.Close()
-	rec := s.Current().AllocRecord(1, 16)
+	rec := mustRecord(t, s.Current(), 1, 16)
 	rt.SetInt(rec, 0, 0)
 
 	const nThreads = 8
@@ -285,7 +296,7 @@ func TestLockPoolReentrancy(t *testing.T) {
 	ic := 0
 	s := newScope(rt, &ic, 0)
 	defer s.Close()
-	rec := s.Current().AllocRecord(1, 16)
+	rec := mustRecord(t, s.Current(), 1, 16)
 	owner := &struct{}{}
 	for i := 0; i < 3; i++ {
 		if err := rt.Locks.Enter(rt, rec, owner, nil); err != nil {
@@ -311,7 +322,7 @@ func TestLockPoolBound(t *testing.T) {
 	defer s.Close()
 	owner := &struct{}{}
 	for i := 0; i < 10000; i++ {
-		rec := s.Current().AllocRecord(1, 16)
+		rec := mustRecord(t, s.Current(), 1, 16)
 		if err := rt.Locks.Enter(rt, rec, owner, nil); err != nil {
 			t.Fatal(err)
 		}
@@ -329,7 +340,7 @@ func TestLockPoolExitErrors(t *testing.T) {
 	ic := 0
 	s := newScope(rt, &ic, 0)
 	defer s.Close()
-	rec := s.Current().AllocRecord(1, 16)
+	rec := mustRecord(t, s.Current(), 1, 16)
 	if err := rt.Locks.Exit(rt, rec, &struct{}{}); err == nil {
 		t.Fatal("exit without enter must fail")
 	}
@@ -353,7 +364,7 @@ func TestReleaseOversizeEarly(t *testing.T) {
 	s.IterationStart()
 	idx := rt.ArrayTypeIndex(lang.ByteType)
 	big, _ := s.Current().AllocArray(idx, 1, 4*PageSize)
-	small := s.Current().AllocRecord(1, 32)
+	small := mustRecord(t, s.Current(), 1, 32)
 	before := rt.Stats().BytesInUse
 	if !rt.ReleaseOversize(big) {
 		t.Fatal("oversize page not released")
@@ -372,5 +383,52 @@ func TestReleaseOversizeEarly(t *testing.T) {
 	s.IterationEnd()
 	if rt.Stats().PagesLive != 0 {
 		t.Fatalf("%d pages live after iteration end", rt.Stats().PagesLive)
+	}
+}
+
+func TestReleasedManagerAllocError(t *testing.T) {
+	rt := NewRuntime()
+	ic := 0
+	s := newScope(rt, &ic, 0)
+	defer s.Close()
+	s.IterationStart()
+	m := s.Current()
+	s.IterationEnd()
+	if _, err := m.AllocRecord(1, 16); !errors.Is(err, ErrReleasedManager) {
+		t.Fatalf("err = %v, want ErrReleasedManager", err)
+	}
+	if _, err := m.AllocArray(0, 4, 10); !errors.Is(err, ErrReleasedManager) {
+		t.Fatalf("array err = %v, want ErrReleasedManager", err)
+	}
+}
+
+func TestAllocArrayRejectsExhaustedTypeRegistry(t *testing.T) {
+	rt := NewRuntime()
+	ic := 0
+	s := newScope(rt, &ic, 0)
+	defer s.Close()
+	// -1 is ArrayTypeIndex's "registry full" answer.
+	if _, err := s.Current().AllocArray(-1, 4, 10); !errors.Is(err, ErrTooManyArrayTypes) {
+		t.Fatalf("err = %v, want ErrTooManyArrayTypes", err)
+	}
+}
+
+func TestInjectedPageFault(t *testing.T) {
+	rt := NewRuntime()
+	rt.SetFaultInjector(faults.New(&faults.Config{Seed: 3, PageAt: 1}))
+	ic := 0
+	s := newScope(rt, &ic, 0)
+	defer s.Close()
+	_, err := s.Current().AllocRecord(1, 16)
+	if !errors.Is(err, ErrPageExhausted) {
+		t.Fatalf("err = %v, want ErrPageExhausted", err)
+	}
+	// The schedule was one-shot; the next acquire succeeds and the store
+	// is unharmed.
+	if _, err := s.Current().AllocRecord(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().PagesLive != 1 {
+		t.Fatalf("pages live = %d after one failed and one good acquire", rt.Stats().PagesLive)
 	}
 }

@@ -102,7 +102,10 @@ func (t *Thread) makeString(s string) (Value, error) {
 			return 0, err
 		}
 		rt.WriteBody(arr, 0, []byte(s))
-		rec := pm.AllocRecord(uint16(sf.ID), t.vm.stringBodySize())
+		rec, err := pm.AllocRecord(uint16(sf.ID), t.vm.stringBodySize())
+		if err != nil {
+			return 0, err
+		}
 		rt.SetRef(rec, t.vm.strField.Offset, arr)
 		return Value(rec), nil
 	}
@@ -158,7 +161,10 @@ func (t *Thread) newValue(class string, args []Arg) (Value, error) {
 			return 0, fmt.Errorf("vm: %s is not a data class of the transformed program", class)
 		}
 		oc := h.Class(class)
-		ref := t.iter.Current().AllocRecord(uint16(fc.ID), oc.BodySize)
+		ref, err := t.iter.Current().AllocRecord(uint16(fc.ID), oc.BodySize)
+		if err != nil {
+			return 0, err
+		}
 		ctor := t.vm.byKey[ir.CtorKey(fc.Name)]
 		if ctor != nil {
 			if _, err := t.facadeCall(ctor, offheap.PageRef(ref), args); err != nil {

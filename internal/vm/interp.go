@@ -223,7 +223,10 @@ blocks:
 
 			// --- Page half (program P') ---
 			case ir.OpPNew:
-				ref := t.iter.Current().AllocRecord(uint16(in.Cls.ID), int(in.Imm))
+				ref, err := t.iter.Current().AllocRecord(uint16(in.Cls.ID), int(in.Imm))
+				if err != nil {
+					return 0, err
+				}
 				regs[in.Dst] = Value(ref)
 			case ir.OpPNewArr:
 				n := int(int32(regs[in.A]))

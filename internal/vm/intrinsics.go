@@ -325,7 +325,10 @@ func (vm *VM) makeRecString(s string) (Value, error) {
 		return 0, err
 	}
 	rt.WriteBody(arr, 0, []byte(s))
-	rec := vm.rootScope.AllocRecord(uint16(sf.ID), vm.stringBodySize())
+	rec, err := vm.rootScope.AllocRecord(uint16(sf.ID), vm.stringBodySize())
+	if err != nil {
+		return 0, err
+	}
 	rt.SetRef(rec, vm.strField.Offset, arr)
 	return Value(rec), nil
 }

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/heap"
 	"repro/internal/ir"
 	"repro/internal/lang"
@@ -48,6 +49,9 @@ type Config struct {
 	// histograms, page-store counters, VM execution counters, events). A
 	// fresh registry is created when nil.
 	Obs *obs.Registry
+	// Faults, when non-nil, injects deterministic allocation failures into
+	// the heap and the page store (internal/faults).
+	Faults *faults.Injector
 }
 
 // VM executes one linked program.
@@ -130,11 +134,14 @@ func New(prog *ir.Program, cfg Config) (*VM, error) {
 		cBoundary: reg.Counter(obs.CtrBoundaryCalls),
 		cPoolHits: reg.Counter(obs.CtrFacadePoolHits),
 	}
-	vm.Heap = heap.New(heap.Config{HeapSize: cfg.HeapSize, Obs: reg}, prog.H)
+	vm.Heap = heap.New(heap.Config{HeapSize: cfg.HeapSize, Obs: reg, Faults: cfg.Faults}, prog.H)
 	if prog.Transformed {
 		vm.RT = cfg.NativeRT
 		if vm.RT == nil {
 			vm.RT = offheap.NewRuntimeWith(reg)
+		}
+		if cfg.Faults != nil {
+			vm.RT.SetFaultInjector(cfg.Faults)
 		}
 		vm.rootScope = vm.RT.NewManager(nil, -2, -1)
 	}
