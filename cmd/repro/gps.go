@@ -23,6 +23,7 @@ func gpsCmd(args []string) error {
 	heap := fs.Int64("heap", 16<<20, "per-node heap")
 	steps := fs.Int("steps", 4, "supersteps")
 	faultSpec := fs.String("faults", "", `deterministic fault-injection spec (e.g. "drop=0.05,crash=1,seed=7")`)
+	ckpt := fs.Int("ckpt", 1, "checkpoint every k supersteps (recovery rewinds to the last checkpoint)")
 	rpt := reportFlag(fs)
 	fs.Parse(args)
 
@@ -40,7 +41,7 @@ func gpsCmd(args []string) error {
 	for _, app := range []gps.App{gps.PageRank, gps.KMeans, gps.RandomWalk} {
 		for s := 1; s <= *scales; s++ {
 			g := datagen.PowerLawGraph(*v*s, *e*s, uint64(100+s))
-			cfg := gps.Config{App: app, Nodes: *nodes, HeapPerNode: int(*heap), Supersteps: *steps, Seed: 7, Faults: fcfg}
+			cfg := gps.Config{App: app, Nodes: *nodes, HeapPerNode: int(*heap), Supersteps: *steps, Seed: 7, Faults: fcfg, CheckpointInterval: *ckpt}
 			r1, err := gps.Run(p, g, cfg)
 			if err != nil {
 				return fmt.Errorf("%s x%d P: %w", app, s, err)
@@ -54,6 +55,7 @@ func gpsCmd(args []string) error {
 			rpt.add(gpsReport(name, "P'", cfg, g.NumEdges(), r2))
 			for _, r := range []*gps.Result{r1, r2} {
 				rec.Checkpoints += r.Recovery.Checkpoints
+				rec.CheckpointsDropped += r.Recovery.CheckpointsDropped
 				rec.Restores += r.Recovery.Restores
 				rec.NodeRestarts += r.Recovery.NodeRestarts
 				rec.Crashes += r.Recovery.Crashes
@@ -67,8 +69,8 @@ func gpsCmd(args []string) error {
 	}
 	tbl.Render(os.Stdout)
 	if fcfg != nil {
-		fmt.Printf("fault injection: %d checkpoints, %d crashes, %d node restarts, %d restores, %d OOM recoveries\n",
-			rec.Checkpoints, rec.Crashes, rec.NodeRestarts, rec.Restores, rec.OOMRecoveries)
+		fmt.Printf("fault injection: %d checkpoints (%d dropped), %d crashes, %d node restarts, %d restores, %d OOM recoveries\n",
+			rec.Checkpoints, rec.CheckpointsDropped, rec.Crashes, rec.NodeRestarts, rec.Restores, rec.OOMRecoveries)
 	}
 	return rpt.flush()
 }

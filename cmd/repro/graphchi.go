@@ -21,9 +21,14 @@ func table2Cmd(args []string) error {
 	workers := fs.Int("workers", 4, "update workers")
 	baseHeap := fs.Int64("heap", 32<<20, "largest heap budget in bytes (scaled 8:6:4)")
 	seed := fs.Uint64("seed", 42, "graph seed")
+	faultSpec := fs.String("faults", "", `deterministic fault-injection spec (e.g. "crash=1,allocat=8,seed=7")`)
 	rpt := reportFlag(fs)
 	fs.Parse(args)
 
+	fcfg, err := parseFaultFlag(*faultSpec)
+	if err != nil {
+		return err
+	}
 	p, p2, err := graphchi.BuildPrograms()
 	if err != nil {
 		return err
@@ -33,6 +38,7 @@ func table2Cmd(args []string) error {
 	tbl := metrics.NewTable(
 		fmt.Sprintf("Table 2: GraphChi on synthetic twitter-like graph (%dV/%dE, scaled heaps)", *v, *e),
 		"App", "ET(s)", "UT(s)", "LT(s)", "GT(s)", "PM(MB)", "dataObjs", "subIters")
+	var rec graphchi.Recovery
 
 	for _, app := range []graphchi.App{graphchi.PageRank, graphchi.ConnectedComponents} {
 		g := datagen.PowerLawGraph(*v, *e, *seed)
@@ -40,7 +46,7 @@ func table2Cmd(args []string) error {
 		for hi, heap := range heaps {
 			cfg := graphchi.Config{
 				App: app, Workers: *workers, Iterations: *iters,
-				MemoryBudget: heap / 2,
+				MemoryBudget: heap / 2, Faults: fcfg,
 			}
 			m1, _, err := graphchi.RunProgram(p, int(heap), sg, cfg)
 			if err != nil {
@@ -54,9 +60,20 @@ func table2Cmd(args []string) error {
 			tbl.Row(fmt.Sprintf("%s'-%s", app, labels[hi]), m2.ET, m2.UT, m2.LT, m2.GT, metrics.MB(m2.PM), m2.DataObjects, m2.SubIters)
 			rpt.add(graphchiReport(fmt.Sprintf("table2/%s-%s", app, labels[hi]), "P", cfg, heap, m1))
 			rpt.add(graphchiReport(fmt.Sprintf("table2/%s'-%s", app, labels[hi]), "P'", cfg, heap, m2))
+			for _, m := range []*graphchi.Metrics{m1, m2} {
+				rec.IntervalRetries += m.Recovery.IntervalRetries
+				rec.WorkerCrashes += m.Recovery.WorkerCrashes
+				rec.WorkerRestarts += m.Recovery.WorkerRestarts
+				rec.OOMRecoveries += m.Recovery.OOMRecoveries
+				rec.BudgetHalvings += m.Recovery.BudgetHalvings
+			}
 		}
 	}
 	tbl.Render(os.Stdout)
+	if fcfg != nil {
+		fmt.Printf("fault injection: %d interval replays, %d worker crashes, %d worker restarts, %d OOM recoveries, %d budget halvings\n",
+			rec.IntervalRetries, rec.WorkerCrashes, rec.WorkerRestarts, rec.OOMRecoveries, rec.BudgetHalvings)
+	}
 	return rpt.flush()
 }
 

@@ -68,19 +68,20 @@ func gpsReport(name, program string, cfg gps.Config, edges int, r *gps.Result) o
 	}
 	rep.WallNanos = r.ET.Nanoseconds()
 	rep.Metrics = map[string]float64{
-		"et_s":             r.ET.Seconds(),
-		"gt_s":             r.GT.Seconds(),
-		"pm_bytes":         float64(r.PM),
-		"heap_peak":        float64(r.HeapPeak),
-		"native_peak":      float64(r.NativePeak),
-		"minor_gcs":        float64(r.MinorGCs),
-		"full_gcs":         float64(r.FullGCs),
-		"checkpoints":      float64(r.Recovery.Checkpoints),
-		"checkpoint_bytes": float64(r.Recovery.CheckpointBytes),
-		"restores":         float64(r.Recovery.Restores),
-		"node_restarts":    float64(r.Recovery.NodeRestarts),
-		"crashes":          float64(r.Recovery.Crashes),
-		"oom_recoveries":   float64(r.Recovery.OOMRecoveries),
+		"et_s":                r.ET.Seconds(),
+		"gt_s":                r.GT.Seconds(),
+		"pm_bytes":            float64(r.PM),
+		"heap_peak":           float64(r.HeapPeak),
+		"native_peak":         float64(r.NativePeak),
+		"minor_gcs":           float64(r.MinorGCs),
+		"full_gcs":            float64(r.FullGCs),
+		"checkpoints":         float64(r.Recovery.Checkpoints),
+		"checkpoint_bytes":    float64(r.Recovery.CheckpointBytes),
+		"checkpoints_dropped": float64(r.Recovery.CheckpointsDropped),
+		"restores":            float64(r.Recovery.Restores),
+		"node_restarts":       float64(r.Recovery.NodeRestarts),
+		"crashes":             float64(r.Recovery.Crashes),
+		"oom_recoveries":      float64(r.Recovery.OOMRecoveries),
 	}
 	addNetMetrics(rep.Metrics, r.Net)
 	if len(r.NodeObs) > 0 {
@@ -149,24 +150,32 @@ func graphchiReport(name, program string, cfg graphchi.Config, heapBytes int64, 
 		"heap_bytes":    heapBytes,
 		"memory_budget": cfg.MemoryBudget,
 	}
+	if cfg.Faults != nil {
+		rep.Config["faults"] = cfg.Faults
+	}
 	rep.WallNanos = m.ET.Nanoseconds()
 	rep.Metrics = map[string]float64{
-		"et_s":           m.ET.Seconds(),
-		"ut_s":           m.UT.Seconds(),
-		"lt_s":           m.LT.Seconds(),
-		"gt_s":           m.GT.Seconds(),
-		"pm_bytes":       float64(m.PM),
-		"heap_peak":      float64(m.HeapPeak),
-		"native_peak":    float64(m.NativePeak),
-		"minor_gcs":      float64(m.MinorGCs),
-		"full_gcs":       float64(m.FullGCs),
-		"sub_iters":      float64(m.SubIters),
-		"data_objects":   float64(m.DataObjects),
-		"pages":          float64(m.Pages),
-		"pages_live_hw":  float64(m.PagesLiveHW),
-		"records":        float64(m.Records),
-		"edges":          float64(m.Edges),
-		"throughput_eps": m.Throughput(),
+		"et_s":             m.ET.Seconds(),
+		"ut_s":             m.UT.Seconds(),
+		"lt_s":             m.LT.Seconds(),
+		"gt_s":             m.GT.Seconds(),
+		"pm_bytes":         float64(m.PM),
+		"heap_peak":        float64(m.HeapPeak),
+		"native_peak":      float64(m.NativePeak),
+		"minor_gcs":        float64(m.MinorGCs),
+		"full_gcs":         float64(m.FullGCs),
+		"sub_iters":        float64(m.SubIters),
+		"data_objects":     float64(m.DataObjects),
+		"pages":            float64(m.Pages),
+		"pages_live_hw":    float64(m.PagesLiveHW),
+		"records":          float64(m.Records),
+		"edges":            float64(m.Edges),
+		"throughput_eps":   m.Throughput(),
+		"interval_retries": float64(m.Recovery.IntervalRetries),
+		"worker_crashes":   float64(m.Recovery.WorkerCrashes),
+		"worker_restarts":  float64(m.Recovery.WorkerRestarts),
+		"oom_recoveries":   float64(m.Recovery.OOMRecoveries),
+		"budget_halvings":  float64(m.Recovery.BudgetHalvings),
 	}
 	rep.ClassAllocs = m.ClassAllocs
 	rep.Obs = m.Obs

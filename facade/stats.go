@@ -13,10 +13,11 @@ import (
 // It contains no internal types, so callers can report on a run without
 // importing internal/vm or internal/heap.
 type RunStats struct {
-	Heap    HeapStats    `json:"heap"`
-	Offheap OffheapStats `json:"offheap"`
-	VM      VMStats      `json:"vm"`
-	Faults  FaultStats   `json:"faults"`
+	Heap     HeapStats     `json:"heap"`
+	Offheap  OffheapStats  `json:"offheap"`
+	VM       VMStats       `json:"vm"`
+	Faults   FaultStats    `json:"faults"`
+	Recovery RecoveryStats `json:"recovery"`
 
 	// ClassAllocs counts heap allocations per class name; array
 	// allocations appear under "[]elem" keys.
@@ -61,6 +62,23 @@ type OffheapStats struct {
 type FaultStats struct {
 	HeapAllocInjected   int64 `json:"heap_alloc_injected"`
 	PageAcquireInjected int64 `json:"page_acquire_injected"`
+}
+
+// RecoveryStats mirrors the runtime's recovery.* counters: the
+// fault-tolerance work the engines performed on this VM (checkpoints and
+// restores for the cluster engines, interval replays, worker rebuilds,
+// and budget degradations for GraphChi). All zero for a failure-free run.
+type RecoveryStats struct {
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointBytes    int64 `json:"checkpoint_bytes"`
+	CheckpointsDropped int64 `json:"checkpoints_dropped"`
+	Restores           int64 `json:"restores"`
+	NodeRestarts       int64 `json:"node_restarts"`
+	TaskRetries        int64 `json:"task_retries"`
+	TasksDegraded      int64 `json:"tasks_degraded"`
+	IntervalRetries    int64 `json:"interval_retries"`
+	WorkerRestarts     int64 `json:"worker_restarts"`
+	BudgetHalvings     int64 `json:"budget_halvings"`
 }
 
 // VMStats mirrors the interpreter's execution counters.
@@ -161,6 +179,18 @@ func (r *Result) Stats() RunStats {
 	st.Faults = FaultStats{
 		HeapAllocInjected:   snap.Counters[obs.CtrFaultHeapAlloc],
 		PageAcquireInjected: snap.Counters[obs.CtrFaultPageAcquire],
+	}
+	st.Recovery = RecoveryStats{
+		Checkpoints:        snap.Counters[obs.CtrCheckpoints],
+		CheckpointBytes:    snap.Counters[obs.CtrCheckpointBytes],
+		CheckpointsDropped: snap.Counters[obs.CtrCheckpointsDropped],
+		Restores:           snap.Counters[obs.CtrRestores],
+		NodeRestarts:       snap.Counters[obs.CtrNodeRestarts],
+		TaskRetries:        snap.Counters[obs.CtrTaskRetries],
+		TasksDegraded:      snap.Counters[obs.CtrTasksDegraded],
+		IntervalRetries:    snap.Counters[obs.CtrIntervalRetries],
+		WorkerRestarts:     snap.Counters[obs.CtrWorkerRestarts],
+		BudgetHalvings:     snap.Counters[obs.CtrBudgetHalvings],
 	}
 	st.Counters = snap.Counters
 	st.Gauges = snap.Gauges

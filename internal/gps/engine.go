@@ -52,9 +52,17 @@ type Config struct {
 
 	// Faults configures deterministic fault injection (nil disables).
 	// When any fault is enabled the engine checkpoints vertex state at
-	// every superstep boundary so crashed or OOM-killed nodes can be
-	// rebuilt and the superstep replayed.
+	// superstep boundaries so crashed or OOM-killed nodes can be
+	// rebuilt and the computation replayed from the last checkpoint.
 	Faults *faults.Config
+
+	// CheckpointInterval checkpoints every k superstep boundaries
+	// (default 1: every boundary). Larger k trades checkpoint cost for a
+	// longer replay: a failure rewinds to the last checkpointed step and
+	// re-runs everything after it. Only the newest checkpoint is
+	// retained; the superseded one is dropped as soon as its successor
+	// is durably taken.
+	CheckpointInterval int
 
 	// RecvTimeout bounds the superstep barrier's wait for peer frames
 	// (cluster.DefaultRecvTimeout when zero).
@@ -63,12 +71,19 @@ type Config struct {
 
 // Recovery counts the fault-tolerance work a run performed.
 type Recovery struct {
-	Checkpoints     int64 // superstep checkpoints taken
-	CheckpointBytes int64 // codec-encoded checkpoint payload, summed
-	Restores        int64 // checkpoint restores (one per recovery)
-	NodeRestarts    int64 // node VMs rebuilt from scratch
-	Crashes         int64 // planned whole-node crashes survived
-	OOMRecoveries   int64 // out-of-memory failures recovered
+	Checkpoints        int64 // superstep checkpoints taken
+	CheckpointBytes    int64 // codec-encoded checkpoint payload, summed
+	CheckpointsDropped int64 // superseded checkpoints released
+	Restores           int64 // checkpoint restores (one per recovery)
+	NodeRestarts       int64 // node VMs rebuilt from scratch
+	Crashes            int64 // planned whole-node crashes survived
+	OOMRecoveries      int64 // out-of-memory failures recovered
+
+	// RetainedCheckpointsHW is the largest number of checkpoints held at
+	// once. The engine keeps only the newest, so it never exceeds 1 —
+	// the retention bug this field guards against was holding one full
+	// snapshot per superstep for the whole run.
+	RetainedCheckpointsHW int64
 }
 
 // Result reports one run (§4.3's ET/GT/space comparison).
@@ -155,12 +170,16 @@ type nodeState struct {
 // globalID, f64 value).
 
 // checkpoint is the superstep-boundary recovery state: every node's
-// codec-encoded vertex values plus the frames it was about to consume.
-// Restoring it and re-running the superstep replays the computation.
+// codec-encoded vertex values, the frames it was about to consume, and
+// its VM rng cursor (the Sys.rand stream RandomWalk draws from — without
+// it a replay would re-roll different walks and recovery would only be
+// walker-conserving, not bit-identical). Restoring it and re-running the
+// supersteps since replays the computation exactly.
 type checkpoint struct {
 	step     int
 	vals     [][]byte   // per node: n × (u32 id, f64 value)
 	incoming [][][]byte // per node: the superstep's undelivered frames
+	rng      []uint64   // per node: Sys.rand cursor (vm rng state)
 }
 
 // maxReplays bounds recovery attempts for a single superstep, so a fault
@@ -169,12 +188,16 @@ const maxReplays = 4
 
 // engine carries one PR/RW run's cluster-side state.
 type engine struct {
-	cl     *cluster.Cluster
-	cfg    Config
-	parts  []*partition
-	states []*nodeState
-	plan   []faults.Crash
-	rec    Recovery
+	cl       *cluster.Cluster
+	cfg      Config
+	parts    []*partition
+	states   []*nodeState
+	vertices int // graph vertex count (walker seeding)
+	plan     []faults.Crash
+	planned  []bool // plan entries already fired (a crash fires once)
+	ckpt     *checkpoint
+	replays  map[int]int // recovery attempts per failing superstep
+	rec      Recovery
 }
 
 // Run executes the job and returns metrics plus final values (vertex
@@ -191,6 +214,9 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 	}
 	if cfg.Walkers <= 0 {
 		cfg.Walkers = g.NumVertices / 4
+	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = 1
 	}
 	cl, err := cluster.New(prog, cluster.Config{
 		NumNodes:    cfg.Nodes,
@@ -215,12 +241,15 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 		return 0.0
 	}
 	e := &engine{
-		cl:     cl,
-		cfg:    cfg,
-		parts:  partitionGraph(g, cfg.Nodes, initVal),
-		states: make([]*nodeState, cfg.Nodes),
-		plan:   cl.CrashPlan(cfg.Supersteps),
+		cl:       cl,
+		cfg:      cfg,
+		parts:    partitionGraph(g, cfg.Nodes, initVal),
+		states:   make([]*nodeState, cfg.Nodes),
+		vertices: g.NumVertices,
+		plan:     cl.CrashPlan(cfg.Supersteps),
+		replays:  make(map[int]int),
 	}
+	e.planned = make([]bool, len(e.plan))
 	start := time.Now()
 
 	// Build partitions inside the VMs (before any iteration: vertex
@@ -234,34 +263,17 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 
 	// Random walk: seed walkers round-robin across vertices.
 	if cfg.App == RandomWalk {
-		seedByNode := make([][]int32, cfg.Nodes)
-		for w := 0; w < cfg.Walkers; w++ {
-			v := int32((w * 7919) % g.NumVertices)
-			node := int(v) % cfg.Nodes
-			seedByNode[node] = append(seedByNode[node], e.parts[node].local[v])
-		}
-		err = cl.ParallelEach(func(n *cluster.Node) error {
-			if len(seedByNode[n.ID]) == 0 {
-				return nil
-			}
-			t := n.Main
-			oSeed, err := t.NewIntArr(seedByNode[n.ID])
-			if err != nil {
-				return err
-			}
-			defer t.FreeObj(oSeed)
-			_, err = t.InvokeStatic("GPSDriver", "seedWalkers", vm.O(e.states[n.ID].vsObj), vm.O(oSeed))
-			return err
-		})
-		if err != nil {
+		if err := e.seedWalkers(); err != nil {
 			return nil, err
 		}
 	}
 
-	for step := 0; step < cfg.Supersteps; step++ {
-		if err := e.runSuperstep(step); err != nil {
+	for step := 0; step < cfg.Supersteps; {
+		next, err := e.runSuperstep(step)
+		if err != nil {
 			return nil, err
 		}
+		step = next
 	}
 
 	// Extract final values.
@@ -290,14 +302,62 @@ func Run(prog *ir.Program, g *datagen.Graph, cfg Config) (*Result, error) {
 // injection enabled). A fault-free run pays nothing for the machinery.
 func (e *engine) tolerant() bool { return e.cl.Injector() != nil }
 
-// crashAt returns the planned crash for this superstep, if any.
-func (e *engine) crashAt(step int) *faults.Crash {
+// takeCrash returns the planned crash for this superstep, if any,
+// consuming the plan entry: a replay of the same superstep after a
+// multi-step rewind must not re-fire it.
+func (e *engine) takeCrash(step int) *faults.Crash {
 	for i := range e.plan {
-		if e.plan[i].Occasion == step {
+		if e.plan[i].Occasion == step && !e.planned[i] {
+			e.planned[i] = true
 			return &e.plan[i]
 		}
 	}
 	return nil
+}
+
+// seedWalkers plants cfg.Walkers walkers round-robin across vertices by
+// calling GPSDriver.seedWalkers on each owning node. Seeded walkers live
+// in vertex message lists — not in any frame — so a rewind to the
+// step-0 checkpoint (whose node states are rebuilt empty) re-runs this.
+func (e *engine) seedWalkers() error {
+	seedByNode := make([][]int32, e.cfg.Nodes)
+	for w := 0; w < e.cfg.Walkers; w++ {
+		v := int32((w * 7919) % e.vertices)
+		node := int(v) % e.cfg.Nodes
+		seedByNode[node] = append(seedByNode[node], e.parts[node].local[v])
+	}
+	return e.cl.ParallelEach(func(n *cluster.Node) error {
+		if len(seedByNode[n.ID]) == 0 {
+			return nil
+		}
+		t := n.Main
+		oSeed, err := t.NewIntArr(seedByNode[n.ID])
+		if err != nil {
+			return err
+		}
+		defer t.FreeObj(oSeed)
+		_, err = t.InvokeStatic("GPSDriver", "seedWalkers", vm.O(e.states[n.ID].vsObj), vm.O(oSeed))
+		return err
+	})
+}
+
+// retain makes c the run's one retained checkpoint, dropping the
+// superseded snapshot now that its successor is durably taken. Holding
+// only the newest bounds checkpoint memory at one snapshot regardless of
+// superstep count.
+func (e *engine) retain(c *checkpoint) {
+	if old := e.ckpt; old != nil {
+		e.rec.CheckpointsDropped++
+		for _, n := range e.cl.Nodes {
+			reg := n.VM.Obs()
+			reg.Counter(obs.CtrCheckpointsDropped).Inc()
+			reg.Emit(obs.EvCheckpoint, "drop", int64(old.step), int64(len(old.vals[n.ID])), int64(n.ID))
+		}
+	}
+	e.ckpt = c
+	if e.rec.RetainedCheckpointsHW < 1 {
+		e.rec.RetainedCheckpointsHW = 1
+	}
 }
 
 // buildNodeState (re)builds one node's VM-side partition state. vals
@@ -365,51 +425,60 @@ func (e *engine) buildNodeState(n *cluster.Node, vals []float64) error {
 	return nil
 }
 
-// runSuperstep drives one superstep through compute, recovery (if a crash
-// was planned or a node OOMed), and the frame barrier.
-func (e *engine) runSuperstep(step int) error {
-	var ckpt *checkpoint
-	if e.tolerant() {
+// runSuperstep drives one superstep through checkpointing, compute,
+// recovery (if a crash was planned or a node OOMed), and the frame
+// barrier. It returns the next superstep to run: step+1 on success, or
+// the last checkpointed step after a recovery — with CheckpointInterval
+// > 1 that rewinds several supersteps, which replay deterministically.
+func (e *engine) runSuperstep(step int) (int, error) {
+	if e.tolerant() && step%e.cfg.CheckpointInterval == 0 && (e.ckpt == nil || e.ckpt.step != step) {
 		c, err := e.takeCheckpoint(step)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		ckpt = c
+		e.retain(c)
 	}
-	crash := e.crashAt(step)
-	for attempt := 0; ; attempt++ {
-		if attempt > maxReplays {
-			return fmt.Errorf("gps: superstep %d still failing after %d recovery attempts", step, maxReplays)
+	if crash := e.takeCrash(step); crash != nil {
+		// The node dies mid-superstep: it computes nothing and its
+		// mailbox black-holes, while the surviving nodes finish their
+		// compute and send into the void.
+		e.rec.Crashes++
+		e.cl.Net.Crash(crash.Node)
+		if err := e.compute(step, crash.Node); err != nil {
+			return 0, err
 		}
-		var failed int
-		var kind string
-		if crash != nil {
-			// The node dies mid-superstep: it computes nothing and its
-			// mailbox black-holes, while the surviving nodes finish their
-			// compute and send into the void.
-			e.rec.Crashes++
-			e.cl.Net.Crash(crash.Node)
-			failed, kind = crash.Node, "crash"
-			if err := e.compute(step, crash.Node); err != nil {
-				return err
-			}
-			crash = nil // the planned crash fires once
-		} else {
-			err := e.compute(step, -1)
-			if err == nil {
-				return e.barrier()
-			}
-			ne := cluster.FirstNodeError(err)
-			if ckpt == nil || ne == nil || !isOOM(ne.Err) {
-				return err
-			}
-			e.rec.OOMRecoveries++
-			failed, kind = ne.ID, "oom"
-		}
-		if err := e.recover(step, ckpt, failed, kind); err != nil {
-			return err
-		}
+		return e.recoverAndRewind(step, crash.Node, "crash")
 	}
+	err := e.compute(step, -1)
+	if err == nil {
+		if err := e.barrier(); err != nil {
+			return 0, err
+		}
+		return step + 1, nil
+	}
+	ne := cluster.FirstNodeError(err)
+	if e.ckpt == nil || ne == nil || !isOOM(ne.Err) {
+		return 0, err
+	}
+	e.rec.OOMRecoveries++
+	return e.recoverAndRewind(step, ne.ID, "oom")
+}
+
+// recoverAndRewind recovers from the retained checkpoint and returns the
+// superstep to resume from (the checkpointed one), bounding how often a
+// single superstep may fail before the run gives up.
+func (e *engine) recoverAndRewind(step, failed int, kind string) (int, error) {
+	e.replays[step]++
+	if e.replays[step] > maxReplays {
+		return 0, fmt.Errorf("gps: superstep %d still failing after %d recovery attempts", step, maxReplays)
+	}
+	if e.ckpt == nil {
+		return 0, fmt.Errorf("gps: superstep %d failed (%s, node %d) with no checkpoint to rewind to", step, kind, failed)
+	}
+	if err := e.recover(step, e.ckpt, failed, kind); err != nil {
+		return 0, err
+	}
+	return e.ckpt.step, nil
 }
 
 // compute runs the superstep's compute phase on every node except skip.
@@ -450,12 +519,13 @@ func (e *engine) barrier() error {
 }
 
 // takeCheckpoint serializes every node's vertex state through the frame
-// codec and snapshots its undelivered frames.
+// codec and snapshots its undelivered frames and Sys.rand cursor.
 func (e *engine) takeCheckpoint(step int) (*checkpoint, error) {
 	ck := &checkpoint{
 		step:     step,
 		vals:     make([][]byte, len(e.cl.Nodes)),
 		incoming: make([][][]byte, len(e.cl.Nodes)),
+		rng:      make([]uint64, len(e.cl.Nodes)),
 	}
 	err := e.cl.ParallelEach(func(n *cluster.Node) error {
 		st := e.states[n.ID]
@@ -472,6 +542,7 @@ func (e *engine) takeCheckpoint(step int) (*checkpoint, error) {
 		}
 		ck.vals[n.ID] = buf
 		ck.incoming[n.ID] = append([][]byte(nil), st.incoming...)
+		ck.rng[n.ID] = n.VM.RandState()
 		reg := n.VM.Obs()
 		reg.Counter(obs.CtrCheckpoints).Inc()
 		reg.Counter(obs.CtrCheckpointBytes).Add(int64(len(buf)))
@@ -512,12 +583,14 @@ func (e *engine) recover(step int, ckpt *checkpoint, failed int, kind string) er
 	return e.restore(ckpt)
 }
 
-// restore rebuilds every node's vertex state and incoming frames from the
-// checkpoint. All nodes are rebuilt, not just the failed one: survivors
-// already consumed their incoming frames and advanced their vertex values
-// during the aborted attempt.
+// restore rebuilds every node's vertex state, incoming frames, and
+// Sys.rand cursor from the checkpoint. All nodes are rebuilt, not just
+// the failed one: survivors already consumed their incoming frames,
+// advanced their vertex values, and drew from their rng streams during
+// the aborted attempt. Restoring the rng cursor is what makes a
+// RandomWalk replay bit-identical rather than merely walker-conserving.
 func (e *engine) restore(ckpt *checkpoint) error {
-	return e.cl.ParallelEach(func(n *cluster.Node) error {
+	err := e.cl.ParallelEach(func(n *cluster.Node) error {
 		buf := ckpt.vals[n.ID]
 		vals := make([]float64, len(buf)/12)
 		for i := range vals {
@@ -527,11 +600,21 @@ func (e *engine) restore(ckpt *checkpoint) error {
 			return err
 		}
 		e.states[n.ID].incoming = ckpt.incoming[n.ID]
+		n.VM.SetRandState(ckpt.rng[n.ID])
 		reg := n.VM.Obs()
 		reg.Counter(obs.CtrRestores).Inc()
 		reg.Emit(obs.EvCheckpoint, "restore", int64(ckpt.step), int64(len(buf)), int64(n.ID))
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	// Seeded walkers live in vertex message lists, which buildNodeState
+	// rebuilds empty; a rewind to the pre-step-0 state must replant them.
+	if ckpt.step == 0 && e.cfg.App == RandomWalk {
+		return e.seedWalkers()
+	}
+	return nil
 }
 
 // readValues extracts a node's current vertex values in partition order.

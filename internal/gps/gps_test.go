@@ -288,3 +288,131 @@ func TestPageRankOOMNodeRecovers(t *testing.T) {
 		t.Fatalf("expected OOM recovery in stats: %+v", res.Recovery)
 	}
 }
+
+// TestRandomWalkCrashReplayBitIdentical is the fault-matrix case for the
+// rng-cursor fix: RandomWalk recovery must be bit-identical — the exact
+// same per-vertex visit counts as the fault-free run — not merely
+// walker-conserving, because the checkpoint now carries each node's
+// Sys.rand cursor and restore rewinds it.
+func TestRandomWalkCrashReplayBitIdentical(t *testing.T) {
+	p, p2 := programs(t)
+	g := datagen.PowerLawGraph(200, 2000, 9)
+	base := Config{App: RandomWalk, Nodes: 2, HeapPerNode: 16 << 20, Supersteps: 6, Walkers: 50, Seed: 3}
+	for name, prog := range map[string]*ir.Program{"P": p, "P'": p2} {
+		clean, err := Run(prog, g, base)
+		if err != nil {
+			t.Fatalf("%s fault-free: %v", name, err)
+		}
+		for _, spec := range []string{"crash=1,seed=15", "crash=2,seed=77"} {
+			fc, err := faults.Parse(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := base
+			cfg.Faults = &fc
+			cfg.RecvTimeout = 5 * time.Second
+			res, err := Run(prog, g, cfg)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, spec, err)
+			}
+			if res.Recovery.Crashes < int64(fc.Crashes) {
+				t.Fatalf("%s %s: planned crashes not fired: %+v", name, spec, res.Recovery)
+			}
+			for v := range clean.Values {
+				if res.Values[v] != clean.Values[v] {
+					t.Fatalf("%s %s: vertex %d diverged: fault-free=%v faulty=%v",
+						name, spec, v, clean.Values[v], res.Values[v])
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointRetentionBounded asserts the retention fix: a tolerant
+// run holds at most one checkpoint at a time, dropping the superseded
+// snapshot as each successor is taken.
+func TestCheckpointRetentionBounded(t *testing.T) {
+	p, _ := programs(t)
+	g := datagen.PowerLawGraph(250, 2000, 7)
+	fc := faults.Config{Seed: 15, Crashes: 1}
+	cfg := Config{App: PageRank, Nodes: 3, HeapPerNode: 16 << 20, Supersteps: 4,
+		Faults: &fc, RecvTimeout: 5 * time.Second}
+	res, err := Run(p, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery.RetainedCheckpointsHW > 1 {
+		t.Fatalf("retained-checkpoint high-water = %d, want <= 1", res.Recovery.RetainedCheckpointsHW)
+	}
+	// Every checkpoint but the final one must have been dropped.
+	if want := res.Recovery.Checkpoints - 1; res.Recovery.CheckpointsDropped != want {
+		t.Fatalf("checkpoints dropped = %d, want %d (of %d taken)",
+			res.Recovery.CheckpointsDropped, want, res.Recovery.Checkpoints)
+	}
+}
+
+// TestCheckpointIntervalReplays runs with checkpoints every 2 supersteps:
+// a crash rewinds more than one superstep to the last checkpoint, the
+// intervening supersteps replay deterministically, and the result is
+// still bit-identical to the fault-free run.
+func TestCheckpointIntervalReplays(t *testing.T) {
+	p, _ := programs(t)
+	g := datagen.PowerLawGraph(250, 2000, 7)
+	base := Config{App: PageRank, Nodes: 3, HeapPerNode: 16 << 20, Supersteps: 4}
+	clean, err := Run(p, g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []App{PageRank, RandomWalk} {
+		fc := faults.Config{Seed: 15, Crashes: 1}
+		cfg := base
+		cfg.App = app
+		cfg.CheckpointInterval = 2
+		cfg.Faults = &fc
+		cfg.RecvTimeout = 5 * time.Second
+		if app == RandomWalk {
+			cfg.Walkers = 50
+			cfg.Seed = 3
+		}
+		res, err := Run(p, g, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", app, err)
+		}
+		// Supersteps 0 and 2 checkpoint; the crash replays from one of
+		// them without re-taking it.
+		if res.Recovery.Checkpoints != 2 {
+			t.Fatalf("%v: checkpoints = %d, want 2 (every 2nd superstep)", app, res.Recovery.Checkpoints)
+		}
+		if res.Recovery.CheckpointsDropped != 1 {
+			t.Fatalf("%v: checkpoints dropped = %d, want 1", app, res.Recovery.CheckpointsDropped)
+		}
+		if res.Recovery.RetainedCheckpointsHW > 1 {
+			t.Fatalf("%v: retained high-water = %d, want <= 1", app, res.Recovery.RetainedCheckpointsHW)
+		}
+		if res.Recovery.Crashes != 1 || res.Recovery.Restores < 1 {
+			t.Fatalf("%v: crash recovery missing from stats: %+v", app, res.Recovery)
+		}
+		if app == PageRank {
+			for v := range clean.Values {
+				if res.Values[v] != clean.Values[v] {
+					t.Fatalf("vertex %d diverged under interval checkpointing: %v vs %v",
+						v, clean.Values[v], res.Values[v])
+				}
+			}
+		} else {
+			cleanRW := cfg
+			cleanRW.Faults = nil
+			cleanRW.CheckpointInterval = 0
+			ref, err := Run(p, g, cleanRW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range ref.Values {
+				if res.Values[v] != ref.Values[v] {
+					t.Fatalf("RW vertex %d diverged under interval checkpointing: %v vs %v",
+						v, ref.Values[v], res.Values[v])
+				}
+			}
+		}
+	}
+}

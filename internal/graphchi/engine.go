@@ -1,12 +1,17 @@
 package graphchi
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/faults"
+	"repro/internal/heap"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/offheap"
 	"repro/internal/vm"
 )
 
@@ -47,6 +52,25 @@ type Config struct {
 	// an edge count per interval (default 48: a ChiPointer record plus
 	// its array slot plus amortized vertex overhead).
 	BytesPerEdge int64
+
+	// Faults configures deterministic fault injection (nil disables).
+	// RunProgram threads the derived injector into the VM so heap-alloc
+	// and page-acquire points fire, and the engine plans worker-thread
+	// crashes from the same seed. Interval recovery itself is always on:
+	// a sub-iteration that fails with memory exhaustion or a worker
+	// crash is replayed from the shard files instead of aborting.
+	Faults *faults.Config
+}
+
+// Recovery counts the fault-tolerance work a run performed. The shard
+// files plus the vertex values at the interval boundary are a complete
+// checkpoint, so every recovery here is a replay from that state.
+type Recovery struct {
+	IntervalRetries int64 // failed sub-iterations replayed from the shard
+	WorkerCrashes   int64 // planned worker-thread crashes survived
+	WorkerRestarts  int64 // update worker threads rebuilt
+	OOMRecoveries   int64 // memory-exhaustion failures recovered
+	BudgetHalvings  int64 // degradation-ladder budget halvings
 }
 
 // Metrics are the measurements Table 2 reports, plus the object counters
@@ -69,6 +93,10 @@ type Metrics struct {
 	Records     int64 // page records allocated (P' only)
 	Edges       int64 // edges processed (NumEdges * Iterations)
 
+	// Recovery reports the run's fault-tolerance activity (all zero for
+	// a failure-free run).
+	Recovery Recovery
+
 	// Obs is the run's full observability snapshot (GC pause histograms,
 	// safepoint waits, page counters, interpreter counters, event ring).
 	Obs obs.Snapshot
@@ -84,9 +112,32 @@ func (m *Metrics) Throughput() float64 {
 	return float64(m.Edges) / m.ET.Seconds()
 }
 
+// maxIntervalReplays bounds recovery attempts for a single sub-iteration,
+// so a fault storm degenerates into an error instead of an endless replay.
+const maxIntervalReplays = 64
+
+// engine carries one run's control-path state: the VM boundary objects,
+// the worker pool, and the recovery books.
+type engine struct {
+	machine *vm.VM
+	main    *vm.Thread
+	pool    *workerPool
+	prog    vm.Obj
+	sg      *ShardedGraph
+	cfg     Config
+
+	inj     *faults.Injector
+	plan    []faults.Crash // planned worker crashes, by sub-iteration ordinal
+	planned []bool         // plan entries already fired
+	subIter int            // global sub-iteration ordinal (crash occasions)
+
+	rec Recovery
+}
+
 // Run executes cfg.Iterations passes of the vertex program over sg on the
 // given VM (program P or P') and returns metrics plus the final vertex
-// values.
+// values. Fault injection draws from the injector the VM was built with
+// (vm.Config.Faults); RunProgram wires cfg.Faults there.
 func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
@@ -107,17 +158,18 @@ func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, err
 	}
 	defer main.Close()
 
-	pool, err := newWorkerPool(machine, main, cfg.Workers)
+	e := &engine{machine: machine, main: main, sg: sg, cfg: cfg, inj: machine.Injector()}
+	e.pool, err = newWorkerPool(machine, main, cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer pool.close()
+	defer func() { e.pool.close() }()
 
-	prog, err := main.NewObj(cfg.App.progClass())
+	e.prog, err = main.NewObj(cfg.App.progClass())
 	if err != nil {
 		return nil, nil, err
 	}
-	defer main.FreeObj(prog)
+	defer main.FreeObj(e.prog)
 
 	// Vertex values ("vertex data file" on disk, control path).
 	values := make([]float64, sg.NumVertices)
@@ -130,6 +182,8 @@ func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, err
 	}
 
 	intervals := sg.Intervals(cfg.MemoryBudget / cfg.BytesPerEdge)
+	e.plan = e.inj.CrashPlan(cfg.Iterations*len(intervals), cfg.Workers)
+	e.planned = make([]bool, len(e.plan))
 	met := &Metrics{Edges: int64(sg.NumEdges()) * int64(cfg.Iterations)}
 	start := time.Now()
 
@@ -138,10 +192,12 @@ func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, err
 		iterStart := time.Now()
 		main.IterationStart()
 		for _, iv := range intervals {
-			if err := runInterval(main, pool, prog, sg, cfg, values, iv, met); err != nil {
+			if err := e.runInterval(iv, values, met); err != nil {
+				main.IterationEnd()
 				return nil, nil, fmt.Errorf("graphchi: interval %v: %w", iv, err)
 			}
 			met.SubIters++
+			e.subIter++
 		}
 		main.IterationEnd()
 		reg.Emit(obs.EvIteration, "graphchi", int64(iter), time.Since(iterStart).Nanoseconds(), int64(len(intervals)))
@@ -163,6 +219,7 @@ func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, err
 	met.PM = met.HeapPeak + met.NativePeak
 	met.DataObjects = countDataObjects(machine)
 	met.ClassAllocs = machine.Heap.ClassAllocCounts()
+	met.Recovery = e.rec
 	met.Obs = reg.Snapshot()
 	return met, values, nil
 }
@@ -170,9 +227,11 @@ func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, err
 // RunProgram builds a VM for prog with the given heap budget and runs the
 // engine on it. It is the entry point for callers that only need metrics:
 // everything the run measured comes back in Metrics (including the
-// observability snapshot), so no VM or heap types leak out.
+// observability snapshot), so no VM or heap types leak out. cfg.Faults is
+// wired into the VM here, so injected heap-alloc and page-acquire faults
+// fire alongside the engine's planned worker crashes.
 func RunProgram(prog *ir.Program, heapSize int, sg *ShardedGraph, cfg Config) (*Metrics, []float64, error) {
-	machine, err := vm.New(prog, vm.Config{HeapSize: heapSize})
+	machine, err := vm.New(prog, vm.Config{HeapSize: heapSize, Faults: faults.New(cfg.Faults)})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -194,12 +253,102 @@ func countDataObjects(machine *vm.VM) int64 {
 	return n
 }
 
-func runInterval(main *vm.Thread, pool *workerPool, prog vm.Obj, sg *ShardedGraph, cfg Config, values []float64, iv [2]int, met *Metrics) error {
-	a, b := iv[0], iv[1]
-	n := b - a
-	if n == 0 {
+// takeCrash returns the planned worker crash for this sub-iteration, if
+// any, consuming the plan entry so a replay does not re-fire it.
+func (e *engine) takeCrash() *faults.Crash {
+	for i := range e.plan {
+		if e.plan[i].Occasion == e.subIter && !e.planned[i] {
+			e.planned[i] = true
+			return &e.plan[i]
+		}
+	}
+	return nil
+}
+
+// runInterval executes one sub-iteration with recovery: the ShardedGraph
+// plus values[a:b] at entry are a complete checkpoint, so a failed attempt
+// is replayed from them — with fresh worker threads after a crash, and at
+// a halved memory budget (the interval re-split via IntervalsIn) after a
+// memory-exhaustion failure. values is written only after every chunk of
+// every piece of the interval has succeeded, which is what makes the
+// replay sound and bit-identical: all pieces read the same pre-interval
+// snapshot no matter how the ladder re-split the range.
+func (e *engine) runInterval(iv [2]int, values []float64, met *Metrics) error {
+	if iv[1]-iv[0] == 0 {
 		return nil
 	}
+	budget := e.cfg.MemoryBudget
+	crashChunk := -1
+	if crash := e.takeCrash(); crash != nil {
+		crashChunk = crash.Node
+	}
+	reg := e.machine.Obs()
+	for attempt := 0; ; attempt++ {
+		if attempt > maxIntervalReplays {
+			return fmt.Errorf("still failing after %d recovery attempts", maxIntervalReplays)
+		}
+		out, err := e.runIntervalAt(iv, values, budget, crashChunk, met)
+		crashChunk = -1 // a planned crash fires on the first attempt only
+		if err == nil {
+			copy(values[iv[0]:iv[1]], out)
+			return nil
+		}
+		switch {
+		case errors.Is(err, errWorkerCrashed):
+			// Rebuild the update fleet from scratch and replay the
+			// sub-iteration from the shard.
+			e.rec.WorkerCrashes++
+			e.rec.IntervalRetries++
+			reg.Counter(obs.CtrIntervalRetries).Inc()
+			reg.Emit(obs.EvRecovery, "crash", int64(workerOf(err)), int64(e.subIter), int64(attempt))
+			if rerr := e.restartPool(); rerr != nil {
+				return fmt.Errorf("rebuilding workers after crash: %w", rerr)
+			}
+		case isOOM(err):
+			// Degradation ladder: halve the budget for this interval and
+			// re-split it; a single vertex that still does not fit is a
+			// genuine out-of-memory result.
+			e.rec.OOMRecoveries++
+			e.rec.IntervalRetries++
+			reg.Counter(obs.CtrIntervalRetries).Inc()
+			reg.Emit(obs.EvRecovery, "oom", -1, int64(e.subIter), int64(attempt))
+			if budget/2/e.cfg.BytesPerEdge < 1 {
+				return fmt.Errorf("out of memory with budget ladder exhausted (budget %d): %w", budget, err)
+			}
+			budget /= 2
+			e.rec.BudgetHalvings++
+			reg.Counter(obs.CtrBudgetHalvings).Inc()
+			reg.Emit(obs.EvDegraded, "interval", int64(iv[0]), budget/e.cfg.BytesPerEdge, int64(e.subIter))
+		default:
+			return err
+		}
+	}
+}
+
+// runIntervalAt runs the interval as one or more pieces under the given
+// budget, collecting the updated values without touching the values
+// slice. Every piece reads the same pre-interval values, so the result is
+// bit-identical whatever the split.
+func (e *engine) runIntervalAt(iv [2]int, values []float64, budget int64, crashChunk int, met *Metrics) ([]float64, error) {
+	out := make([]float64, iv[1]-iv[0])
+	for _, sub := range e.sg.IntervalsIn(iv[0], iv[1], budget/e.cfg.BytesPerEdge) {
+		o, err := e.runIntervalOnce(sub, values, crashChunk, met)
+		if err != nil {
+			return nil, err
+		}
+		crashChunk = -1
+		copy(out[sub[0]-iv[0]:], o)
+	}
+	return out, nil
+}
+
+// runIntervalOnce loads [a, b) from the shard into the data path, runs the
+// parallel update, and returns the extracted values for the range. The
+// caller owns the write-back; on any error the values slice is untouched.
+func (e *engine) runIntervalOnce(iv [2]int, values []float64, crashChunk int, met *Metrics) ([]float64, error) {
+	main, sg, cfg := e.main, e.sg, e.cfg
+	a, b := iv[0], iv[1]
+	n := b - a
 	main.IterationStart() // sub-iteration
 	defer main.IterationEnd()
 
@@ -231,65 +380,110 @@ func runInterval(main *vm.Thread, pool *workerPool, prog vm.Obj, sg *ShardedGrap
 	// subgraph there.
 	oInCounts, err := main.NewIntArr(inCounts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer main.FreeObj(oInCounts)
 	oOutDegs, err := main.NewIntArr(outDegs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer main.FreeObj(oOutDegs)
 	oSrcs, err := main.NewIntArr(srcs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer main.FreeObj(oSrcs)
 	oSrcVals, err := main.NewDoubleArr(srcVals)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer main.FreeObj(oSrcVals)
 
 	vs, err := main.InvokeStaticObj("GraphChiDriver", "build",
 		vm.I(int64(a)), vm.I(int64(n)), vm.O(oInCounts), vm.O(oOutDegs), vm.O(oSrcs), vm.O(oSrcVals))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer main.FreeObj(vs)
 	oInit, err := main.NewDoubleArr(initVals)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer main.FreeObj(oInit)
 	if _, err := main.InvokeStatic("GraphChiDriver", "initValues", vm.O(vs), vm.O(oInit)); err != nil {
-		return err
+		return nil, err
 	}
 	met.LT += time.Since(loadStart)
 
 	// Parallel update.
 	updStart := time.Now()
-	if err := pool.runRange(prog, vs, n); err != nil {
-		return err
+	if err := e.pool.runRange(e.prog, vs, n, crashChunk); err != nil {
+		met.UT += time.Since(updStart)
+		return nil, err
 	}
 	met.UT += time.Since(updStart)
 
-	// Write back vertex values (exit conversion).
+	// Extract the updated values (exit conversion); the caller commits
+	// them to the vertex data file only after the whole interval succeeds.
 	storeStart := time.Now()
 	oOut, err := main.NewArr("double", n)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer main.FreeObj(oOut)
 	if _, err := main.InvokeStatic("GraphChiDriver", "extract", vm.O(vs), vm.O(oOut)); err != nil {
-		return err
+		return nil, err
 	}
 	out, err := main.ReadDoubleArr(oOut)
 	if err != nil {
+		return nil, err
+	}
+	met.LT += time.Since(storeStart)
+	return out, nil
+}
+
+// restartPool tears down the worker fleet (closing every thread, dead or
+// alive) and builds a fresh one. Replacement threads parent their page
+// managers at the VM root scope, so they are safe to create while the
+// main thread is inside an iteration.
+func (e *engine) restartPool() error {
+	e.pool.close()
+	pool, err := newWorkerPool(e.machine, nil, e.cfg.Workers)
+	if err != nil {
 		return err
 	}
-	copy(values[a:b], out)
-	met.LT += time.Since(storeStart)
+	e.pool = pool
+	e.rec.WorkerRestarts += int64(e.cfg.Workers)
+	reg := e.machine.Obs()
+	reg.Counter(obs.CtrWorkerRestarts).Add(int64(e.cfg.Workers))
 	return nil
+}
+
+// errWorkerCrashed marks a chunk lost to a planned worker-thread crash.
+var errWorkerCrashed = errors.New("graphchi: worker thread crashed (injected)")
+
+// crashError tags errWorkerCrashed with the dead worker's index.
+type crashError struct{ worker int }
+
+func (c *crashError) Error() string { return fmt.Sprintf("%v: worker %d", errWorkerCrashed, c.worker) }
+func (c *crashError) Unwrap() error { return errWorkerCrashed }
+
+// workerOf extracts the crashed worker index from an error tree.
+func workerOf(err error) int {
+	var ce *crashError
+	if errors.As(err, &ce) {
+		return ce.worker
+	}
+	return -1
+}
+
+// isOOM classifies memory-exhaustion failures — real or injected, managed
+// heap or page store — which the engine recovers from; anything else is a
+// genuine bug and propagates.
+func isOOM(err error) bool {
+	return errors.Is(err, heap.ErrOutOfMemory) ||
+		errors.Is(err, offheap.ErrPageExhausted) ||
+		strings.Contains(err.Error(), "OutOfMemoryError")
 }
 
 // ---------------------------------------------------------------------------
@@ -298,6 +492,7 @@ func runInterval(main *vm.Thread, pool *workerPool, prog vm.Obj, sg *ShardedGrap
 type workerTask struct {
 	prog, vs vm.Obj
 	from, to int
+	crash    int // worker index to crash instead of running, or -1
 	err      chan error
 }
 
@@ -308,6 +503,10 @@ type workerPool struct {
 	n       int
 }
 
+// newWorkerPool spawns n update threads. parent may be nil (threads then
+// parent their page managers at the VM root scope), which is what crash
+// recovery uses: the pool must be rebuildable while the main thread is
+// inside an iteration scope that will be released before the pool is.
 func newWorkerPool(machine *vm.VM, parent *vm.Thread, n int) (*workerPool, error) {
 	p := &workerPool{tasks: make(chan workerTask), n: n}
 	for i := 0; i < n; i++ {
@@ -321,6 +520,12 @@ func newWorkerPool(machine *vm.VM, parent *vm.Thread, n int) (*workerPool, error
 		go func(t *vm.Thread) {
 			defer p.wg.Done()
 			for task := range p.tasks {
+				if task.crash >= 0 {
+					// The thread assigned this chunk dies mid-update: its
+					// chunk is lost and the engine rebuilds the fleet.
+					task.err <- &crashError{worker: task.crash}
+					continue
+				}
 				_, err := t.InvokeStatic("GraphChiDriver", "runRange",
 					vm.O(task.prog), vm.O(task.vs), vm.I(int64(task.from)), vm.I(int64(task.to)))
 				task.err <- err
@@ -331,13 +536,20 @@ func newWorkerPool(machine *vm.VM, parent *vm.Thread, n int) (*workerPool, error
 }
 
 // runRange splits [0, n) across the workers and waits for completion.
-func (p *workerPool) runRange(prog, vs vm.Obj, n int) error {
+// crashChunk >= 0 marks the chunk whose worker dies instead of updating
+// (the planned worker-crash fault point): chunk assignment is a pure
+// function of (n, workers), so the same chunk is lost on every run with
+// the same seed, and the replay recomputes it deterministically.
+func (p *workerPool) runRange(prog, vs vm.Obj, n int, crashChunk int) error {
 	chunks := p.n
 	if chunks > n {
 		chunks = n
 	}
 	if chunks == 0 {
 		return nil
+	}
+	if crashChunk >= 0 {
+		crashChunk %= chunks
 	}
 	errs := make(chan error, chunks)
 	per := (n + chunks - 1) / chunks
@@ -347,7 +559,11 @@ func (p *workerPool) runRange(prog, vs vm.Obj, n int) error {
 		if to > n {
 			to = n
 		}
-		p.tasks <- workerTask{prog: prog, vs: vs, from: from, to: to, err: errs}
+		crash := -1
+		if sent == crashChunk {
+			crash = crashChunk
+		}
+		p.tasks <- workerTask{prog: prog, vs: vs, from: from, to: to, crash: crash, err: errs}
 		sent++
 	}
 	var first error

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/datagen"
+	"repro/internal/faults"
+	"repro/internal/ir"
 	"repro/internal/vm"
 )
 
@@ -297,5 +299,227 @@ func TestSmallerBudgetMoreSubIterations(t *testing.T) {
 	}
 	if metSmall.SubIters <= metBig.SubIters {
 		t.Fatalf("budget did not increase sub-iterations: %d vs %d", metSmall.SubIters, metBig.SubIters)
+	}
+}
+
+// TestFaultMatrixIntervalRecovery is the tentpole acceptance test: PR and
+// CC, on both P and P', must converge bit-identically to fault-free runs
+// under an injected worker crash (sub-iteration replayed from the shard
+// with a rebuilt worker fleet), an injected heap OOM, and an injected
+// page-store failure — the latter two walking the budget-halving
+// degradation ladder. The shard plus the interval-boundary values are a
+// complete checkpoint, so replay changes nothing observable but the
+// recovery counters.
+func TestFaultMatrixIntervalRecovery(t *testing.T) {
+	p, p2, err := BuildPrograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datagen.PowerLawGraph(300, 3000, 7)
+
+	apps := []struct {
+		app        App
+		undirected bool
+		iters      int
+	}{
+		{PageRank, false, 3},
+		{ConnectedComponents, true, 6},
+	}
+	cases := []struct {
+		name   string
+		faults faults.Config
+		only   string // restrict to one program ("" = both)
+	}{
+		// Planned worker-thread crash mid-sub-iteration.
+		{"crash", faults.Config{Seed: 21, Crashes: 1}, ""},
+		{"crash2", faults.Config{Seed: 97, Crashes: 2}, ""},
+		// Heap allocation failure past setup, inside interval work;
+		// recovery halves the budget and re-splits the interval. Only P
+		// allocates data objects on the managed heap per interval — P'
+		// puts them in pages, so its slow-path heap allocations all
+		// happen during setup.
+		{"oom-alloc", faults.Config{Seed: 5, AllocAt: 8}, "P"},
+		// Off-heap page-acquire failure (P' allocates pages; P never does).
+		{"oom-page", faults.Config{Seed: 9, PageAt: 8}, "P'"},
+	}
+
+	for _, ac := range apps {
+		// Small budget => several intervals per iteration, so the crash
+		// plan has occasions to land on and the ladder has room to halve.
+		base := Config{App: ac.app, Workers: 2, Iterations: ac.iters, MemoryBudget: 128 << 10}
+		sg := Shard(g, 4, ac.undirected)
+		for name, prog := range map[string]*ir.Program{"P": p, "P'": p2} {
+			clean, cleanVals, err := RunProgram(prog, 48<<20, sg, base)
+			if err != nil {
+				t.Fatalf("%v/%s fault-free: %v", ac.app, name, err)
+			}
+			if clean.Recovery != (Recovery{}) {
+				t.Fatalf("%v/%s fault-free run reports recovery work: %+v", ac.app, name, clean.Recovery)
+			}
+			for _, tc := range cases {
+				if tc.only != "" && tc.only != name {
+					continue
+				}
+				t.Run(ac.app.String()+"/"+name+"/"+tc.name, func(t *testing.T) {
+					fc := tc.faults
+					cfg := base
+					cfg.Faults = &fc
+					met, vals, err := RunProgram(prog, 48<<20, sg, cfg)
+					if err != nil {
+						t.Fatalf("faulty run: %v", err)
+					}
+					for v := range cleanVals {
+						if vals[v] != cleanVals[v] {
+							t.Fatalf("vertex %d diverged: fault-free=%v faulty=%v",
+								v, cleanVals[v], vals[v])
+						}
+					}
+					rec := met.Recovery
+					if rec.IntervalRetries < 1 {
+						t.Fatalf("no interval replayed: %+v", rec)
+					}
+					if fc.Crashes > 0 {
+						if rec.WorkerCrashes < int64(fc.Crashes) || rec.WorkerRestarts < int64(cfg.Workers) {
+							t.Fatalf("crash not reflected in recovery stats: %+v", rec)
+						}
+					}
+					if fc.AllocAt > 0 || fc.PageAt > 0 {
+						if rec.OOMRecoveries < 1 || rec.BudgetHalvings < 1 {
+							t.Fatalf("OOM degradation ladder not exercised: %+v", rec)
+						}
+					}
+					// The counters surface through obs too.
+					if c := met.Obs.Counters["recovery.interval_retries"]; c != rec.IntervalRetries {
+						t.Fatalf("obs interval_retries = %d, Recovery says %d", c, rec.IntervalRetries)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBudgetLadderExhaustionIsOME: when the budget cannot halve any
+// further (a single edge no longer fits), the engine reports a genuine
+// OutOfMemoryError instead of looping.
+func TestBudgetLadderExhaustionIsOME(t *testing.T) {
+	p, _, err := BuildPrograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datagen.PowerLawGraph(120, 1000, 3)
+	sg := Shard(g, 4, false)
+	// Fire an allocation failure on every slow-path allocation from #30
+	// on: every replay re-fails, and the ladder must bottom out.
+	fc := faults.Config{Seed: 7, AllocProb: 1, AllocAt: 0}
+	cfg := Config{App: PageRank, Workers: 1, Iterations: 1,
+		MemoryBudget: 96, BytesPerEdge: 48, Faults: &fc}
+	_, _, err = RunProgram(p, 48<<20, sg, cfg)
+	if err == nil {
+		t.Fatal("run survived unrecoverable allocation failure")
+	}
+	if !isOOM(err) {
+		t.Fatalf("want an out-of-memory classification, got: %v", err)
+	}
+}
+
+// --- Shard / Intervals edge cases -----------------------------------------
+
+// lineGraph builds v vertices where vertex 0 receives one in-edge from
+// every other vertex (in-degree v-1) and the rest receive none.
+func starGraph(v int) *datagen.Graph {
+	g := &datagen.Graph{NumVertices: v,
+		OutDeg: make([]int32, v), InDeg: make([]int32, v)}
+	for s := 1; s < v; s++ {
+		g.Src = append(g.Src, int32(s))
+		g.Dst = append(g.Dst, 0)
+		g.OutDeg[s]++
+		g.InDeg[0]++
+	}
+	return g
+}
+
+func TestIntervalsHubVertexExceedsBudget(t *testing.T) {
+	// Vertex 0's in-degree (9) alone exceeds the budget (3): it must still
+	// get its own interval — it cannot be split — and every other interval
+	// must respect the budget.
+	sg := Shard(starGraph(10), 2, false)
+	ivs := sg.Intervals(3)
+	if len(ivs) == 0 {
+		t.Fatal("no intervals")
+	}
+	if ivs[0] != [2]int{0, 1} {
+		t.Fatalf("hub vertex not isolated: first interval %v", ivs[0])
+	}
+	for _, iv := range ivs[1:] {
+		if edges := sg.InStart[iv[1]] - sg.InStart[iv[0]]; edges > 3 {
+			t.Fatalf("interval %v has %d edges, budget 3", iv, edges)
+		}
+	}
+	assertTiling(t, sg, ivs)
+}
+
+func TestShardMoreShardsThanVertices(t *testing.T) {
+	g := datagen.PowerLawGraph(5, 20, 2)
+	sg := Shard(g, 50, false)
+	if len(sg.ShardBounds) != 51 {
+		t.Fatalf("ShardBounds length %d, want nShards+1", len(sg.ShardBounds))
+	}
+	if sg.ShardBounds[0] != 0 || sg.ShardBounds[50] != 5 {
+		t.Fatal("shard bounds do not cover the vertex range")
+	}
+	for i := 1; i < len(sg.ShardBounds); i++ {
+		if sg.ShardBounds[i] < sg.ShardBounds[i-1] {
+			t.Fatal("shard bounds not monotone")
+		}
+	}
+}
+
+func TestEmptyGraphHasNoIntervals(t *testing.T) {
+	sg := Shard(&datagen.Graph{}, 4, false)
+	if sg.NumEdges() != 0 || sg.NumVertices != 0 {
+		t.Fatalf("empty graph sharded to %d vertices / %d edges", sg.NumVertices, sg.NumEdges())
+	}
+	if ivs := sg.Intervals(100); ivs != nil {
+		t.Fatalf("empty graph produced intervals: %v", ivs)
+	}
+}
+
+// assertTiling checks the interval invariant: the intervals cover
+// [0, NumVertices) exactly once, in order, each non-empty.
+func assertTiling(t *testing.T, sg *ShardedGraph, ivs [][2]int) {
+	t.Helper()
+	next := 0
+	for _, iv := range ivs {
+		if iv[0] != next {
+			t.Fatalf("interval %v does not start at %d", iv, next)
+		}
+		if iv[1] <= iv[0] {
+			t.Fatalf("empty interval %v", iv)
+		}
+		next = iv[1]
+	}
+	if next != sg.NumVertices {
+		t.Fatalf("intervals end at %d, want %d", next, sg.NumVertices)
+	}
+}
+
+func TestIntervalsTileExactlyOnce(t *testing.T) {
+	g := datagen.PowerLawGraph(777, 9000, 13)
+	sg := Shard(g, 6, false)
+	for _, budget := range []int64{1, 7, 100, 1000, 1 << 40} {
+		assertTiling(t, sg, sg.Intervals(budget))
+	}
+	// Sub-range splitting (the degradation ladder's entry point) tiles the
+	// sub-range the same way.
+	ivs := sg.IntervalsIn(100, 300, 50)
+	next := 100
+	for _, iv := range ivs {
+		if iv[0] != next || iv[1] <= iv[0] {
+			t.Fatalf("sub-range interval %v does not tile from %d", iv, next)
+		}
+		next = iv[1]
+	}
+	if next != 300 {
+		t.Fatalf("sub-range intervals end at %d, want 300", next)
 	}
 }

@@ -86,15 +86,28 @@ func (sg *ShardedGraph) NumEdges() int { return len(sg.InSrc) }
 // Intervals splits the vertex range into execution intervals
 // (sub-iterations) so that each holds at most budgetEdges in-edges —
 // GraphChi's adaptive memory-budget loading: a smaller heap means smaller
-// intervals and more load passes.
+// intervals and more load passes. An empty graph yields no intervals.
 func (sg *ShardedGraph) Intervals(budgetEdges int64) [][2]int {
+	return sg.IntervalsIn(0, sg.NumVertices, budgetEdges)
+}
+
+// IntervalsIn splits the vertex sub-range [lo, hi) into execution
+// intervals under the same budget rule. The engine's OOM degradation
+// ladder uses it to re-split a failed interval at a halved budget;
+// the returned intervals tile [lo, hi) exactly once, each non-empty
+// (nil when lo >= hi). A single vertex whose in-degree alone exceeds
+// the budget still gets its own interval — it cannot be split further.
+func (sg *ShardedGraph) IntervalsIn(lo, hi int, budgetEdges int64) [][2]int {
+	if lo >= hi {
+		return nil
+	}
 	if budgetEdges < 1 {
 		budgetEdges = 1
 	}
 	var out [][2]int
-	start := 0
+	start := lo
 	var cnt int64
-	for v := 0; v < sg.NumVertices; v++ {
+	for v := lo; v < hi; v++ {
 		d := int64(sg.InDeg[v])
 		if cnt > 0 && cnt+d > budgetEdges {
 			out = append(out, [2]int{start, v})
@@ -103,6 +116,6 @@ func (sg *ShardedGraph) Intervals(budgetEdges int64) [][2]int {
 		}
 		cnt += d
 	}
-	out = append(out, [2]int{start, sg.NumVertices})
+	out = append(out, [2]int{start, hi})
 	return out
 }

@@ -230,13 +230,17 @@ const (
 	CtrFaultHeapAlloc   = "faults.heap_alloc_injected"   // injected allocation failures
 	CtrFaultPageAcquire = "faults.page_acquire_injected" // injected page-acquire failures
 
-	// Recovery (cluster engines).
-	CtrCheckpoints     = "recovery.checkpoints"      // superstep checkpoints taken
-	CtrCheckpointBytes = "recovery.checkpoint_bytes" // codec-encoded checkpoint payload
-	CtrRestores        = "recovery.restores"         // checkpoint restores (crash or OOM)
-	CtrNodeRestarts    = "recovery.node_restarts"    // node VMs rebuilt after a crash
-	CtrTaskRetries     = "recovery.task_retries"     // map/reduce tasks re-executed
-	CtrTasksDegraded   = "recovery.tasks_degraded"   // tasks drained to a healthy node
+	// Recovery (cluster engines and the single-machine GraphChi engine).
+	CtrCheckpoints        = "recovery.checkpoints"         // superstep checkpoints taken
+	CtrCheckpointBytes    = "recovery.checkpoint_bytes"    // codec-encoded checkpoint payload
+	CtrCheckpointsDropped = "recovery.checkpoints_dropped" // superseded checkpoints released
+	CtrRestores           = "recovery.restores"            // checkpoint restores (crash or OOM)
+	CtrNodeRestarts       = "recovery.node_restarts"       // node VMs rebuilt after a crash
+	CtrTaskRetries        = "recovery.task_retries"        // map/reduce tasks re-executed
+	CtrTasksDegraded      = "recovery.tasks_degraded"      // tasks drained to a healthy node
+	CtrIntervalRetries    = "recovery.interval_retries"    // GraphChi sub-iterations replayed from shard
+	CtrWorkerRestarts     = "recovery.worker_restarts"     // GraphChi update workers rebuilt
+	CtrBudgetHalvings     = "recovery.budget_halvings"     // GraphChi memory-budget degradations
 
 	// Event kinds.
 	EvGC             = "gc"         // label minor|full, A=pause ns, B=promoted objs (minor) / live bytes (full)
@@ -244,7 +248,7 @@ const (
 	EvPhase          = "phase"      // label map|reduce|superstep..., A=ordinal
 	EvManagerRelease = "pm_release" // A=iterID, B=threadID, C=pages released
 	EvFault          = "fault"      // label = fault point, A=occurrence count
-	EvCheckpoint     = "checkpoint" // label save|restore, A=superstep, B=payload bytes
-	EvRecovery       = "recovery"   // label crash|oom, A=node, B=occasion (superstep/phase)
-	EvDegraded       = "degraded"   // label map|reduce, A=failed node, B=helper node
+	EvCheckpoint     = "checkpoint" // label save|restore|drop, A=superstep, B=payload bytes
+	EvRecovery       = "recovery"   // label crash|oom, A=node/worker, B=occasion (superstep/phase/sub-iteration)
+	EvDegraded       = "degraded"   // label map|reduce|interval, A=failed node / first vertex, B=helper node / new edge budget
 )

@@ -61,6 +61,7 @@ type VM struct {
 	RT   *offheap.Runtime // nil for untransformed programs
 
 	out io.Writer
+	inj *faults.Injector // the injector the VM was built with (may be nil)
 
 	// Dispatch tables: selectors index per-class vtables.
 	selectors map[string]int
@@ -124,6 +125,7 @@ func New(prog *ir.Program, cfg Config) (*VM, error) {
 	vm := &VM{
 		Prog:      prog,
 		out:       cfg.Out,
+		inj:       cfg.Faults,
 		byKey:     make(map[string]*ir.Func),
 		monitors:  make(map[uint32]*monitor),
 		threads:   make(map[*Thread]struct{}),
@@ -316,6 +318,29 @@ func (vm *VM) visitRoots(visit func(heap.Addr) heap.Addr) {
 	for _, t := range threads {
 		t.visitRoots(visit)
 	}
+}
+
+// Injector returns the fault injector the VM was constructed with (nil
+// when injection is disabled), so engines driving the VM can plan
+// injected failures — e.g. worker crashes — from the same seed.
+func (vm *VM) Injector() *faults.Injector { return vm.inj }
+
+// RandState returns the current Sys.rand cursor. Together with
+// SetRandState it lets engines checkpoint the VM's deterministic random
+// stream, so a crash-replayed computation that draws random numbers
+// (GPS RandomWalk) is bit-identical to the fault-free run, not merely
+// statistically equivalent.
+func (vm *VM) RandState() uint64 {
+	vm.rngMu.Lock()
+	defer vm.rngMu.Unlock()
+	return vm.rngSt
+}
+
+// SetRandState restores a Sys.rand cursor captured by RandState.
+func (vm *VM) SetRandState(s uint64) {
+	vm.rngMu.Lock()
+	vm.rngSt = s
+	vm.rngMu.Unlock()
 }
 
 // rand returns the next deterministic pseudo-random value (splitmix64).
