@@ -517,6 +517,45 @@ func BenchmarkAblationDevirt(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationDCE measures liveness-driven dead-code elimination on
+// the GraphChi PageRank data path (Table 2's workload): interpreted
+// instruction count with and without DCE, same output either way.
+func BenchmarkAblationDCE(b *testing.B) {
+	p, err := facade.Compile(map[string]string{"graphchi.fj": graphchi.Source})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := datagen.PowerLawGraph(2000, 30000, 42)
+	sg := graphchi.Shard(g, 10, false)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"nodce", true}, {"dce", false}} {
+		p2, err := core.Transform(p, core.Options{DataClasses: graphchi.DataClasses, DisableDCE: mode.disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			var last *graphchi.Metrics
+			for i := 0; i < b.N; i++ {
+				m, err := vm.New(p2, vm.Config{HeapSize: 16 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				met, _, err := graphchi.Run(m, sg, graphchi.Config{
+					App: graphchi.PageRank, Workers: 2, Iterations: 2, MemoryBudget: 8 << 20,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = met
+			}
+			b.ReportMetric(float64(last.Obs.Counters[obs.CtrInstructions]), "interp-instrs")
+			b.ReportMetric(float64(p2.DCERemoved), "dce-removed")
+		})
+	}
+}
+
 // BenchmarkInterpreter is a plain VM baseline (recursive fib), useful for
 // normalizing the framework numbers against interpreter speed.
 func BenchmarkInterpreter(b *testing.B) {

@@ -7,43 +7,18 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"repro/facade"
 )
 
-const src = `
-// A tuple class and a tiny aggregation over many instances — the shape of
-// a Big Data data path.
-class Tuple {
-    int key;
-    double value;
-    Tuple(int key, double value) {
-        this.key = key;
-        this.value = value;
-    }
-    double weighted() { return this.value * 1.5; }
-}
-
-class Main {
-    static void main() {
-        double total = 0.0;
-        for (int iter = 0; iter < 10; iter = iter + 1) {
-            Sys.iterStart();                    // iteration boundary (§3.6)
-            Tuple[] batch = new Tuple[20000];
-            for (int i = 0; i < batch.length; i = i + 1) {
-                batch[i] = new Tuple(i, 1.0 / (i + 1));
-            }
-            for (int i = 0; i < batch.length; i = i + 1) {
-                total = total + batch[i].weighted();
-            }
-            Sys.iterEnd();                      // bulk page reclamation
-        }
-        Sys.println(total);
-    }
-}
-`
+// The FJ program lives in its own file so `facadec vet` (and CI) can check
+// it directly; its "// facadec: data=..." directive names the data classes.
+//
+//go:embed quickstart.fj
+var src string
 
 func main() {
 	// 1. Compile FJ to IR: this is program P.
@@ -61,7 +36,7 @@ func main() {
 
 	// 3. FACADE-transform the data path: this is program P'.
 	p2, err := facade.Transform(prog, facade.TransformOptions{
-		DataClasses: []string{"Tuple", "Main"},
+		DataClasses: facade.DataClassesDirective(src),
 	})
 	if err != nil {
 		log.Fatalf("transform: %v", err)

@@ -1,0 +1,138 @@
+package facade_test
+
+// Standing regression gates over the shipped FJ programs: every
+// examples/*/*.fj must vet clean (verifier + linter on both P and P') and
+// produce identical output in P and P'; the three engine data paths
+// (GraphChi, GPS, Hyracks) must verify and lint clean in both forms; and
+// DCE must be output-preserving while actually removing instructions.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/facade"
+	"repro/internal/gps"
+	"repro/internal/graphchi"
+	"repro/internal/hyracks"
+	"repro/internal/ir"
+)
+
+func exampleSources(t *testing.T) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "examples", "*", "*.fj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("expected at least 4 example .fj files, found %d: %v", len(paths), paths)
+	}
+	out := map[string]string{}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[p] = string(src)
+	}
+	return out
+}
+
+func TestExamplesVetCleanAndEquivalent(t *testing.T) {
+	for path, src := range exampleSources(t) {
+		path, src := path, src
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			r, err := facade.Vet(map[string]string{path: src}, facade.VetOptions{})
+			if err != nil {
+				t.Fatalf("vet: %v", err)
+			}
+			if !r.Clean() {
+				t.Fatalf("vet not clean:\n%s", r.Report())
+			}
+			outP, resP, err := facade.RunMain(r.P, facade.RunConfig{HeapSize: 64 << 20})
+			if err != nil {
+				t.Fatalf("run P: %v", err)
+			}
+			resP.Close()
+			outP2, resP2, err := facade.RunMain(r.P2, facade.RunConfig{HeapSize: 64 << 20})
+			if err != nil {
+				t.Fatalf("run P': %v", err)
+			}
+			resP2.Close()
+			if outP == "" || outP != outP2 {
+				t.Fatalf("P/P' outputs differ or empty.\nP:\n%s\nP':\n%s", outP, outP2)
+			}
+		})
+	}
+}
+
+func TestEngineProgramsVerifyAndLintClean(t *testing.T) {
+	engines := []struct {
+		name  string
+		build func() (*ir.Program, *ir.Program, error)
+	}{
+		{"graphchi", graphchi.BuildPrograms},
+		{"gps", gps.BuildPrograms},
+		{"hyracks", hyracks.BuildPrograms},
+	}
+	for _, e := range engines {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			p, p2, err := e.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := facade.VerifyProgram(p); err != nil {
+				t.Fatalf("P: %v", err)
+			}
+			if ds := facade.LintProgram(p); len(ds) > 0 {
+				t.Fatalf("P lint: %v", ds)
+			}
+			if err := facade.VerifyProgram(p2); err != nil {
+				t.Fatalf("P': %v", err)
+			}
+			if ds := facade.LintProgram(p2); len(ds) > 0 {
+				t.Fatalf("P' lint: %v", ds)
+			}
+		})
+	}
+}
+
+func TestDCEPreservesOutputAndRemovesInstructions(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "examples", "graphchi-pagerank", "pagerank.fj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := facade.Compile(map[string]string{"pagerank.fj": string(src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := facade.DataClassesDirective(string(src))
+	plain, err := facade.Transform(prog, facade.TransformOptions{DataClasses: data, DisableDCE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := facade.Transform(prog, facade.TransformOptions{DataClasses: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.DCERemoved == 0 {
+		t.Fatal("DCE removed nothing on the pagerank data path")
+	}
+	if got, want := opt.NumInstrs(), plain.NumInstrs()-opt.DCERemoved; got != want {
+		t.Fatalf("instruction accounting: %d instrs after DCE, want %d", got, want)
+	}
+	outPlain, r1, err := facade.RunMain(plain, facade.RunConfig{HeapSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	outOpt, r2, err := facade.RunMain(opt, facade.RunConfig{HeapSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Close()
+	if outPlain != outOpt {
+		t.Fatalf("DCE changed output.\nwithout:\n%s\nwith:\n%s", outPlain, outOpt)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/ir"
@@ -96,6 +97,19 @@ func Run(p *ir.Program, opts ...Option) (*Result, error) {
 	if o.observer != nil {
 		fn := o.observer
 		reg.SetEventSink(func(e obs.Event) { fn(publicEvent(e)) })
+	}
+	if o.verify {
+		if err := analysis.VerifyProgram(p); err != nil {
+			return nil, fmt.Errorf("facade verify: %w", err)
+		}
+		reg.Counter(obs.CtrVerifyFuncs).Add(int64(len(p.FuncList)))
+		if findings := analysis.LintProgram(p); len(findings) > 0 {
+			reg.Counter(obs.CtrLintFindings).Add(int64(len(findings)))
+			return nil, fmt.Errorf("facade lint: %d finding(s), first: %s", len(findings), findings[0])
+		}
+	}
+	if p.DCERemoved > 0 {
+		reg.Counter(obs.CtrDCERemoved).Add(int64(p.DCERemoved))
 	}
 	m, err := vm.New(p, vm.Config{
 		HeapSize: o.heapSize, Out: w, RandSeed: o.randSeed, Obs: reg,

@@ -3,16 +3,26 @@ package facade
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // runBoth compiles src, runs it as P, transforms it with the given data
-// classes, runs P', and requires identical output. It returns the shared
-// output.
+// classes, runs P', and requires identical output. Both programs must also
+// pass the IR verifier and the facade-safety linter — every corpus test is
+// a standing regression gate for the static analyses. It returns the
+// shared output.
 func runBoth(t *testing.T, src string, dataClasses []string) string {
 	t.Helper()
 	prog, err := Compile(map[string]string{"test.fj": src})
 	if err != nil {
 		t.Fatalf("compile: %v", err)
+	}
+	if err := analysis.VerifyProgram(prog); err != nil {
+		t.Fatalf("verify P: %v", err)
+	}
+	if fs := analysis.LintProgram(prog); len(fs) > 0 {
+		t.Fatalf("lint P: %d finding(s), first: %s", len(fs), fs[0])
 	}
 	outP, resP, err := RunMain(prog, RunConfig{HeapSize: 32 << 20})
 	if err != nil {
@@ -23,6 +33,12 @@ func runBoth(t *testing.T, src string, dataClasses []string) string {
 	p2, err := Transform(prog, TransformOptions{DataClasses: dataClasses})
 	if err != nil {
 		t.Fatalf("transform: %v", err)
+	}
+	if err := analysis.VerifyProgram(p2); err != nil {
+		t.Fatalf("verify P': %v", err)
+	}
+	if fs := analysis.LintProgram(p2); len(fs) > 0 {
+		t.Fatalf("lint P': %d finding(s), first: %s", len(fs), fs[0])
 	}
 	outP2, resP2, err := RunMain(p2, RunConfig{HeapSize: 32 << 20})
 	if err != nil {

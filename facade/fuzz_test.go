@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // Randomized semantic-equivalence testing: generate random FJ programs
@@ -191,6 +193,11 @@ func TestRandomProgramEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("generated program does not compile: %v\n%s", err, src)
 			}
+			// Compiler-bug oracle: anything the type checker accepts must
+			// pass the IR verifier, before and after the transform.
+			if err := analysis.VerifyProgram(prog); err != nil {
+				t.Fatalf("P fails IR verification (compiler bug): %v\n%s", err, src)
+			}
 			outP, resP, err := RunMain(prog, RunConfig{HeapSize: 16 << 20})
 			if err != nil {
 				t.Fatalf("P: %v\n%s", err, src)
@@ -199,6 +206,12 @@ func TestRandomProgramEquivalence(t *testing.T) {
 			p2, err := Transform(prog, TransformOptions{DataClasses: []string{"Node", "Leaf", "Main"}})
 			if err != nil {
 				t.Fatalf("transform: %v\n%s", err, src)
+			}
+			if err := analysis.VerifyProgram(p2); err != nil {
+				t.Fatalf("P' fails IR verification (transform bug): %v\n%s", err, src)
+			}
+			if fs := analysis.LintProgram(p2); len(fs) > 0 {
+				t.Fatalf("P' fails facade-safety lint: %s\n%s", fs[0], src)
 			}
 			outP2, resP2, err := RunMain(p2, RunConfig{HeapSize: 16 << 20})
 			if err != nil {
@@ -215,6 +228,9 @@ func TestRandomProgramEquivalence(t *testing.T) {
 			})
 			if err != nil {
 				t.Fatalf("devirt transform: %v\n%s", err, src)
+			}
+			if err := analysis.VerifyProgram(p3); err != nil {
+				t.Fatalf("P'' fails IR verification (devirt bug): %v\n%s", err, src)
 			}
 			outP3, resP3, err := RunMain(p3, RunConfig{HeapSize: 16 << 20})
 			if err != nil {

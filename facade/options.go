@@ -19,6 +19,7 @@ type runOptions struct {
 	observer  func(Event)
 	faults    *faults.Config
 	faultsErr error
+	verify    bool
 }
 
 func defaultRunOptions() runOptions {
@@ -63,6 +64,15 @@ func WithOutput(w io.Writer) Option {
 // must be fast and must not call back into the VM.
 func WithObserver(fn func(Event)) Option {
 	return func(o *runOptions) { o.observer = fn }
+}
+
+// WithVerify runs the IR verifier and the facade-safety linter
+// (internal/analysis) over the program before execution. A verifier error
+// or any lint finding fails the Run call; the number of functions checked
+// and findings raised appear in RunStats.Analysis and under the
+// analysis.* counters.
+func WithVerify() Option {
+	return func(o *runOptions) { o.verify = true }
 }
 
 // WithFaults enables deterministic fault injection from a spec string like

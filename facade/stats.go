@@ -18,6 +18,7 @@ type RunStats struct {
 	VM       VMStats       `json:"vm"`
 	Faults   FaultStats    `json:"faults"`
 	Recovery RecoveryStats `json:"recovery"`
+	Analysis AnalysisStats `json:"analysis"`
 
 	// ClassAllocs counts heap allocations per class name; array
 	// allocations appear under "[]elem" keys.
@@ -79,6 +80,16 @@ type RecoveryStats struct {
 	IntervalRetries    int64 `json:"interval_retries"`
 	WorkerRestarts     int64 `json:"worker_restarts"`
 	BudgetHalvings     int64 `json:"budget_halvings"`
+}
+
+// AnalysisStats mirrors the static-analysis counters: functions checked by
+// the IR verifier and findings raised by the facade-safety linter (both
+// populated when the run used WithVerify), and the instructions removed by
+// dead-code elimination when the program was transformed.
+type AnalysisStats struct {
+	VerifiedFuncs int64 `json:"verify_funcs"`
+	LintFindings  int64 `json:"lint_findings"`
+	DCERemoved    int64 `json:"dce_removed"`
 }
 
 // VMStats mirrors the interpreter's execution counters.
@@ -191,6 +202,11 @@ func (r *Result) Stats() RunStats {
 		IntervalRetries:    snap.Counters[obs.CtrIntervalRetries],
 		WorkerRestarts:     snap.Counters[obs.CtrWorkerRestarts],
 		BudgetHalvings:     snap.Counters[obs.CtrBudgetHalvings],
+	}
+	st.Analysis = AnalysisStats{
+		VerifiedFuncs: snap.Counters[obs.CtrVerifyFuncs],
+		LintFindings:  snap.Counters[obs.CtrLintFindings],
+		DCERemoved:    snap.Counters[obs.CtrDCERemoved],
 	}
 	st.Counters = snap.Counters
 	st.Gauges = snap.Gauges

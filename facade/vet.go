@@ -1,0 +1,186 @@
+package facade
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// VetOptions configures a Vet pipeline run.
+type VetOptions struct {
+	// DataClasses names the data classes for the FACADE transform. When
+	// empty, Vet looks for a "// facadec: data=C1,C2" directive line in the
+	// sources.
+	DataClasses []string
+	// Strict disables data-set closure expansion (core.Options.NoAutoClose).
+	Strict bool
+	// Seed injects a known violation into P' before linting it — one of
+	// analysis.SeedViolation's kinds ("use-before-def", "pool-clobber") —
+	// for exercising the linter against a clean program.
+	Seed string
+	// Devirtualize forwards core.Options.Devirtualize.
+	Devirtualize bool
+}
+
+// VetResult carries everything a vet run produced.
+type VetResult struct {
+	P  *ir.Program // compiled program (P)
+	P2 *ir.Program // transformed program (P'), nil if verification of P failed
+
+	// VerifyErrs lists IR verifier failures (compiler bugs), formatted.
+	VerifyErrs []string
+	// Diagnostics lists lint findings as "file:line:col: [check] msg".
+	Diagnostics []string
+
+	VerifiedFuncs int
+	LintFindings  int
+	DCERemoved    int
+	// Bounds are P2's §3.3 pool bounds; TightBounds the liveness-tightened
+	// bounds a TightenBounds build would use (computed on a copy — P2
+	// itself keeps signature-sized pools).
+	Bounds, TightBounds map[string]int
+}
+
+// Clean reports whether vet found nothing: the program verifies in both
+// forms and the linter is silent.
+func (r *VetResult) Clean() bool { return len(r.VerifyErrs) == 0 && len(r.Diagnostics) == 0 }
+
+// Report renders a short human-readable summary.
+func (r *VetResult) Report() string {
+	var sb strings.Builder
+	for _, e := range r.VerifyErrs {
+		fmt.Fprintf(&sb, "verify: %s\n", e)
+	}
+	for _, d := range r.Diagnostics {
+		fmt.Fprintf(&sb, "%s\n", d)
+	}
+	fmt.Fprintf(&sb, "vet: %d function(s) verified, %d finding(s), %d instruction(s) removed by DCE\n",
+		r.VerifiedFuncs, r.LintFindings, r.DCERemoved)
+	if len(r.Bounds) > 0 {
+		var names []string
+		for n := range r.Bounds {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if t, ok := r.TightBounds[n]; ok && t < r.Bounds[n] {
+				fmt.Fprintf(&sb, "vet: pool %s: bound %d tightens to %d over live ranges\n", n, r.Bounds[n], t)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Vet compiles the given sources, verifies and lints program P, applies
+// the FACADE transform (with DCE), and verifies and lints P'. It is the
+// engine behind `facadec vet` and the golden-diagnostics tests. A non-nil
+// error means the pipeline itself could not run (parse/type/transform
+// failure); verifier and lint results are reported in the VetResult.
+func Vet(sources map[string]string, opts VetOptions) (*VetResult, error) {
+	p, err := Compile(sources)
+	if err != nil {
+		return nil, err
+	}
+	r := &VetResult{P: p}
+	if err := analysis.VerifyProgram(p); err != nil {
+		r.VerifyErrs = append(r.VerifyErrs, "P: "+err.Error())
+		return r, nil
+	}
+	r.VerifiedFuncs += len(p.FuncList)
+	r.addFindings(analysis.LintProgram(p))
+
+	data := opts.DataClasses
+	if len(data) == 0 {
+		for _, src := range sources {
+			if d := DataClassesDirective(src); len(d) > 0 {
+				data = append(data, d...)
+			}
+		}
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("no data classes: pass -data or add a \"// facadec: data=C1,C2\" directive")
+	}
+	p2, err := Transform(p, TransformOptions{
+		DataClasses: data, NoAutoClose: opts.Strict, Devirtualize: opts.Devirtualize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.P2 = p2
+	r.DCERemoved = p2.DCERemoved
+	r.Bounds = p2.Bounds
+	if err := analysis.VerifyProgram(p2); err != nil {
+		r.VerifyErrs = append(r.VerifyErrs, "P': "+err.Error())
+		return r, nil
+	}
+	r.VerifiedFuncs += len(p2.FuncList)
+	if opts.Seed != "" {
+		if err := analysis.SeedViolation(p2, opts.Seed); err != nil {
+			return nil, err
+		}
+	}
+	r.addFindings(analysis.LintProgram(p2))
+
+	// Preview liveness-tightened bounds on a copy of the bounds map.
+	tight := &ir.Program{
+		H: p2.H, Funcs: p2.Funcs, FuncList: p2.FuncList,
+		Transformed: true, Bounds: make(map[string]int, len(p2.Bounds)),
+	}
+	for k, v := range p2.Bounds {
+		tight.Bounds[k] = v
+	}
+	r.TightBounds = analysis.TightenBounds(tight)
+	return r, nil
+}
+
+func (r *VetResult) addFindings(fs []analysis.Finding) {
+	r.LintFindings += len(fs)
+	for _, f := range fs {
+		r.Diagnostics = append(r.Diagnostics, f.String())
+	}
+}
+
+// DataClassesDirective extracts the data-class list from a
+// "// facadec: data=C1,C2" directive line in an FJ source file, returning
+// nil when no directive is present.
+func DataClassesDirective(src string) []string {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "//") {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "//"))
+		if !strings.HasPrefix(rest, "facadec:") {
+			continue
+		}
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, "facadec:"))
+		if !strings.HasPrefix(rest, "data=") {
+			continue
+		}
+		var out []string
+		for _, c := range strings.Split(strings.TrimPrefix(rest, "data="), ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// VerifyProgram re-exports the analysis verifier for callers that hold an
+// ir.Program (engines, tests) without importing internal/analysis.
+func VerifyProgram(p *ir.Program) error { return analysis.VerifyProgram(p) }
+
+// LintProgram re-exports the facade-safety linter, returning formatted
+// diagnostics.
+func LintProgram(p *ir.Program) []string {
+	var out []string
+	for _, f := range analysis.LintProgram(p) {
+		out = append(out, f.String())
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package analysis_test
+
+// Golden-diagnostics tests for `facadec vet`: each testdata program either
+// contains a real facade-safety violation (leak.fj) or is clean and gets a
+// violation seeded into P' (ubd.fj, clobber.fj). The linter's file:line
+// diagnostics must match the checked-in .want files exactly.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/facade"
+)
+
+var update = flag.Bool("update", false, "rewrite golden .want files")
+
+func vetFile(t *testing.T, name string, opts facade.VetOptions) *facade.VetResult {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := facade.Vet(map[string]string{name: string(src)}, opts)
+	if err != nil {
+		t.Fatalf("vet %s: %v", name, err)
+	}
+	return r
+}
+
+func checkGolden(t *testing.T, name string, r *facade.VetResult) {
+	t.Helper()
+	if len(r.VerifyErrs) > 0 {
+		t.Fatalf("%s: unexpected verifier errors: %v", name, r.VerifyErrs)
+	}
+	if len(r.Diagnostics) == 0 {
+		t.Fatalf("%s: expected lint findings, got none", name)
+	}
+	got := strings.Join(r.Diagnostics, "\n") + "\n"
+	wantPath := filepath.Join("testdata", strings.TrimSuffix(name, ".fj")+".want")
+	if *update {
+		if err := os.WriteFile(wantPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(wantPath)
+	if err != nil {
+		t.Fatalf("%s (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s diagnostics mismatch.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestGoldenFacadeLeak(t *testing.T) {
+	r := vetFile(t, "leak.fj", facade.VetOptions{})
+	checkGolden(t, "leak.fj", r)
+	for _, d := range r.Diagnostics {
+		if !strings.Contains(d, "[facade-leak]") {
+			t.Errorf("expected [facade-leak] diagnostic, got %q", d)
+		}
+		if !strings.Contains(d, "leak.fj:") {
+			t.Errorf("diagnostic missing file:line position: %q", d)
+		}
+	}
+}
+
+func TestGoldenUseBeforeDef(t *testing.T) {
+	// The program is clean on its own…
+	if r := vetFile(t, "ubd.fj", facade.VetOptions{}); !r.Clean() {
+		t.Fatalf("ubd.fj should vet clean without seeding: %v %v", r.VerifyErrs, r.Diagnostics)
+	}
+	// …and flagged once a use-before-def is seeded into P'.
+	r := vetFile(t, "ubd.fj", facade.VetOptions{Seed: "use-before-def"})
+	checkGolden(t, "ubd.fj", r)
+	for _, d := range r.Diagnostics {
+		if !strings.Contains(d, "[use-before-def]") {
+			t.Errorf("expected [use-before-def] diagnostic, got %q", d)
+		}
+	}
+}
+
+func TestGoldenPoolClobber(t *testing.T) {
+	if r := vetFile(t, "clobber.fj", facade.VetOptions{}); !r.Clean() {
+		t.Fatalf("clobber.fj should vet clean without seeding: %v %v", r.VerifyErrs, r.Diagnostics)
+	}
+	r := vetFile(t, "clobber.fj", facade.VetOptions{Seed: "pool-clobber"})
+	checkGolden(t, "clobber.fj", r)
+	for _, d := range r.Diagnostics {
+		if !strings.Contains(d, "[pool-clobber]") {
+			t.Errorf("expected [pool-clobber] diagnostic, got %q", d)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+)
+
+// Finding is one facade-safety lint diagnostic.
+type Finding struct {
+	// Check names the lint: "use-before-def", "facade-leak", "pool-clobber".
+	Check string
+	// Func is the containing function ("Class.method").
+	Func string
+	// Pos is the source position of the offending instruction; zero for
+	// synthesized code (conversion functions, facade constructors).
+	Pos lang.Pos
+	Msg string
+	// Path is a witness path of block IDs for pool-clobber findings.
+	Path []int
+}
+
+// String renders the finding as "file:line:col: [check] msg (in func)",
+// falling back to the function name when no source position is known.
+func (f Finding) String() string {
+	var sb strings.Builder
+	if f.Pos.Line > 0 {
+		fmt.Fprintf(&sb, "%s: ", f.Pos)
+	}
+	fmt.Fprintf(&sb, "[%s] %s (in %s)", f.Check, f.Msg, f.Func)
+	if len(f.Path) > 0 {
+		sb.WriteString(" via ")
+		for i, b := range f.Path {
+			if i > 0 {
+				sb.WriteString("->")
+			}
+			fmt.Fprintf(&sb, "b%d", b)
+		}
+	}
+	return sb.String()
+}
+
+// LintProgram runs the facade-safety lints over every function:
+// use-before-def on all programs, plus the facade-leak and pool-clobber
+// checks on facade-context functions of transformed programs. Findings
+// come back in deterministic (function, block, instruction) order.
+func LintProgram(p *ir.Program) []Finding {
+	facade := FacadeClasses(p)
+	var out []Finding
+	for _, f := range p.FuncList {
+		out = append(out, LintFunc(p, f, facade)...)
+	}
+	return out
+}
+
+// LintFunc lints a single function. facade may be nil, in which case it is
+// recomputed from p.
+func LintFunc(p *ir.Program, f *ir.Func, facade map[string]bool) []Finding {
+	if facade == nil {
+		facade = FacadeClasses(p)
+	}
+	c := BuildCFG(f)
+	liveIn, liveOut := Liveness(c)
+	_ = liveIn
+	var out []Finding
+	out = append(out, lintUseBeforeDef(c)...)
+	if p.Transformed && f.Class != nil && facade[f.Class.Name] {
+		out = append(out, lintLeaks(p, c, liveOut, facade)...)
+		out = append(out, lintPoolClobber(c, liveOut)...)
+	}
+	return out
+}
+
+// lintUseBeforeDef flags registers read on some path before any definition
+// (parameters count as defined). Unreachable blocks are skipped.
+func lintUseBeforeDef(c *CFG) []Finding {
+	f := c.F
+	mustIn := MustDefined(c)
+	var out []Finding
+	var ubuf []ir.Reg
+	for b, blk := range f.Blocks {
+		if !c.Reachable(b) {
+			continue
+		}
+		defined := mustIn[b].Copy()
+		for j := range blk.Instrs {
+			in := &blk.Instrs[j]
+			ubuf = Uses(in, ubuf[:0])
+			for _, r := range ubuf {
+				if !defined.Has(int(r)) {
+					out = append(out, Finding{
+						Check: "use-before-def", Func: f.Name, Pos: in.Pos,
+						Msg: fmt.Sprintf("register r%d may be used before it is defined", r),
+					})
+					defined.Set(int(r)) // report each register once per block
+				}
+			}
+			if d := Def(in); d != ir.NoReg {
+				defined.Set(int(d))
+			}
+		}
+	}
+	return out
+}
+
+// --- facade-leak ----------------------------------------------------------
+
+// leakState is the per-block abstract state of the leak analysis: the set
+// of registers that may hold a raw page reference (taint), the subset
+// whose record was provably allocated inside the current iteration
+// (itaint), and the two-bit iteration region state.
+type leakState struct {
+	taint, itaint BitSet
+	canIn, canOut bool
+}
+
+func newLeakState(n int) *leakState {
+	return &leakState{taint: NewBitSet(n), itaint: NewBitSet(n)}
+}
+
+func (s *leakState) copyFrom(t *leakState) {
+	s.taint.CopyFrom(t.taint)
+	s.itaint.CopyFrom(t.itaint)
+	s.canIn, s.canOut = t.canIn, t.canOut
+}
+
+func (s *leakState) mergeFrom(t *leakState) bool {
+	changed := s.taint.UnionWith(t.taint)
+	changed = s.itaint.UnionWith(t.itaint) || changed
+	if t.canIn && !s.canIn {
+		s.canIn = true
+		changed = true
+	}
+	if t.canOut && !s.canOut {
+		s.canOut = true
+		changed = true
+	}
+	return changed
+}
+
+// taintGen reports whether in's destination receives a raw page reference.
+func taintGen(p *ir.Program, in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpPNew, ir.OpPNewArr, ir.OpPCast:
+		return true
+	case ir.OpLoad:
+		// Unwrapping a facade: Facade.pageRef holds the bound record.
+		return in.Field != nil && in.Field.Name == "pageRef"
+	case ir.OpPLoad:
+		return in.Field != nil && classOfType(in.Field.Type) == cRef
+	case ir.OpPALoad:
+		return in.Type != nil && classOfType(in.Type) == cRef
+	case ir.OpStrLit:
+		// The transform retags data-path string literals as page records.
+		return in.NumKind == ir.KLong
+	case ir.OpCall, ir.OpCallStatic:
+		return in.M != nil && isDataArrayType(p, in.M.Ret)
+	}
+	return false
+}
+
+// isDataArrayType reports whether t is an array whose elements are data
+// objects — calls returning such arrays hand back raw page references
+// (arrays have no facades).
+func isDataArrayType(p *ir.Program, t *lang.Type) bool {
+	if t == nil || t.Kind != lang.TArray {
+		return false
+	}
+	e := t.Elem
+	for e != nil && e.Kind == lang.TArray {
+		e = e.Elem
+	}
+	return e != nil && e.Kind == lang.TClass && (p.DataClasses[e.Name] || e.Name == "Object")
+}
+
+// step applies one instruction to the leak state.
+func (s *leakState) step(p *ir.Program, in *ir.Instr) {
+	if in.Op == ir.OpIntr {
+		switch in.Sym {
+		case "iterStart":
+			s.canIn, s.canOut = true, false
+		case "iterEnd":
+			s.canIn, s.canOut = false, true
+		}
+	}
+	d := Def(in)
+	if d == ir.NoReg {
+		return
+	}
+	gen := taintGen(p, in)
+	genIter := false
+	switch in.Op {
+	case ir.OpPNew, ir.OpPNewArr:
+		// Allocations provably inside an iteration produce iteration-scoped
+		// records (§2.2): the record is reclaimed at Sys.iterEnd.
+		genIter = s.canIn && !s.canOut
+	case ir.OpMove:
+		gen = s.taint.Has(int(in.A))
+		genIter = s.itaint.Has(int(in.A))
+	case ir.OpPCast:
+		genIter = s.itaint.Has(int(in.A))
+	}
+	if gen {
+		s.taint.Set(int(d))
+	} else {
+		s.taint.Clear(int(d))
+	}
+	if genIter {
+		s.itaint.Set(int(d))
+	} else {
+		s.itaint.Clear(int(d))
+	}
+}
+
+// lintLeaks flags page references leaking out of the facade world: stores
+// into control-heap fields/statics/arrays, raw references passed to
+// control-path methods, and iteration-scoped records still live after
+// Sys.iterEnd.
+func lintLeaks(p *ir.Program, c *CFG, liveOut []BitSet, facade map[string]bool) []Finding {
+	f := c.F
+	n := len(f.Blocks)
+	ins := make([]*leakState, n)
+	outs := make([]*leakState, n)
+	for i := 0; i < n; i++ {
+		ins[i] = newLeakState(f.NumRegs)
+		outs[i] = newLeakState(f.NumRegs)
+	}
+	// The entry is conservative: the function may be invoked either inside
+	// or outside an iteration, so neither region is proven.
+	ins[0].canIn, ins[0].canOut = true, true
+	// Union meet: in-states only ever grow, so merging predecessor
+	// out-states into the persistent in-state is monotone and converges.
+	tmp := newLeakState(f.NumRegs)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO {
+			for _, pred := range c.Preds[b] {
+				if c.Reachable(pred) {
+					ins[b].mergeFrom(outs[pred])
+				}
+			}
+			tmp.copyFrom(ins[b])
+			for j := range f.Blocks[b].Instrs {
+				tmp.step(p, &f.Blocks[b].Instrs[j])
+			}
+			if outs[b].mergeFrom(tmp) {
+				changed = true
+			}
+		}
+	}
+	// Findings pass: replay each reachable block from its fixpoint in-state.
+	var out []Finding
+	st := newLeakState(f.NumRegs)
+	for _, b := range c.RPO {
+		st.copyFrom(ins[b])
+		after := LiveAfter(c, liveOut, b)
+		for j := range f.Blocks[b].Instrs {
+			in := &f.Blocks[b].Instrs[j]
+			switch in.Op {
+			case ir.OpStore:
+				if in.B != ir.NoReg && st.taint.Has(int(in.B)) && in.Field != nil && in.Field.Name != "pageRef" {
+					out = append(out, Finding{
+						Check: "facade-leak", Func: f.Name, Pos: in.Pos,
+						Msg: fmt.Sprintf("page reference (r%d) stored into control-heap field %s.%s", in.B, ownerName(in.Field), in.Field.Name),
+					})
+				}
+			case ir.OpStoreStatic:
+				if in.A != ir.NoReg && st.taint.Has(int(in.A)) && in.Field != nil && (in.Field.Owner == nil || !facade[in.Field.Owner.Name]) {
+					out = append(out, Finding{
+						Check: "facade-leak", Func: f.Name, Pos: in.Pos,
+						Msg: fmt.Sprintf("page reference (r%d) stored into static field %s.%s", in.A, ownerName(in.Field), in.Field.Name),
+					})
+				}
+			case ir.OpAStore:
+				if in.C != ir.NoReg && st.taint.Has(int(in.C)) {
+					out = append(out, Finding{
+						Check: "facade-leak", Func: f.Name, Pos: in.Pos,
+						Msg: fmt.Sprintf("page reference (r%d) stored into a managed-heap array", in.C),
+					})
+				}
+			case ir.OpCall, ir.OpCallStatic:
+				if in.M != nil && in.M.Owner != nil && !facade[in.M.Owner.Name] {
+					for _, a := range in.Args {
+						if a != ir.NoReg && st.taint.Has(int(a)) {
+							out = append(out, Finding{
+								Check: "facade-leak", Func: f.Name, Pos: in.Pos,
+								Msg: fmt.Sprintf("page reference (r%d) passed to control-path method %s.%s", a, in.M.Owner.Name, in.M.Name),
+							})
+						}
+					}
+				}
+			case ir.OpIntr:
+				if in.Sym == "iterEnd" {
+					for r := 0; r < f.NumRegs; r++ {
+						if st.itaint.Has(r) && after[j].Has(r) {
+							out = append(out, Finding{
+								Check: "facade-leak", Func: f.Name, Pos: in.Pos,
+								Msg: fmt.Sprintf("page record in r%d, allocated inside the iteration, is still live after Sys.iterEnd (reclaimed storage escapes its iteration, §2.2)", r),
+							})
+						}
+					}
+				}
+			}
+			st.step(p, in)
+		}
+	}
+	return out
+}
+
+func ownerName(fl *lang.Field) string {
+	if fl.Owner == nil {
+		return "?"
+	}
+	return fl.Owner.Name
+}
+
+// --- pool-clobber ---------------------------------------------------------
+
+// lintPoolClobber proves that no pool facade is refetched while a previous
+// fetch of the same (class, index) slot is still live: OpPoolGet rebinds
+// the singleton facade at that slot, so the earlier register would see its
+// record silently swapped. A witness path of block IDs accompanies each
+// finding. (Fetches above the §3.3 bound are a verifier error, not a lint.)
+func lintPoolClobber(c *CFG, liveOut []BitSet) []Finding {
+	f := c.F
+	var sites []DefSite
+	slot := func(in *ir.Instr) string {
+		return fmt.Sprintf("%s[%d]", in.Cls.Name, in.Imm)
+	}
+	siteAt := map[[2]int]int{}
+	for b, blk := range f.Blocks {
+		for j := range blk.Instrs {
+			if blk.Instrs[j].Op == ir.OpPoolGet {
+				siteAt[[2]int{b, j}] = len(sites)
+				sites = append(sites, DefSite{Block: b, Index: j})
+			}
+		}
+	}
+	if len(sites) < 2 {
+		return nil
+	}
+	reachIn := ReachingDefs(c, sites)
+	sitesByReg := map[ir.Reg][]int{}
+	for i, s := range sites {
+		d := f.Blocks[s.Block].Instrs[s.Index].Dst
+		sitesByReg[d] = append(sitesByReg[d], i)
+	}
+	var out []Finding
+	for _, b := range c.RPO {
+		reach := reachIn[b].Copy()
+		after := LiveAfter(c, liveOut, b)
+		for j := range f.Blocks[b].Instrs {
+			in := &f.Blocks[b].Instrs[j]
+			if in.Op == ir.OpPoolGet {
+				for si := range sites {
+					if !reach.Has(si) {
+						continue
+					}
+					s1 := &f.Blocks[sites[si].Block].Instrs[sites[si].Index]
+					if slot(s1) != slot(in) || s1.Dst == in.Dst {
+						continue
+					}
+					if after[j].Has(int(s1.Dst)) {
+						// PoolGets are transform-synthesized and usually carry
+						// no source position; fall back to the earlier fetch's,
+						// then to the function's first, so the diagnostic still
+						// points into the file.
+						pos := in.Pos
+						if pos.Line == 0 {
+							pos = s1.Pos
+						}
+						if pos.Line == 0 {
+							pos = firstPos(f)
+						}
+						out = append(out, Finding{
+							Check: "pool-clobber", Func: f.Name, Pos: pos,
+							Msg: fmt.Sprintf("pool facade %s refetched into r%d while previous fetch r%d (b%d) is still live; rebinding clobbers it",
+								slot(in), in.Dst, s1.Dst, sites[si].Block),
+							Path: c.WitnessPath(sites[si].Block, b),
+						})
+					}
+				}
+			}
+			if d := Def(in); d != ir.NoReg {
+				for _, si := range sitesByReg[d] {
+					reach.Clear(si)
+				}
+			}
+			if si, ok := siteAt[[2]int{b, j}]; ok {
+				reach.Set(si)
+			}
+		}
+	}
+	return out
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/ir"
 	"repro/internal/lang"
 )
@@ -44,6 +45,15 @@ type Options struct {
 	// monomorphic, the receiver facade is drawn from the static type's
 	// receiver pool without consulting the record's type tag.
 	Devirtualize bool
+	// DisableDCE skips the liveness-driven dead-code elimination pass that
+	// otherwise prunes unreferenced instructions from the transformed
+	// program (internal/analysis).
+	DisableDCE bool
+	// TightenBounds shrinks the §3.3 pool bounds from max-over-signatures
+	// to the highest pool index surviving DCE. Opt-in: programs entered
+	// through the Go boundary (vm.BindParamFacade) size pools by
+	// signature, so only pure-FJ entry points should tighten.
+	TightenBounds bool
 }
 
 // Transform rewrites program p into its FACADE form.
@@ -66,6 +76,12 @@ func Transform(p *ir.Program, opts Options) (*ir.Program, error) {
 	}
 	if err := tr.buildProgram(); err != nil {
 		return nil, err
+	}
+	if !opts.DisableDCE {
+		analysis.Eliminate(tr.out)
+	}
+	if opts.TightenBounds {
+		analysis.TightenBounds(tr.out)
 	}
 	if err := tr.out.Verify(); err != nil {
 		return nil, fmt.Errorf("facade transform produced invalid IR: %w", err)

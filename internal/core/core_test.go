@@ -385,7 +385,10 @@ class Main { static void main() { } }
 
 func TestTransformIdempotentOnControlPath(t *testing.T) {
 	p := compile(t, schema)
-	p2 := mustTransform(t, p, Options{DataClasses: []string{"Tuple"}})
+	// DisableDCE: dead-code elimination legitimately shrinks control
+	// functions too; this test checks the transform proper copies them
+	// verbatim.
+	p2 := mustTransform(t, p, Options{DataClasses: []string{"Tuple"}, DisableDCE: true})
 	// Control functions are copied verbatim: same instruction counts.
 	for _, f := range p.FuncList {
 		if f.Class != nil && (p2.DataClasses[f.Class.Name]) {

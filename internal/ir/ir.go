@@ -273,6 +273,9 @@ type Program struct {
 	Bounds map[string]int
 	// DataClasses is the set of data class names of the original program.
 	DataClasses map[string]bool
+	// DCERemoved counts instructions removed by dead-code elimination
+	// (internal/analysis), for observability.
+	DCERemoved int
 }
 
 // FuncKey builds the canonical function key for class + method name.

@@ -3,6 +3,8 @@ package ir
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/lang"
 )
 
 // String renders a function in a readable assembly-like form, used by tests
@@ -24,6 +26,54 @@ func regStr(r Reg) string {
 		return "_"
 	}
 	return fmt.Sprintf("r%d", r)
+}
+
+// clsStr and the field helpers keep String total: diagnostics must be able
+// to print partially-built or corrupted instructions without panicking.
+func clsStr(c *lang.Class) string {
+	if c == nil {
+		return "?"
+	}
+	return c.Name
+}
+
+func fieldName(f *lang.Field) string {
+	if f == nil {
+		return "?"
+	}
+	return f.Name
+}
+
+func fieldOffset(f *lang.Field) int {
+	if f == nil {
+		return -1
+	}
+	return f.Offset
+}
+
+func fieldOwner(f *lang.Field) string {
+	if f == nil || f.Owner == nil {
+		return "?"
+	}
+	return f.Owner.Name
+}
+
+func typeStr(t *lang.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return t.String()
+}
+
+func sigStr(m *lang.Method) string {
+	if m == nil {
+		return "?"
+	}
+	// Sig formats the return type; tolerate half-built methods without one.
+	if m.Ret == nil {
+		return m.Name
+	}
+	return m.Sig()
 }
 
 // String renders one instruction.
@@ -51,17 +101,17 @@ func (in *Instr) String() string {
 	case OpMove:
 		fmt.Fprintf(&sb, " %s", regStr(in.A))
 	case OpNew, OpPNew:
-		fmt.Fprintf(&sb, " %s", in.Cls.Name)
+		fmt.Fprintf(&sb, " %s", clsStr(in.Cls))
 	case OpNewArr, OpPNewArr:
-		fmt.Fprintf(&sb, " %s[%s]", in.Type, regStr(in.A))
+		fmt.Fprintf(&sb, " %s[%s]", typeStr(in.Type), regStr(in.A))
 	case OpLoad, OpPLoad:
-		fmt.Fprintf(&sb, " %s.%s(+%d)", regStr(in.A), in.Field.Name, in.Field.Offset)
+		fmt.Fprintf(&sb, " %s.%s(+%d)", regStr(in.A), fieldName(in.Field), fieldOffset(in.Field))
 	case OpStore, OpPStore:
-		fmt.Fprintf(&sb, " %s.%s(+%d) <- %s", regStr(in.A), in.Field.Name, in.Field.Offset, regStr(in.B))
+		fmt.Fprintf(&sb, " %s.%s(+%d) <- %s", regStr(in.A), fieldName(in.Field), fieldOffset(in.Field), regStr(in.B))
 	case OpLoadStatic:
-		fmt.Fprintf(&sb, " %s.%s", in.Field.Owner.Name, in.Field.Name)
+		fmt.Fprintf(&sb, " %s.%s", fieldOwner(in.Field), fieldName(in.Field))
 	case OpStoreStatic:
-		fmt.Fprintf(&sb, " %s.%s <- %s", in.Field.Owner.Name, in.Field.Name, regStr(in.A))
+		fmt.Fprintf(&sb, " %s.%s <- %s", fieldOwner(in.Field), fieldName(in.Field), regStr(in.A))
 	case OpALoad, OpPALoad:
 		fmt.Fprintf(&sb, " %s[%s]", regStr(in.A), regStr(in.B))
 	case OpAStore, OpPAStore:
@@ -69,23 +119,23 @@ func (in *Instr) String() string {
 	case OpALen, OpPALen:
 		fmt.Fprintf(&sb, " %s", regStr(in.A))
 	case OpInstOf:
-		fmt.Fprintf(&sb, " %s %s", regStr(in.A), in.Type)
+		fmt.Fprintf(&sb, " %s %s", regStr(in.A), typeStr(in.Type))
 	case OpPInstOf:
 		if in.Cls != nil {
 			fmt.Fprintf(&sb, " %s %s", regStr(in.A), in.Cls.Name)
 		} else {
-			fmt.Fprintf(&sb, " %s %s", regStr(in.A), in.Type)
+			fmt.Fprintf(&sb, " %s %s", regStr(in.A), typeStr(in.Type))
 		}
 	case OpCast:
-		fmt.Fprintf(&sb, " %s to %s", regStr(in.A), in.Type)
+		fmt.Fprintf(&sb, " %s to %s", regStr(in.A), typeStr(in.Type))
 	case OpPCast:
-		fmt.Fprintf(&sb, " %s to %s", regStr(in.A), in.Cls.Name)
-	case OpCall, OpCallStatic:
-		name := "?"
-		if in.M != nil {
-			name = in.M.Sig()
+		if in.Cls != nil {
+			fmt.Fprintf(&sb, " %s to %s", regStr(in.A), in.Cls.Name)
+		} else {
+			fmt.Fprintf(&sb, " %s to %s", regStr(in.A), typeStr(in.Type))
 		}
-		fmt.Fprintf(&sb, " %s recv=%s args=(", name, regStr(in.A))
+	case OpCall, OpCallStatic:
+		fmt.Fprintf(&sb, " %s recv=%s args=(", sigStr(in.M), regStr(in.A))
 		for i, a := range in.Args {
 			if i > 0 {
 				sb.WriteString(", ")
@@ -115,9 +165,9 @@ func (in *Instr) String() string {
 	case OpResolve:
 		fmt.Fprintf(&sb, " %s", regStr(in.A))
 	case OpPoolGet:
-		fmt.Fprintf(&sb, " %s[%d]", in.Cls.Name, in.Imm)
+		fmt.Fprintf(&sb, " %s[%d]", clsStr(in.Cls), in.Imm)
 	case OpRecvPool:
-		fmt.Fprintf(&sb, " %s <- %s", in.Cls.Name, regStr(in.A))
+		fmt.Fprintf(&sb, " %s <- %s", clsStr(in.Cls), regStr(in.A))
 	}
 	return sb.String()
 }

@@ -68,6 +68,9 @@ type builder struct {
 	vars   []map[string]ir.Reg
 	loops  []loopCtx
 	syncs  []ir.Reg // active synchronized lock registers
+	// pos is the source position of the statement/expression being
+	// lowered; emit stamps it onto instructions that carry none.
+	pos lang.Pos
 }
 
 func lowerMethod(p *ir.Program, c *lang.Class, m *lang.Method, key string) (*ir.Func, error) {
@@ -152,6 +155,9 @@ func (b *builder) emit(in ir.Instr) {
 		// block so the CFG stays well formed.
 		b.startBlock()
 	}
+	if in.Pos == (lang.Pos{}) {
+		in.Pos = b.pos
+	}
 	b.cur.Instrs = append(b.cur.Instrs, in)
 	switch in.Op {
 	case ir.OpJump, ir.OpBranch, ir.OpRet:
@@ -182,6 +188,9 @@ func (b *builder) branch(cond ir.Reg, t, f int) {
 // Statements
 
 func (b *builder) stmt(s lang.Stmt) error {
+	if pos := stmtPos(s); pos.Line > 0 {
+		b.pos = pos
+	}
 	switch st := s.(type) {
 	case *lang.BlockStmt:
 		b.pushScope()
@@ -462,6 +471,9 @@ func (b *builder) forStmt(st *lang.ForStmt) error {
 // Expressions
 
 func (b *builder) expr(e lang.Expr) (ir.Reg, error) {
+	if pos := exprPos(e); pos.Line > 0 {
+		b.pos = pos
+	}
 	switch x := e.(type) {
 	case *lang.IntLit:
 		r := b.newReg(lang.IntType)
@@ -834,4 +846,77 @@ func (b *builder) binaryExpr(x *lang.BinaryExpr) (ir.Reg, error) {
 	}
 	b.emit(in)
 	return r, nil
+}
+
+// ---------------------------------------------------------------------------
+// Source positions
+
+// stmtPos returns the source position of a statement node.
+func stmtPos(s lang.Stmt) lang.Pos {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		return st.Pos
+	case *lang.VarDeclStmt:
+		return st.Pos
+	case *lang.AssignStmt:
+		return st.Pos
+	case *lang.IfStmt:
+		return st.Pos
+	case *lang.WhileStmt:
+		return st.Pos
+	case *lang.ForStmt:
+		return st.Pos
+	case *lang.ReturnStmt:
+		return st.Pos
+	case *lang.BreakStmt:
+		return st.Pos
+	case *lang.ContinueStmt:
+		return st.Pos
+	case *lang.ExprStmt:
+		return st.Pos
+	case *lang.SyncStmt:
+		return st.Pos
+	}
+	return lang.Pos{}
+}
+
+// exprPos returns the source position of an expression node.
+func exprPos(e lang.Expr) lang.Pos {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return x.Pos
+	case *lang.LongLit:
+		return x.Pos
+	case *lang.DoubleLit:
+		return x.Pos
+	case *lang.BoolLit:
+		return x.Pos
+	case *lang.NullLit:
+		return x.Pos
+	case *lang.StringLit:
+		return x.Pos
+	case *lang.IdentExpr:
+		return x.Pos
+	case *lang.ThisExpr:
+		return x.Pos
+	case *lang.FieldExpr:
+		return x.Pos
+	case *lang.IndexExpr:
+		return x.Pos
+	case *lang.CallExpr:
+		return x.Pos
+	case *lang.NewExpr:
+		return x.Pos
+	case *lang.NewArrayExpr:
+		return x.Pos
+	case *lang.UnaryExpr:
+		return x.Pos
+	case *lang.BinaryExpr:
+		return x.Pos
+	case *lang.InstanceOfExpr:
+		return x.Pos
+	case *lang.CastExpr:
+		return x.Pos
+	}
+	return lang.Pos{}
 }

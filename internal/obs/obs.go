@@ -242,6 +242,11 @@ const (
 	CtrWorkerRestarts     = "recovery.worker_restarts"     // GraphChi update workers rebuilt
 	CtrBudgetHalvings     = "recovery.budget_halvings"     // GraphChi memory-budget degradations
 
+	// Static analysis (internal/analysis via facade.Run / facadec vet).
+	CtrVerifyFuncs  = "analysis.verify_funcs"  // functions checked by the IR verifier
+	CtrLintFindings = "analysis.lint_findings" // facade-safety lint findings
+	CtrDCERemoved   = "analysis.dce_removed"   // instructions removed by dead-code elimination
+
 	// Event kinds.
 	EvGC             = "gc"         // label minor|full, A=pause ns, B=promoted objs (minor) / live bytes (full)
 	EvIteration      = "iteration"  // label start|end, A=iteration ordinal
