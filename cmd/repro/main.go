@@ -13,6 +13,7 @@
 //	repro gps      [flags]   GPS PR / k-means / random walk (§4.3)
 //	repro objcount [flags]   §4.1 object-bound census
 //	repro speed    [flags]   transform compilation speed (§4.1-4.3)
+//	repro bench    [flags]   measurement harness + regression gate (docs/PERFORMANCE.md)
 //	repro all                everything at default (small) scale
 package main
 
@@ -29,6 +30,7 @@ var commands = map[string]func([]string) error{
 	"gps":      gpsCmd,
 	"objcount": objcountCmd,
 	"speed":    speedCmd,
+	"bench":    benchCmd,
 }
 
 func main() {
@@ -59,5 +61,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: repro {table2|fig4a|table3|fig4bc|gps|objcount|speed|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: repro {table2|fig4a|table3|fig4bc|gps|objcount|speed|bench|all} [flags]")
 }

@@ -1,0 +1,333 @@
+package facade
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// Differential P/P' battery: every program in the table runs as P and as
+// the FACADE-transformed P' across a grid of runtime configurations
+// (heap budget x GC mark workers). The §3.7 correctness oracle demands
+// more than "P' matched P once":
+//
+//   - output is bit-identical between P and P' in every grid cell,
+//   - output is identical ACROSS cells (heap budget and GC parallelism
+//     are not allowed to be observable),
+//   - traps (NPE, bounds, cast) surface identically in both programs.
+//
+// The engines' thread-count axis is covered by the engine differential
+// tests (graphchi engine with 1 vs 4 workers, gps replay tests); FJ
+// itself is single-threaded per run.
+
+type diffProgram struct {
+	name        string
+	src         string
+	dataClasses []string
+	trap        string // non-empty: both P and P' must fail, message containing this
+}
+
+var diffGrid = struct {
+	heaps   []int
+	workers []int
+}{
+	heaps:   []int{3 << 20, 32 << 20},
+	workers: []int{1, 4},
+}
+
+var diffPrograms = []diffProgram{
+	{
+		name: "list-churn-iterations",
+		// Linked structures churned across explicit iterations: exercises
+		// the TLAB fast path and write barrier in P, and page recycling
+		// through the per-scope cache in P'.
+		src: `
+class Node { int v; Node next; Node(int v) { this.v = v; } }
+class Main {
+    static void main() {
+        long total = 0L;
+        for (int it = 0; it < 8; it = it + 1) {
+            Sys.iterStart();
+            Node head = null;
+            for (int i = 0; i < 3000; i = i + 1) {
+                Node n = new Node(i * (it + 1));
+                n.next = head;
+                head = n;
+            }
+            Node c = head;
+            while (c != null) { total = total + c.v; c = c.next; }
+            Sys.iterEnd();
+        }
+        Sys.println(total);
+    }
+}
+`,
+		dataClasses: []string{"Node", "Main"},
+	},
+	{
+		name: "double-matrix",
+		// Double arithmetic through arrays: the interpreter's inline
+		// double fast path and conversions must agree bit-for-bit.
+		src: `
+class Main {
+    static void main() {
+        double[] m = new double[64];
+        for (int i = 0; i < 64; i = i + 1) { m[i] = Sys.sqrt(i) * 0.5 + 1.0 / (i + 1); }
+        double acc = 0.0;
+        for (int r = 0; r < 100; r = r + 1) {
+            for (int i = 0; i < 64; i = i + 1) { acc = acc + m[i] * m[63 - i]; }
+        }
+        Sys.println(acc);
+        Sys.println((int) acc);
+        Sys.println((long) (acc * 1000.0));
+    }
+}
+class D { int x; }
+`,
+		dataClasses: []string{"D", "Main"},
+	},
+	{
+		name: "collections-mixed",
+		src: `
+class K { int k; K(int k) { this.k = k; }
+    int hashCode() { return this.k; }
+    boolean equals(Object o) { if (!(o instanceof K)) { return false; } return ((K) o).k == this.k; } }
+class Main {
+    static void main() {
+        HashMap m = new HashMap(4);
+        ArrayList order = new ArrayList(4);
+        for (int i = 0; i < 300; i = i + 1) {
+            K key = new K(i % 97);
+            if (m.get(key) == null) { order.add(key); }
+            m.put(key, key);
+        }
+        Sys.println(m.size());
+        Sys.println(order.size());
+        long sig = 0L;
+        for (int i = 0; i < order.size(); i = i + 1) { sig = sig * 31L + ((K) order.get(i)).k; }
+        Sys.println(sig);
+    }
+}
+`,
+		dataClasses: []string{"K", "HashMap", "MapEntry", "ArrayList", "Main"},
+	},
+	{
+		name: "trap-npe",
+		src: `
+class Cell { int v; Cell next; }
+class Main {
+    static void main() {
+        Cell c = new Cell();
+        Sys.println(c.v);
+        Cell gone = c.next;
+        Sys.println(gone.v);
+    }
+}
+`,
+		dataClasses: []string{"Cell", "Main"},
+		trap:        "NullPointerException",
+	},
+	{
+		name: "trap-bounds",
+		src: `
+class Main {
+    static void main() {
+        int[] xs = new int[8];
+        int i = 0;
+        while (true) { xs[i] = i; i = i + 1; }
+    }
+}
+class D { int x; }
+`,
+		dataClasses: []string{"D", "Main"},
+		trap:        "IndexOutOfBounds",
+	},
+	{
+		name: "trap-cast",
+		src: `
+class A { int x; }
+class B { int y; }
+class Main {
+    static void main() {
+        Object o = new A();
+        Sys.println(1);
+        B b = (B) o;
+        Sys.println(b.y);
+    }
+}
+`,
+		dataClasses: []string{"A", "B", "Main"},
+		trap:        "ClassCastException",
+	},
+}
+
+// runCell executes one program in one grid cell, returning captured
+// output and the run error (nil for clean completion).
+func runCell(p *ir.Program, heapSize, gcWorkers int) (string, error) {
+	res, err := Run(p, WithHeapSize(heapSize), WithGCWorkers(gcWorkers))
+	out := ""
+	if res != nil {
+		out = res.Output()
+		res.Close()
+	}
+	return out, err
+}
+
+func TestDifferentialBattery(t *testing.T) {
+	for _, dp := range diffPrograms {
+		dp := dp
+		t.Run(dp.name, func(t *testing.T) {
+			prog, err := Compile(map[string]string{"diff.fj": dp.src})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			p2, err := Transform(prog, TransformOptions{DataClasses: dp.dataClasses})
+			if err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			ref := ""
+			first := true
+			for _, heapSize := range diffGrid.heaps {
+				for _, gcw := range diffGrid.workers {
+					cell := fmt.Sprintf("heap=%dMiB,gcworkers=%d", heapSize>>20, gcw)
+					outP, errP := runCell(prog, heapSize, gcw)
+					outP2, errP2 := runCell(p2, heapSize, gcw)
+					if dp.trap == "" {
+						if errP != nil {
+							t.Fatalf("[%s] P failed: %v", cell, errP)
+						}
+						if errP2 != nil {
+							t.Fatalf("[%s] P' failed: %v", cell, errP2)
+						}
+					} else {
+						if errP == nil || !strings.Contains(errP.Error(), dp.trap) {
+							t.Fatalf("[%s] P trap = %v, want %q", cell, errP, dp.trap)
+						}
+						if errP2 == nil || !strings.Contains(errP2.Error(), dp.trap) {
+							t.Fatalf("[%s] P' trap = %v, want %q", cell, errP2, dp.trap)
+						}
+						// Same trap class is required; the message detail may
+						// differ (P' names facade twins and page records).
+					}
+					if outP != outP2 {
+						t.Fatalf("[%s] output diverges:\nP:  %q\nP': %q", cell, outP, outP2)
+					}
+					if first {
+						ref, first = outP, false
+					} else if outP != ref {
+						t.Fatalf("[%s] output depends on the grid cell:\nthis: %q\nref:  %q", cell, outP, ref)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialExamples runs every shipped examples/*/*.fj through the
+// same grid. Vet picks the data classes the examples declare.
+func TestDifferentialExamples(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "examples", "*", "*.fj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("expected at least 4 example programs, found %v", paths)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Vet(map[string]string{path: string(src)}, VetOptions{})
+			if err != nil {
+				t.Fatalf("vet: %v", err)
+			}
+			if !r.Clean() {
+				t.Fatalf("vet not clean:\n%s", r.Report())
+			}
+			ref := ""
+			first := true
+			for _, heapSize := range []int{32 << 20, 64 << 20} {
+				for _, gcw := range diffGrid.workers {
+					cell := fmt.Sprintf("heap=%dMiB,gcworkers=%d", heapSize>>20, gcw)
+					outP, errP := runCell(r.P, heapSize, gcw)
+					outP2, errP2 := runCell(r.P2, heapSize, gcw)
+					if errP != nil || errP2 != nil {
+						t.Fatalf("[%s] P err=%v, P' err=%v", cell, errP, errP2)
+					}
+					if outP != outP2 {
+						t.Fatalf("[%s] output diverges:\nP:  %q\nP': %q", cell, outP, outP2)
+					}
+					if first {
+						ref, first = outP, false
+					} else if outP != ref {
+						t.Fatalf("[%s] output depends on the grid cell", cell)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestObjectBoundScaleInvariance pins §3.3's claim directly: the number
+// of heap objects of facade classes in P' is a function of the program
+// (pool bounds x threads), not of the data size. Running 10x more data
+// through the same program must allocate exactly the same number of
+// facade objects.
+func TestObjectBoundScaleInvariance(t *testing.T) {
+	const tmpl = `
+class Item { int v; Item next; Item(int v) { this.v = v; } }
+class Main {
+    static void main() {
+        long sum = 0L;
+        Item head = null;
+        for (int i = 0; i < %d; i = i + 1) {
+            Item x = new Item(i);
+            x.next = head;
+            head = x;
+            sum = sum + x.v;
+        }
+        Sys.println(sum);
+    }
+}
+`
+	facadeAllocs := func(n int) map[string]int64 {
+		src := fmt.Sprintf(tmpl, n)
+		prog, err := Compile(map[string]string{"scale.fj": src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := Transform(prog, TransformOptions{DataClasses: []string{"Item", "Main"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(p2, WithHeapSize(32<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Close()
+		out := map[string]int64{}
+		for cls, c := range res.Stats().ClassAllocs {
+			if strings.HasSuffix(cls, "Facade") {
+				out[cls] = c
+			}
+		}
+		return out
+	}
+	small := facadeAllocs(500)
+	large := facadeAllocs(5000)
+	if len(small) == 0 {
+		t.Fatal("no facade classes allocated; the bound check is vacuous")
+	}
+	for cls, c := range small {
+		if large[cls] != c {
+			t.Fatalf("facade allocs for %s scale with data: %d (n=500) vs %d (n=5000)", cls, c, large[cls])
+		}
+	}
+}

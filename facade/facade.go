@@ -113,7 +113,8 @@ func Run(p *ir.Program, opts ...Option) (*Result, error) {
 	}
 	m, err := vm.New(p, vm.Config{
 		HeapSize: o.heapSize, Out: w, RandSeed: o.randSeed, Obs: reg,
-		Faults: faults.New(o.faults),
+		GCWorkers: o.gcWorkers,
+		Faults:    faults.New(o.faults),
 	})
 	if err != nil {
 		return nil, err

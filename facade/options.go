@@ -20,6 +20,7 @@ type runOptions struct {
 	faults    *faults.Config
 	faultsErr error
 	verify    bool
+	gcWorkers int
 }
 
 func defaultRunOptions() runOptions {
@@ -51,6 +52,15 @@ func WithRandSeed(seed int64) Option {
 		o.randSeed = seed
 		o.seedSet = true
 	}
+}
+
+// WithGCWorkers sets the full-collection mark parallelism (number of
+// goroutines tracing the heap during a stop-the-world full GC). 0 picks
+// the collector's default. Program output must not depend on this — the
+// differential test battery runs the corpus across worker counts to
+// enforce exactly that.
+func WithGCWorkers(n int) Option {
+	return func(o *runOptions) { o.gcWorkers = n }
 }
 
 // WithOutput duplicates Sys.print output to w as the program runs; the

@@ -85,7 +85,20 @@ func (hp *Heap) visitAllRoots(visit func(Addr) Addr) {
 // ---------------------------------------------------------------------------
 // Minor collection
 
+// drainRemBuffers merges every thread's write-barrier buffer into the
+// remset. Runs with the world stopped: parked threads publish their
+// buffers via the safepoint mutex, so the reads here are race-free.
+func (hp *Heap) drainRemBuffers() {
+	for tc := range hp.sp.threads {
+		for _, s := range tc.remBuf {
+			hp.remset[s] = struct{}{}
+		}
+		tc.remBuf = tc.remBuf[:0]
+	}
+}
+
 func (hp *Heap) minorGC() {
+	hp.drainRemBuffers()
 	scanStart := hp.oldPos
 
 	// copyYoung evacuates a nursery object to the old generation,
@@ -351,6 +364,11 @@ func (hp *Heap) fullGC() error {
 	hp.oldPos = newPos
 	hp.youngPos = hp.oldEnd
 	hp.remset = make(map[Addr]struct{})
+	// Buffered barrier entries name pre-compaction slots; the nursery was
+	// evacuated, so they are all stale — drop them with the remset.
+	for tc := range hp.sp.threads {
+		tc.remBuf = tc.remBuf[:0]
+	}
 	hp.invalidateTLABs()
 	hp.stats.liveAfterGC.Store(liveBytes)
 	hp.notePeakLocked()

@@ -347,7 +347,8 @@ func (hp *Heap) inYoung(a Addr) bool { return a >= hp.oldEnd }
 func (hp *Heap) inOld(a Addr) bool { return a != 0 && a < hp.oldEnd }
 
 // AllocObject allocates a zeroed instance of cls using the thread context's
-// TLAB, collecting if needed.
+// TLAB, collecting if needed. Accounting is thread-local (noteAlloc), so
+// the common path performs no atomic operation and takes no lock.
 func (hp *Heap) AllocObject(tc *ThreadCtx, cls *lang.Class) (Addr, error) {
 	size := roundUp8(ScalarHeader + cls.BodySize)
 	a, err := hp.allocRaw(tc, size)
@@ -355,10 +356,8 @@ func (hp *Heap) AllocObject(tc *ThreadCtx, cls *lang.Class) (Addr, error) {
 		return 0, err
 	}
 	hp.setU32(a+hdrType, uint32(cls.ID))
-	atomic.AddInt64(&hp.classCounts[cls.ID], 1)
-	hp.stats.allocObjects.Add(1)
-	hp.stats.allocBytes.Add(int64(size))
-	hp.hAllocSize.Observe(int64(size))
+	tc.classCounts[cls.ID]++
+	tc.noteAlloc(int64(size))
 	return a, nil
 }
 
@@ -375,23 +374,75 @@ func (hp *Heap) AllocArray(tc *ThreadCtx, elem *lang.Type, n int) (Addr, error) 
 	}
 	hp.setU32(a+hdrType, arrayBit|uint32(idx))
 	hp.setU32(a+12, uint32(n))
-	atomic.AddInt64(&hp.arrCounts[idx], 1)
-	hp.stats.allocObjects.Add(1)
-	hp.stats.allocBytes.Add(int64(size))
-	hp.hAllocSize.Observe(int64(size))
+	for len(tc.arrCounts) <= idx {
+		tc.arrCounts = append(tc.arrCounts, 0)
+	}
+	tc.arrCounts[idx]++
+	tc.noteAlloc(int64(size))
 	return a, nil
 }
 
+// noteAlloc records one allocation in the thread-local counters; they
+// flush to the shared atomics at the next boundary crossing.
+func (tc *ThreadCtx) noteAlloc(size int64) {
+	tc.allocObjects++
+	tc.allocBytes += size
+	tc.histCounts[tc.hp.hAllocSize.BucketIndex(size)]++
+	tc.histSum += size
+	if size < tc.histMin {
+		tc.histMin = size
+	}
+	if size > tc.histMax {
+		tc.histMax = size
+	}
+}
+
+// flushAllocStats publishes the thread-local allocation counters into the
+// heap's shared counters. Called at boundary crossings (BeginExternal) and
+// on UnregisterThread; safe to call at any time from the owning thread.
+func (tc *ThreadCtx) flushAllocStats() {
+	if tc.allocObjects == 0 {
+		return
+	}
+	hp := tc.hp
+	hp.stats.allocObjects.Add(tc.allocObjects)
+	hp.stats.allocBytes.Add(tc.allocBytes)
+	tc.allocObjects, tc.allocBytes = 0, 0
+	for id, c := range tc.classCounts {
+		if c != 0 {
+			atomic.AddInt64(&hp.classCounts[id], c)
+			tc.classCounts[id] = 0
+		}
+	}
+	if len(tc.arrCounts) > 0 {
+		hp.arrMu.Lock()
+		for idx, c := range tc.arrCounts {
+			if c != 0 {
+				hp.arrCounts[idx] += c
+				tc.arrCounts[idx] = 0
+			}
+		}
+		hp.arrMu.Unlock()
+	}
+	hp.hAllocSize.ObserveBatch(tc.histCounts, tc.histSum, tc.histMin, tc.histMax)
+	for i := range tc.histCounts {
+		tc.histCounts[i] = 0
+	}
+	tc.histSum = 0
+	tc.histMin = math.MaxInt64
+	tc.histMax = math.MinInt64
+}
+
 // allocRaw returns size zeroed bytes. Small allocations come from the
-// thread's TLAB; large ones go straight to the old generation.
+// thread's TLAB (an inline bump with no lock, no atomics, and no per-object
+// zeroing — TLAB memory is zeroed once at handout); large ones go straight
+// to the old generation.
 func (hp *Heap) allocRaw(tc *ThreadCtx, size int) (Addr, error) {
 	if size > tlabSize/2 {
 		return hp.allocLarge(tc, size)
 	}
-	if tc.tlab.pos+Addr(size) <= tc.tlab.end {
-		a := tc.tlab.pos
-		tc.tlab.pos += Addr(size)
-		hp.zero(a, size)
+	if a := tc.tlab.pos; a+Addr(size) <= tc.tlab.end {
+		tc.tlab.pos = a + Addr(size)
 		return a, nil
 	}
 	return hp.allocSlow(tc, size)
@@ -404,15 +455,16 @@ func (hp *Heap) allocSlow(tc *ThreadCtx, size int) (Addr, error) {
 	for attempt := 0; ; attempt++ {
 		hp.mu.Lock()
 		if hp.youngPos+tlabSize <= hp.youngEnd {
-			tc.tlab.pos = hp.youngPos
-			tc.tlab.end = hp.youngPos + tlabSize
+			start := hp.youngPos
 			hp.youngPos += tlabSize
 			hp.notePeakLocked()
 			hp.mu.Unlock()
-			a := tc.tlab.pos
-			tc.tlab.pos += Addr(size)
-			hp.zero(a, size)
-			return a, nil
+			// Zero the whole TLAB once, outside the lock: the region is
+			// exclusively ours, and it makes the bump path zero-free.
+			hp.zero(start, tlabSize)
+			tc.tlab.pos = start + Addr(size)
+			tc.tlab.end = start + tlabSize
+			return start, nil
 		}
 		hp.mu.Unlock()
 		if attempt >= 2 {
@@ -530,6 +582,8 @@ func (hp *Heap) GetRef(a Addr, off int) Addr {
 }
 
 // SetRef writes a reference field, applying the generational write barrier.
+// Callers with a ThreadCtx in hand should prefer SetRefTC, which batches
+// barrier entries thread-locally instead of taking mu per store.
 func (hp *Heap) SetRef(a Addr, off int, v Addr) {
 	slot := hp.FieldBase(a) + Addr(off)
 	hp.setU64(slot, uint64(v))
@@ -538,6 +592,42 @@ func (hp *Heap) SetRef(a Addr, off int, v Addr) {
 		hp.remset[slot] = struct{}{}
 		hp.mu.Unlock()
 	}
+}
+
+// remBufSpill bounds the per-thread write-barrier buffer; a full buffer
+// spills into the shared remset under mu.
+const remBufSpill = 1024
+
+// SetRefTC writes a reference field from mutator code. The generational
+// write barrier records old->young slots in the thread's local buffer;
+// buffers merge into the remset when a collection stops the world
+// (drainRemBuffers) or when the buffer fills, so the hot store path takes
+// no lock.
+func (hp *Heap) SetRefTC(tc *ThreadCtx, a Addr, off int, v Addr) {
+	slot := hp.FieldBase(a) + Addr(off)
+	hp.setU64(slot, uint64(v))
+	if hp.inOld(a) && hp.inYoung(v) {
+		tc.remBuf = append(tc.remBuf, slot)
+		if len(tc.remBuf) >= remBufSpill {
+			tc.flushRemBuf()
+		}
+	}
+}
+
+// flushRemBuf spills the thread's write-barrier buffer into the shared
+// remset. Called by the owning thread (spill, unregister); the stop-the-
+// world drain in the collector uses drainRemBuffers instead.
+func (tc *ThreadCtx) flushRemBuf() {
+	if len(tc.remBuf) == 0 {
+		return
+	}
+	hp := tc.hp
+	hp.mu.Lock()
+	for _, s := range tc.remBuf {
+		hp.remset[s] = struct{}{}
+	}
+	hp.mu.Unlock()
+	tc.remBuf = tc.remBuf[:0]
 }
 
 // ElemOffset computes the byte offset of array element i for element size

@@ -513,6 +513,7 @@ func TestAllocationCounters(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	tc.FlushStats() // allocation counters batch thread-locally
 	if hp.ClassAllocCount(node) != 7 {
 		t.Fatalf("class count %d", hp.ClassAllocCount(node))
 	}

@@ -1,6 +1,7 @@
 package heap
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,17 +30,43 @@ func (sp *safepointState) init() {
 // ThreadCtx is the per-VM-thread heap context: its TLAB and safepoint
 // state. Every thread that executes IR must hold one and call Safepoint
 // regularly (the interpreter does so on calls and loop back-edges).
+//
+// The context also batches allocation accounting and write-barrier
+// entries thread-locally, so the TLAB bump-pointer path touches no shared
+// cache line: counters flush to the heap's shared atomics when the thread
+// crosses the boundary (BeginExternal); the remembered-set buffer is
+// merged when a collection stops the world, or under mu when it fills.
 type ThreadCtx struct {
 	hp      *Heap
 	tlab    TLAB
 	running bool
+
+	// Allocation accounting (flushed by flushAllocStats).
+	allocBytes   int64
+	allocObjects int64
+	classCounts  []int64 // per class ID, same indexing as hp.classCounts
+	arrCounts    []int64 // per array type index, grown on demand
+	histCounts   []int64 // hp.hAllocSize buckets
+	histSum      int64
+	histMin      int64
+	histMax      int64
+
+	// remBuf holds old->young reference slots recorded by the write
+	// barrier (SetRefTC) since the last drain.
+	remBuf []Addr
 }
 
 // RegisterThread creates a thread context. The context starts external;
 // call EndExternal (or run IR through the VM, which does it) to start
 // mutating.
 func (hp *Heap) RegisterThread() *ThreadCtx {
-	tc := &ThreadCtx{hp: hp}
+	tc := &ThreadCtx{
+		hp:          hp,
+		classCounts: make([]int64, len(hp.classCounts)),
+		histCounts:  make([]int64, hp.hAllocSize.NumBuckets()),
+		histMin:     math.MaxInt64,
+		histMax:     math.MinInt64,
+	}
 	sp := &hp.sp
 	sp.mu.Lock()
 	sp.threads[tc] = struct{}{}
@@ -49,6 +76,8 @@ func (hp *Heap) RegisterThread() *ThreadCtx {
 
 // UnregisterThread removes the context; the thread must be external.
 func (hp *Heap) UnregisterThread(tc *ThreadCtx) {
+	tc.flushAllocStats()
+	tc.flushRemBuf()
 	sp := &hp.sp
 	sp.mu.Lock()
 	if tc.running {
@@ -62,7 +91,10 @@ func (hp *Heap) UnregisterThread(tc *ThreadCtx) {
 
 // BeginExternal marks the thread as not mutating (framework code, blocking
 // calls). The thread must not touch heap memory until EndExternal.
+// Thread-local allocation counters flush here, so shared Stats lag a
+// running mutator by at most one boundary crossing.
 func (tc *ThreadCtx) BeginExternal() {
+	tc.flushAllocStats()
 	sp := &tc.hp.sp
 	sp.mu.Lock()
 	if tc.running {
@@ -92,6 +124,15 @@ func (tc *ThreadCtx) EndExternal() {
 		sp.running++
 	}
 	sp.mu.Unlock()
+}
+
+// FlushStats publishes the thread's batched allocation counters to the
+// heap's shared statistics immediately, without leaving mutator state.
+// Callers that inspect Stats or per-class counts while a thread is still
+// running must flush that thread first; boundary crossings (BeginExternal,
+// UnregisterThread) flush automatically.
+func (tc *ThreadCtx) FlushStats() {
+	tc.flushAllocStats()
 }
 
 // Safepoint parks the thread if a collection has been requested. The check

@@ -1,0 +1,200 @@
+package heap
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/lang"
+)
+
+// GC torture test: several mutator goroutines churn linked object graphs
+// (lists with array fan-out, old->young edges through the batched write
+// barrier) while a collector goroutine forces minor and full collections
+// as fast as it can. After every safepoint crossing each worker re-walks
+// its graph and verifies the checksum, so any collection that loses an
+// edge, misdirects a forwarding pointer, or drops a buffered remembered-
+// set entry fails immediately and locally.
+//
+// CI runs this under -race as its own step: the thread-local allocation
+// batching and remembered-set buffers introduced for the fast paths are
+// exactly the kind of state a racy flush would corrupt.
+//
+// Root visibility is safe without extra locking for the same reason as in
+// the other concurrent tests: workers publish w.head/w.anchor by parking
+// at a safepoint (BeginExternal locks sp.mu), and the collector only
+// visits roots once every thread is parked, so the sp.mu handshake orders
+// the writes before the visit.
+
+const (
+	tortureWorkers = 4
+	tortureRounds  = 60
+	tortureList    = 400
+	tortureMinGCs  = 14 // workers churn extra rounds until this many ran
+)
+
+type tortureWorker struct {
+	id     int
+	head   Addr // current young list (GC root)
+	anchor Addr // long-lived node carrying old->young edges (GC root)
+}
+
+func TestGCTorture(t *testing.T) {
+	rounds := tortureRounds
+	if testing.Short() {
+		rounds = 15
+	}
+	h := testHierarchy(t)
+	hp := New(Config{HeapSize: 48 << 20}, h)
+	node := h.Class("Node")
+	val := node.FindField("val")
+	next := node.FindField("next")
+	kids := node.FindField("kids")
+
+	workers := make([]*tortureWorker, tortureWorkers)
+	for i := range workers {
+		workers[i] = &tortureWorker{id: i}
+		w := workers[i]
+		hp.AddRoots(RootFunc(func(visit func(Addr) Addr) {
+			w.head = visit(w.head)
+			w.anchor = visit(w.anchor)
+		}))
+	}
+
+	// alloc retries once after a forced full collection, so transient
+	// nursery exhaustion under GC pressure is not a test failure.
+	alloc := func(tc *ThreadCtx) (Addr, error) {
+		a, err := hp.AllocObject(tc, node)
+		if errors.Is(err, ErrOutOfMemory) {
+			if err = hp.ForceGC(tc, true); err == nil {
+				a, err = hp.AllocObject(tc, node)
+			}
+		}
+		return a, err
+	}
+
+	var stop atomic.Bool
+	var collector sync.WaitGroup
+	collector.Add(1)
+	go func() {
+		defer collector.Done()
+		tc := hp.RegisterThread()
+		defer hp.UnregisterThread(tc)
+		full := false
+		for !stop.Load() {
+			if err := hp.ForceGC(tc, full); err != nil {
+				t.Errorf("forced GC: %v", err)
+				return
+			}
+			full = !full
+			// Yield between collections so mutators re-enter the running
+			// state; a zero-delay loop would re-request the safepoint
+			// before parked threads wake.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	var mutators sync.WaitGroup
+	for _, w := range workers {
+		w := w
+		mutators.Add(1)
+		go func() {
+			defer mutators.Done()
+			tc := hp.RegisterThread()
+			tc.EndExternal()
+			defer func() {
+				tc.BeginExternal()
+				hp.UnregisterThread(tc)
+			}()
+			// The long-lived anchor; forced full GCs promote it, turning
+			// every later anchor.next store into an old->young edge.
+			a, err := alloc(tc)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			hp.SetInt(a, val.Offset, int32(w.id))
+			w.anchor = a
+			// Run the planned rounds, then keep churning (bounded) until
+			// the collector has met its quota: collections are much slower
+			// under -race, and a torture run with two GCs proves nothing.
+			gcs := func() int64 {
+				st := hp.Stats()
+				return st.MinorGCs + st.FullGCs
+			}
+			for round := 0; (round < rounds || gcs() < tortureMinGCs) &&
+				round < rounds*200 && !t.Failed(); round++ {
+				// Build a fresh list; the previous round's becomes garbage.
+				want := int64(0)
+				w.head = 0
+				for i := 0; i < tortureList; i++ {
+					n, err := alloc(tc)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					v := int32(w.id*1_000_000 + round*1000 + i)
+					hp.SetInt(n, val.Offset, v)
+					hp.SetRefTC(tc, n, next.Offset, w.head)
+					w.head = n
+					want += int64(v)
+					if i%64 == 0 {
+						// Array fan-out pointing back into the list, plus
+						// an old->young edge through the anchor: exactly
+						// the stores the batched barrier buffers.
+						arr, err := hp.AllocArray(tc, lang.ClassType("Node"), 4)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						hp.SetRefTC(tc, arr, 0, n)
+						hp.SetRefTC(tc, n, kids.Offset, arr)
+						hp.SetRefTC(tc, w.anchor, next.Offset, n)
+						tc.Safepoint()
+					}
+				}
+				tc.Safepoint()
+				// Verify after the safepoint: everything may have moved.
+				got := int64(0)
+				cnt := 0
+				for c := w.head; c != 0; c = hp.GetRef(c, next.Offset) {
+					got += int64(hp.GetInt(c, val.Offset))
+					if arr := hp.GetRef(c, kids.Offset); arr != 0 {
+						if hp.GetRef(arr, 0) != c {
+							t.Errorf("worker %d round %d: kids[0] no longer points at owner", w.id, round)
+							return
+						}
+					}
+					cnt++
+				}
+				if got != want || cnt != tortureList {
+					t.Errorf("worker %d round %d: checksum %d (want %d), len %d (want %d)",
+						w.id, round, got, want, cnt, tortureList)
+					return
+				}
+				if hp.GetInt(w.anchor, val.Offset) != int32(w.id) {
+					t.Errorf("worker %d round %d: anchor payload corrupted", w.id, round)
+					return
+				}
+				// The anchor's old->young edge must survive the buffered
+				// write barrier across any number of collections.
+				if hp.GetRef(w.anchor, next.Offset) == 0 {
+					t.Errorf("worker %d round %d: anchor lost its old->young edge", w.id, round)
+					return
+				}
+			}
+		}()
+	}
+
+	mutators.Wait()
+	stop.Store(true)
+	collector.Wait()
+
+	st := hp.Stats()
+	t.Logf("torture ran %d minor + %d full collections", st.MinorGCs, st.FullGCs)
+	if st.MinorGCs+st.FullGCs < 10 {
+		t.Fatalf("only %d collections ran; torture was not tortuous", st.MinorGCs+st.FullGCs)
+	}
+}

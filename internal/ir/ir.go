@@ -85,6 +85,9 @@ const (
 	OpPMonExit  // exit monitor of record A
 )
 
+// NumOps is the number of opcode values; dispatch tables are sized by it.
+const NumOps = int(OpPMonExit) + 1
+
 var opNames = [...]string{
 	OpNop: "nop", OpConst: "const", OpStrLit: "strlit", OpMove: "move",
 	OpBin: "bin", OpUn: "un", OpConv: "conv",

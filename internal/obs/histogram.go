@@ -34,17 +34,7 @@ func NewHistogram(bounds []int64) *Histogram {
 
 // Observe records one observation.
 func (h *Histogram) Observe(v int64) {
-	// Binary search for the first bound >= v.
-	lo, hi := 0, len(h.bounds)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if h.bounds[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	h.counts[lo].Add(1)
+	h.counts[h.BucketIndex(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
 	for {
@@ -56,6 +46,56 @@ func (h *Histogram) Observe(v int64) {
 	for {
 		cur := h.max.Load()
 		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// BucketIndex returns the bucket Observe would count v in (binary search
+// for the first bound >= v). Callers that batch observations thread-locally
+// bucket with this and merge with ObserveBatch.
+func (h *Histogram) BucketIndex(v int64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// NumBuckets returns the number of buckets, including the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// ObserveBatch merges a batch of observations bucketed elsewhere: counts
+// must have NumBuckets entries indexed by BucketIndex; sum, min, and max
+// describe the batch. An empty batch (all-zero counts) is a no-op, so
+// callers can flush unconditionally.
+func (h *Histogram) ObserveBatch(counts []int64, sum, min, max int64) {
+	var total int64
+	for i, c := range counts {
+		if c != 0 {
+			h.counts[i].Add(c)
+			total += c
+		}
+	}
+	if total == 0 {
+		return
+	}
+	h.count.Add(total)
+	h.sum.Add(sum)
+	for {
+		cur := h.min.Load()
+		if min >= cur || h.min.CompareAndSwap(cur, min) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if max <= cur || h.max.CompareAndSwap(cur, max) {
 			break
 		}
 	}

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"encoding/json"
 	"io"
 )
 
@@ -49,9 +48,9 @@ type ReportFile struct {
 	Reports []RunReport `json:"reports"`
 }
 
-// EncodeReports writes a ReportFile as indented JSON.
+// EncodeReports writes a ReportFile as indented JSON. The encoding is
+// deterministic (sorted keys, %.6g floats), so two runs with identical
+// metrics produce byte-identical files.
 func EncodeReports(w io.Writer, reports []RunReport) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(ReportFile{Schema: ReportSchema, Reports: reports})
+	return EncodeDeterministic(w, ReportFile{Schema: ReportSchema, Reports: reports})
 }

@@ -1,0 +1,224 @@
+package offheap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Invariant tests for the native store: size-class boundary behavior,
+// page high-water monotonicity, release idempotence, and the page-cache
+// iteration-isolation property the per-scope cache relies on.
+
+func TestSizeClassBoundaries(t *testing.T) {
+	// classFor operates on the full record size (header + body, rounded to
+	// 8); the table is 64/256/1024/4096/PageSize/2, with -1 meaning "empty
+	// page of its own" (§3.6 large records) or oversize.
+	cases := []struct {
+		size, class int
+	}{
+		{1, 0}, {64, 0},
+		{65, 1}, {256, 1},
+		{257, 2}, {1024, 2},
+		{1025, 3}, {4096, 3},
+		{4097, 4}, {PageSize / 2, 4},
+		{PageSize/2 + 1, -1},
+		{PageSize, -1},
+		{PageSize + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.size); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.size, got, c.class)
+		}
+	}
+
+	// Allocation-level behavior at the boundaries. Two records of exactly
+	// PageSize/2 must share one page; one byte more forces a dedicated
+	// empty page; more than a page is oversize and counted as such.
+	rt := NewRuntime()
+	ic := 0
+	s := newScope(rt, &ic, 0)
+	defer s.Close()
+	m := s.Current()
+
+	half := PageSize/2 - ScalarHeader // body size for a PageSize/2 record
+	mustRecord(t, m, 1, half)
+	mustRecord(t, m, 1, half)
+	if got := m.PageCount(); got != 1 {
+		t.Fatalf("two half-page records occupy %d pages, want 1 shared page", got)
+	}
+	mustRecord(t, m, 1, half)
+	if got := m.PageCount(); got != 2 {
+		t.Fatalf("third half-page record: %d pages, want 2", got)
+	}
+
+	mustRecord(t, m, 1, half+8) // rounds past PageSize/2: dedicated page
+	if got := m.PageCount(); got != 3 {
+		t.Fatalf("large record did not get its own page: %d pages", got)
+	}
+	mustRecord(t, m, 1, 16) // small record must NOT land on the dedicated page
+	if got := m.PageCount(); got != 4 {
+		t.Fatalf("small record shared a dedicated large page: %d pages", got)
+	}
+
+	before := rt.Stats().Oversize
+	ref := mustRecord(t, m, 1, PageSize) // header pushes it past PageSize
+	if got := rt.Stats().Oversize; got != before+1 {
+		t.Fatalf("oversize count %d, want %d", got, before+1)
+	}
+	if !rt.ReleaseOversize(ref) {
+		t.Fatal("oversize record not releasable early")
+	}
+}
+
+func TestPageHighWaterMonotonic(t *testing.T) {
+	// PageHighWater must track max(PageCount) over the manager's lifetime:
+	// never decrease, never undershoot the current count, and survive
+	// ReleaseAll as a record of the peak.
+	check := func(seed int64) bool {
+		rt := NewRuntime()
+		ic := 0
+		s := newScope(rt, &ic, 0)
+		defer s.Close()
+		s.IterationStart()
+		m := s.Current()
+		rng := rand.New(rand.NewSource(seed))
+		prevHW, maxSeen := 0, 0
+		for op := 0; op < 200; op++ {
+			// Mix of class sizes so several cur[] pages are in flight.
+			body := []int{16, 200, 900, 4000, PageSize / 2}[rng.Intn(5)]
+			if _, err := m.AllocRecord(1, body); err != nil {
+				t.Fatal(err)
+			}
+			hw := m.PageHighWater()
+			if hw < prevHW {
+				t.Errorf("seed %d op %d: high water fell %d -> %d", seed, op, prevHW, hw)
+				return false
+			}
+			if hw < m.PageCount() {
+				t.Errorf("seed %d op %d: high water %d < live pages %d", seed, op, hw, m.PageCount())
+				return false
+			}
+			if m.PageCount() > maxSeen {
+				maxSeen = m.PageCount()
+			}
+			prevHW = hw
+		}
+		if m.PageHighWater() != maxSeen {
+			t.Errorf("seed %d: high water %d != observed max %d", seed, m.PageHighWater(), maxSeen)
+			return false
+		}
+		s.IterationEnd()
+		if m.PageCount() != 0 {
+			t.Errorf("seed %d: pages remain after release", seed)
+			return false
+		}
+		if m.PageHighWater() != maxSeen {
+			t.Errorf("seed %d: release erased the high-water mark", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleReleaseIsIdempotent(t *testing.T) {
+	rt := NewRuntime()
+	ic := 0
+	s := newScope(rt, &ic, 0)
+	s.IterationStart()
+	m := s.Current()
+	for i := 0; i < 50; i++ {
+		mustRecord(t, m, 1, 100)
+	}
+	s.IterationEnd()
+	after := rt.Stats()
+	if after.PagesLive < 0 || after.BytesInUse < 0 {
+		t.Fatalf("negative accounting after release: %+v", after)
+	}
+	// Releasing again must change nothing: no double stat decrement, no
+	// page freed twice into the pool.
+	m.ReleaseAll()
+	m.ReleaseAll()
+	if again := rt.Stats(); again != after {
+		t.Fatalf("double release changed stats:\nfirst:  %+v\nsecond: %+v", after, again)
+	}
+	// And allocation from the released manager fails with the typed error.
+	if _, err := m.AllocRecord(1, 8); !errors.Is(err, ErrReleasedManager) {
+		t.Fatalf("alloc after release: %v, want ErrReleasedManager", err)
+	}
+	s.Close()
+	if final := rt.Stats(); final.PagesLive != 0 {
+		t.Fatalf("pages live after scope close: %d", final.PagesLive)
+	}
+}
+
+// TestCacheNeverCrossesOpenIterations is the page-cache isolation property:
+// the scope cache only ever holds pages released by *closed* iterations, so
+// a pop can never hand an iteration back a page that a still-live iteration
+// (including itself) is using. Checked against random open/alloc/close walks.
+func TestCacheNeverCrossesOpenIterations(t *testing.T) {
+	check := func(seed int64) bool {
+		rt := NewRuntime()
+		ic := 0
+		s := newScope(rt, &ic, 0)
+		defer s.Close()
+		rng := rand.New(rand.NewSource(seed))
+
+		assertIsolated := func(op int) bool {
+			open := map[int]bool{}
+			for _, m := range s.stack {
+				open[m.IterID] = true
+			}
+			s.cache.mu.Lock()
+			defer s.cache.mu.Unlock()
+			for _, e := range s.cache.entries {
+				if open[e.srcIter] {
+					t.Errorf("seed %d op %d: cache holds page from open iteration %d", seed, op, e.srcIter)
+					return false
+				}
+				if e.srcIter >= ic && e.srcIter != -1 {
+					t.Errorf("seed %d op %d: cache entry from unissued iteration %d", seed, op, e.srcIter)
+					return false
+				}
+			}
+			return true
+		}
+
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(5) {
+			case 0:
+				if s.Depth() < 4 {
+					s.IterationStart()
+				}
+			case 1:
+				if s.Depth() > 0 {
+					s.IterationEnd()
+				}
+			default:
+				// Enough churn that iterations routinely span pages and
+				// the cache sees real traffic.
+				body := []int{32, 512, 3000}[rng.Intn(3)]
+				for i := 0; i < 30; i++ {
+					if _, err := s.Current().AllocRecord(1, body); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if !assertIsolated(op) {
+				return false
+			}
+		}
+		if s.CachedPages() == 0 && rt.Stats().PagesRecycled == 0 {
+			t.Errorf("seed %d: walk never exercised the cache", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

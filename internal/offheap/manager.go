@@ -24,6 +24,57 @@ func classFor(size int) int {
 	return -1 // dedicated or oversize page
 }
 
+// pageCacheCap bounds the per-scope page cache. Iterative workloads churn
+// a handful of pages per iteration per thread; 32 pages (1 MB) covers that
+// while keeping the worst-case memory parked in caches negligible.
+const pageCacheCap = 32
+
+// pageCache is a small per-IterScope stash of recycled PageSize pages.
+// When an iteration ends, its manager parks recyclable pages here instead
+// of pushing them through the runtime's global pool; the next iteration in
+// the same scope pops them back without touching rt.mu. The mutex exists
+// only because ReleaseAll can run on a different thread than the scope's
+// owner (a parent iteration releasing a spawned thread's managers); it is
+// scope-local, so it is uncontended in steady state.
+type pageCache struct {
+	mu      sync.Mutex
+	entries []cachedPage
+}
+
+// cachedPage remembers which iteration released the page. IterIDs are
+// globally unique and a manager never allocates after release, so a cached
+// page can only be served to a *different* (later) iteration — the
+// invariant the property test in offheap_test.go checks.
+type cachedPage struct {
+	p       *page
+	srcIter int
+}
+
+// pop removes and returns the most recently cached page.
+func (c *pageCache) pop() (cachedPage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	if n == 0 {
+		return cachedPage{}, false
+	}
+	e := c.entries[n-1]
+	c.entries[n-1] = cachedPage{}
+	c.entries = c.entries[:n-1]
+	return e, true
+}
+
+// put parks a page in the cache; reports false when the cache is full.
+func (c *pageCache) put(p *page, srcIter int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= pageCacheCap {
+		return false
+	}
+	c.entries = append(c.entries, cachedPage{p: p, srcIter: srcIter})
+	return true
+}
+
 // PageManager allocates records for one ⟨iterationID, thread⟩ pair and
 // owns the pages it allocates from. Managers form the runtime tree of
 // §3.6: a sub-iteration's manager is a child of the enclosing iteration's
@@ -44,6 +95,11 @@ type PageManager struct {
 	pages    []*page
 	hwPages  int // most pages this manager has owned at once
 	released bool
+
+	// cache is the owning scope's page cache; nil for managers created
+	// outside a scope (e.g. the VM root manager), which always use the
+	// global pool.
+	cache *pageCache
 
 	// IterID identifies the iteration this manager serves; -1 is the
 	// thread-default manager ⟨⊥, t⟩. ThreadID identifies the owning thread.
@@ -80,7 +136,13 @@ func (m *PageManager) alloc(size int) (PageRef, error) {
 		if want < PageSize {
 			want = PageSize
 		}
-		p, err := m.rt.getPage(want)
+		var p *page
+		var err error
+		if want == PageSize {
+			p, err = m.acquirePage()
+		} else {
+			p, err = m.rt.getPage(want)
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -93,7 +155,7 @@ func (m *PageManager) alloc(size int) (PageRef, error) {
 	p := m.cur[ci]
 	if p == nil || p.pos+size > len(p.buf) {
 		var err error
-		p, err = m.rt.getPage(PageSize)
+		p, err = m.acquirePage()
 		if err != nil {
 			return 0, err
 		}
@@ -105,6 +167,23 @@ func (m *PageManager) alloc(size int) (PageRef, error) {
 	p.pos += size
 	zero(p.buf[off : off+size])
 	return MakeRef(p.idx, off), nil
+}
+
+// acquirePage returns a PageSize page, preferring the scope cache (a pop
+// plus lock-free stat updates) over the runtime's locked getPage path. A
+// fault injected at the cache-hit acquire point puts the page back, so the
+// cache's contents are unchanged by a failed acquire.
+func (m *PageManager) acquirePage() (*page, error) {
+	if m.cache != nil && !m.rt.DisablePageCache {
+		if e, ok := m.cache.pop(); ok {
+			if err := m.rt.noteCachedRecycle(e.p); err != nil {
+				m.cache.put(e.p, e.srcIter)
+				return nil, err
+			}
+			return e.p, nil
+		}
+	}
+	return m.rt.getPage(PageSize)
 }
 
 func zero(b []byte) {
@@ -143,6 +222,12 @@ func (m *PageManager) ReleaseAll() {
 		c.ReleaseAll()
 	}
 	for _, p := range m.pages {
+		if m.cache != nil && !m.rt.DisablePageCache && !m.rt.DisableRecycle &&
+			len(p.buf) == PageSize {
+			if m.rt.cacheRelease(m.cache, p, m.IterID) {
+				continue
+			}
+		}
 		m.rt.releasePage(p)
 	}
 	m.pages = nil
@@ -209,6 +294,7 @@ type IterScope struct {
 	stack    []*PageManager
 	nextIter *int
 	threadID int
+	cache    *pageCache
 }
 
 // NewIterScope creates the scope for a thread whose default manager is a
@@ -216,7 +302,9 @@ type IterScope struct {
 // first thread). nextIter supplies global iteration IDs.
 func (rt *Runtime) NewIterScope(parent *PageManager, nextIter *int, threadID int) *IterScope {
 	def := rt.NewManager(parent, -1, threadID)
-	return &IterScope{rt: rt, stack: []*PageManager{def}, nextIter: nextIter, threadID: threadID}
+	c := &pageCache{}
+	def.cache = c
+	return &IterScope{rt: rt, stack: []*PageManager{def}, nextIter: nextIter, threadID: threadID, cache: c}
 }
 
 // Current returns the manager new records should be allocated from.
@@ -231,6 +319,7 @@ func (s *IterScope) IterationStart() {
 	id := *s.nextIter
 	*s.nextIter = id + 1
 	m := s.rt.NewManager(s.Current(), id, s.threadID)
+	m.cache = s.cache
 	s.stack = append(s.stack, m)
 }
 
@@ -245,12 +334,41 @@ func (s *IterScope) IterationEnd() {
 	m.ReleaseAll()
 }
 
-// Close releases the thread's default manager (thread termination).
+// Close releases the thread's default manager (thread termination) and
+// hands the scope's cached pages back to the global pool.
 func (s *IterScope) Close() {
 	for len(s.stack) > 1 {
 		s.IterationEnd()
 	}
 	s.stack[0].ReleaseAll()
+	s.drainCache()
+}
+
+// drainCache moves cached pages to the runtime free pool. The pages were
+// already stat-released when they entered the cache, so only the free-list
+// append remains (they are simply dropped under DisableRecycle, like any
+// released page).
+func (s *IterScope) drainCache() {
+	s.cache.mu.Lock()
+	entries := s.cache.entries
+	s.cache.entries = nil
+	s.cache.mu.Unlock()
+	if len(entries) == 0 || s.rt.DisableRecycle {
+		return
+	}
+	s.rt.mu.Lock()
+	for _, e := range entries {
+		s.rt.free = append(s.rt.free, e.p)
+	}
+	s.rt.mu.Unlock()
+}
+
+// CachedPages returns the number of pages parked in the scope cache
+// (observability and tests).
+func (s *IterScope) CachedPages() int {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	return len(s.cache.entries)
 }
 
 // Depth returns the number of open iterations.

@@ -93,6 +93,9 @@ type Runtime struct {
 	// released at an iteration end is dropped and later allocations get
 	// fresh pages).
 	DisableRecycle bool
+	// DisablePageCache turns off the per-scope page cache (ablation:
+	// every recycled page goes through the global pool and rt.mu).
+	DisablePageCache bool
 
 	mu   sync.Mutex
 	free []*page // recycled pages awaiting reuse
@@ -261,6 +264,29 @@ func (rt *Runtime) getPage(size int) (*page, error) {
 	return p, nil
 }
 
+// noteCachedRecycle replicates getPage's fault point and statistics for a
+// PageSize page served from a scope-local cache, so fault schedules and
+// observability counters are identical whether a recycled page came from
+// the global pool or a cache. Unlike getPage it never takes rt.mu: the
+// counters are atomics and no free-list or page-table access is needed —
+// this is the lock-free fast path the cache exists for.
+func (rt *Runtime) noteCachedRecycle(p *page) error {
+	if rt.inj != nil && rt.inj.Fire(faults.PageAcquire) {
+		n := rt.cFaultsInj.Load() + 1
+		rt.cFaultsInj.Inc()
+		rt.obs.Emit(obs.EvFault, string(faults.PageAcquire), n, 0, 0)
+		return fmt.Errorf("%w (injected fault)", ErrPageExhausted)
+	}
+	rt.stats.pagesLive.Add(1)
+	rt.cPageAcquires.Inc()
+	rt.gPagesLive.Add(1)
+	rt.stats.pagesRecycled.Add(1)
+	rt.cPageRecycles.Inc()
+	rt.addBytes(int64(len(p.buf)))
+	p.pos = 0
+	return nil
+}
+
 // releasePage returns a page to the free pool (or drops oversize pages
 // entirely; their table slot keeps the buffer reachable until Go reclaims
 // it on table growth, mirroring free() of a large malloc block).
@@ -280,6 +306,25 @@ func (rt *Runtime) releasePage(p *page) {
 		p.released.Store(false) // recyclable pages are reborn via the pool
 		rt.free = append(rt.free, p)
 	}
+}
+
+// cacheRelease parks a recyclable PageSize page in a scope cache instead
+// of the global pool, replicating releasePage's statistics without taking
+// rt.mu. Reports false when the cache is full, in which case the caller
+// falls back to releasePage. The page's released flag stays false, exactly
+// like a page reborn through the pool.
+func (rt *Runtime) cacheRelease(c *pageCache, p *page, srcIter int) bool {
+	if p.released.Load() {
+		return true // freed early; nothing left to release
+	}
+	if !c.put(p, srcIter) {
+		return false
+	}
+	rt.stats.pagesLive.Add(-1)
+	rt.cPageReleases.Inc()
+	rt.gPagesLive.Add(-1)
+	rt.addBytes(-int64(len(p.buf)))
+	return true
 }
 
 // ReleaseOversize frees the oversize page backing ref before its iteration

@@ -564,7 +564,7 @@ func (t *Thread) SetField(o Obj, class, field string, val Value) error {
 		storeRecField(t.vm.RT, offheap.PageRef(v), f, val)
 		return nil
 	}
-	storeField(t.vm.Heap, heap.Addr(v), f, val)
+	storeField(t.vm.Heap, t.tc, heap.Addr(v), f, val)
 	return nil
 }
 
@@ -642,7 +642,7 @@ func (t *Thread) ArrSet(o Obj, i int, val Value) error {
 	if i < 0 || i >= hp.ArrayLen(a) {
 		return errBounds(i, hp.ArrayLen(a))
 	}
-	storeElem(hp, a, hp.ArrayElemOf(a), i, val)
+	storeElem(hp, t.tc, a, hp.ArrayElemOf(a), i, val)
 	return nil
 }
 

@@ -20,17 +20,19 @@ func errBounds(i, n int) error {
 }
 
 // exec interprets fn with the given arguments and returns its raw result.
+// It is the boundary entry path (Thread.Call); interpreted call
+// instructions take the leaner callFn path, which copies arguments
+// caller-register -> callee-register without building an argument slice.
 func (t *Thread) exec(fn *ir.Func, args []Value) (Value, error) {
 	if len(args) != len(fn.Params) {
 		return 0, fmt.Errorf("vm: %s expects %d args, got %d", fn.Name, len(fn.Params), len(args))
 	}
 	regs, onStack := t.allocRegs(fn.NumRegs)
-	fr := &frame{fn: fn, regs: regs}
 	for i, p := range fn.Params {
-		fr.regs[p] = args[i]
+		regs[p] = args[i]
 	}
-	t.frames = append(t.frames, fr)
-	v, err := t.run(fr)
+	t.frames = append(t.frames, frame{fn: fn, regs: regs})
+	v, err := t.run(fn, regs)
 	t.frames = t.frames[:len(t.frames)-1]
 	if len(t.frames) == 0 {
 		t.flushObsCounters()
@@ -42,11 +44,157 @@ func (t *Thread) exec(fn *ir.Func, args []Value) (Value, error) {
 	return v, nil
 }
 
-func (t *Thread) run(fr *frame) (Value, error) {
+// callFn dispatches an interpreted call instruction: the callee's register
+// window comes from the thread stack, arguments are copied directly from
+// the caller's registers, and the frame is pushed by value into reserved
+// capacity — the hot call path allocates nothing.
+func (t *Thread) callFn(callee *ir.Func, regs []Value, in *ir.Instr, recv Value, hasRecv bool) (Value, error) {
+	params := callee.Params
+	pi := 0
+	if hasRecv {
+		pi = 1
+	}
+	if len(in.Args)+pi != len(params) {
+		return 0, fmt.Errorf("vm: %s expects %d args, got %d", callee.Name, len(params), len(in.Args)+pi)
+	}
+	cregs, onStack := t.allocRegs(callee.NumRegs)
+	if hasRecv {
+		cregs[params[0]] = recv
+	}
+	for _, r := range in.Args {
+		cregs[params[pi]] = regs[r]
+		pi++
+	}
+	t.frames = append(t.frames, frame{fn: callee, regs: cregs})
+	v, err := t.run(callee, cregs)
+	t.frames = t.frames[:len(t.frames)-1]
+	t.freeRegs(callee.NumRegs, onStack)
+	return v, err
+}
+
+// opHandler executes one instruction outside the dispatch loop's inline
+// fast path. The table below is precomputed at package init, so cold ops
+// dispatch through one indirect call while the hot ops stay inline in run.
+type opHandler func(t *Thread, regs []Value, in *ir.Instr) error
+
+var opHandlers [ir.NumOps]opHandler
+
+func init() {
+	opHandlers[ir.OpNop] = func(t *Thread, regs []Value, in *ir.Instr) error { return nil }
+	opHandlers[ir.OpStrLit] = hStrLit
+	opHandlers[ir.OpNewArr] = hNewArr
+	opHandlers[ir.OpLoadStatic] = hLoadStatic
+	opHandlers[ir.OpStoreStatic] = hStoreStatic
+	opHandlers[ir.OpInstOf] = hInstOf
+	opHandlers[ir.OpCast] = hCast
+	opHandlers[ir.OpMonEnter] = hMonEnter
+	opHandlers[ir.OpMonExit] = hMonExit
+	opHandlers[ir.OpPNewArr] = hPNewArr
+	opHandlers[ir.OpPInstOf] = hPInstOf
+	opHandlers[ir.OpPCast] = hPCast
+	opHandlers[ir.OpPMonEnter] = hPMonEnter
+	opHandlers[ir.OpPMonExit] = hPMonExit
+}
+
+func hStrLit(t *Thread, regs []Value, in *ir.Instr) error {
+	a, err := t.stringLiteral(int(in.Imm))
+	if err != nil {
+		return err
+	}
+	regs[in.Dst] = a
+	return nil
+}
+
+func hNewArr(t *Thread, regs []Value, in *ir.Instr) error {
+	n := int(int32(regs[in.A]))
+	if n < 0 {
+		return fmt.Errorf("NegativeArraySizeException: %d", n)
+	}
+	a, err := t.vm.Heap.AllocArray(t.tc, in.Type, n)
+	if err != nil {
+		return err
+	}
+	regs[in.Dst] = Value(a)
+	return nil
+}
+
+func hLoadStatic(t *Thread, regs []Value, in *ir.Instr) error {
+	regs[in.Dst] = t.vm.statics[in.Field.StaticIndex]
+	return nil
+}
+
+func hStoreStatic(t *Thread, regs []Value, in *ir.Instr) error {
+	t.vm.statics[in.Field.StaticIndex] = regs[in.A]
+	return nil
+}
+
+func hInstOf(t *Thread, regs []Value, in *ir.Instr) error {
+	regs[in.Dst] = boolVal(t.instanceOf(heap.Addr(regs[in.A]), in.Type))
+	return nil
+}
+
+func hCast(t *Thread, regs []Value, in *ir.Instr) error {
+	a := heap.Addr(regs[in.A])
+	if a != 0 && !t.instanceOf(a, in.Type) {
+		return fmt.Errorf("ClassCastException: cannot cast to %s", in.Type)
+	}
+	regs[in.Dst] = regs[in.A]
+	return nil
+}
+
+func hMonEnter(t *Thread, regs []Value, in *ir.Instr) error {
+	return t.monEnter(heap.Addr(regs[in.A]))
+}
+
+func hMonExit(t *Thread, regs []Value, in *ir.Instr) error {
+	return t.monExit(heap.Addr(regs[in.A]))
+}
+
+func hPNewArr(t *Thread, regs []Value, in *ir.Instr) error {
+	vm := t.vm
+	n := int(int32(regs[in.A]))
+	ref, err := t.iter.Current().AllocArray(vm.RT.ArrayTypeIndex(in.Type), in.Type.FieldSize(), n)
+	if err != nil {
+		return err
+	}
+	regs[in.Dst] = Value(ref)
+	return nil
+}
+
+func hPInstOf(t *Thread, regs []Value, in *ir.Instr) error {
+	regs[in.Dst] = boolVal(t.recInstanceOf(offheap.PageRef(regs[in.A]), in))
+	return nil
+}
+
+func hPCast(t *Thread, regs []Value, in *ir.Instr) error {
+	ref := offheap.PageRef(regs[in.A])
+	if ref != 0 && !t.recInstanceOf(ref, in) {
+		return fmt.Errorf("ClassCastException: record is not a %s", in.Cls.Name)
+	}
+	regs[in.Dst] = regs[in.A]
+	return nil
+}
+
+func hPMonEnter(t *Thread, regs []Value, in *ir.Instr) error {
+	vm := t.vm
+	return vm.RT.Locks.Enter(vm.RT, offheap.PageRef(regs[in.A]), t, parker{t})
+}
+
+func hPMonExit(t *Thread, regs []Value, in *ir.Instr) error {
+	vm := t.vm
+	return vm.RT.Locks.Exit(vm.RT, offheap.PageRef(regs[in.A]), t)
+}
+
+// run interprets fn until it returns. Dispatch is two-level: the hottest
+// ops are inline cases of the dense switch (compiled to a jump table),
+// with integer and double arithmetic fully unboxed in the loop; everything
+// else goes through the precomputed opHandlers table. Safepoints are
+// polled on calls and backward control-flow edges only — every loop must
+// take a backward edge, so GC latency is unchanged while forward branches
+// skip the atomic load.
+func (t *Thread) run(fn *ir.Func, regs []Value) (Value, error) {
 	vm := t.vm
 	hp := vm.Heap
-	regs := fr.regs
-	fn := fr.fn
 	bi := 0
 blocks:
 	for {
@@ -55,27 +203,87 @@ blocks:
 		for ii := range instrs {
 			in := &instrs[ii]
 			switch in.Op {
-			case ir.OpNop:
 			case ir.OpConst:
 				if in.NumKind == ir.KDouble {
 					regs[in.Dst] = math.Float64bits(in.F)
 				} else {
 					regs[in.Dst] = Value(in.Imm)
 				}
-			case ir.OpStrLit:
-				a, err := t.stringLiteral(int(in.Imm))
-				if err != nil {
-					return 0, err
-				}
-				regs[in.Dst] = a
 			case ir.OpMove:
 				regs[in.Dst] = regs[in.A]
 			case ir.OpBin:
-				v, err := evalBin(in, regs[in.A], regs[in.B])
-				if err != nil {
-					return 0, err
+				a, b := regs[in.A], regs[in.B]
+				switch in.NumKind {
+				case ir.KInt, ir.KByte, ir.KBool:
+					x, y := int32(a), int32(b)
+					var v Value
+					switch in.Sub {
+					case ir.BinAdd:
+						v = Value(uint32(x + y))
+					case ir.BinSub:
+						v = Value(uint32(x - y))
+					case ir.BinMul:
+						v = Value(uint32(x * y))
+					case ir.BinLt:
+						v = boolVal(x < y)
+					case ir.BinLe:
+						v = boolVal(x <= y)
+					case ir.BinGt:
+						v = boolVal(x > y)
+					case ir.BinGe:
+						v = boolVal(x >= y)
+					case ir.BinEq:
+						v = boolVal(x == y)
+					case ir.BinNe:
+						v = boolVal(x != y)
+					default:
+						// Div/rem (zero checks) and bit ops share evalBin.
+						var err error
+						v, err = evalBin(in, a, b)
+						if err != nil {
+							return 0, err
+						}
+					}
+					regs[in.Dst] = v
+				case ir.KDouble:
+					x, y := math.Float64frombits(a), math.Float64frombits(b)
+					var v Value
+					switch in.Sub {
+					case ir.BinAdd:
+						v = math.Float64bits(x + y)
+					case ir.BinSub:
+						v = math.Float64bits(x - y)
+					case ir.BinMul:
+						v = math.Float64bits(x * y)
+					case ir.BinDiv:
+						v = math.Float64bits(x / y)
+					case ir.BinLt:
+						v = boolVal(x < y)
+					case ir.BinLe:
+						v = boolVal(x <= y)
+					case ir.BinGt:
+						v = boolVal(x > y)
+					case ir.BinGe:
+						v = boolVal(x >= y)
+					case ir.BinEq:
+						v = boolVal(x == y)
+					case ir.BinNe:
+						v = boolVal(x != y)
+					default:
+						var err error
+						v, err = evalBin(in, a, b)
+						if err != nil {
+							return 0, err
+						}
+					}
+					regs[in.Dst] = v
+				default:
+					v, err := evalBin(in, a, b)
+					if err != nil {
+						return 0, err
+					}
+					regs[in.Dst] = v
 				}
-				regs[in.Dst] = v
 			case ir.OpUn:
 				regs[in.Dst] = evalUn(in, regs[in.A])
 			case ir.OpConv:
@@ -83,16 +291,6 @@ blocks:
 
 			case ir.OpNew:
 				a, err := hp.AllocObject(t.tc, in.Cls)
-				if err != nil {
-					return 0, err
-				}
-				regs[in.Dst] = Value(a)
-			case ir.OpNewArr:
-				n := int(int32(regs[in.A]))
-				if n < 0 {
-					return 0, fmt.Errorf("NegativeArraySizeException: %d", n)
-				}
-				a, err := hp.AllocArray(t.tc, in.Type, n)
 				if err != nil {
 					return 0, err
 				}
@@ -108,11 +306,7 @@ blocks:
 				if obj == 0 {
 					return 0, errNPE("field write " + in.Field.Name)
 				}
-				storeField(hp, obj, in.Field, regs[in.B])
-			case ir.OpLoadStatic:
-				regs[in.Dst] = vm.statics[in.Field.StaticIndex]
-			case ir.OpStoreStatic:
-				vm.statics[in.Field.StaticIndex] = regs[in.A]
+				storeField(hp, t.tc, obj, in.Field, regs[in.B])
 			case ir.OpALoad:
 				arr := heap.Addr(regs[in.A])
 				if arr == 0 {
@@ -134,21 +328,13 @@ blocks:
 				if i < 0 || i >= n {
 					return 0, errBounds(i, n)
 				}
-				storeElem(hp, arr, in.Type, i, regs[in.C])
+				storeElem(hp, t.tc, arr, in.Type, i, regs[in.C])
 			case ir.OpALen:
 				arr := heap.Addr(regs[in.A])
 				if arr == 0 {
 					return 0, errNPE("array length")
 				}
 				regs[in.Dst] = Value(uint32(hp.ArrayLen(arr)))
-			case ir.OpInstOf:
-				regs[in.Dst] = boolVal(t.instanceOf(heap.Addr(regs[in.A]), in.Type))
-			case ir.OpCast:
-				a := heap.Addr(regs[in.A])
-				if a != 0 && !t.instanceOf(a, in.Type) {
-					return 0, fmt.Errorf("ClassCastException: cannot cast to %s", in.Type)
-				}
-				regs[in.Dst] = regs[in.A]
 
 			case ir.OpCall:
 				t.tc.Safepoint()
@@ -164,7 +350,7 @@ blocks:
 				if callee == nil {
 					return 0, fmt.Errorf("vm: %s has no implementation of %s", cls.Name, in.M.Name)
 				}
-				v, err := t.invoke(callee, regs, in, Value(recv), true)
+				v, err := t.callFn(callee, regs, in, Value(recv), true)
 				if err != nil {
 					return 0, err
 				}
@@ -179,7 +365,7 @@ blocks:
 				if hasRecv {
 					recv = regs[in.A]
 				}
-				v, err := t.invoke(callee, regs, in, recv, hasRecv)
+				v, err := t.callFn(callee, regs, in, recv, hasRecv)
 				if err != nil {
 					return 0, err
 				}
@@ -192,18 +378,34 @@ blocks:
 				}
 				return regs[in.A], nil
 			case ir.OpJump:
-				t.tc.Safepoint()
+				if in.Blk <= bi {
+					t.tc.Safepoint()
+				}
 				bi = in.Blk
 				continue blocks
 			case ir.OpBranch:
-				t.tc.Safepoint()
+				nxt := in.Blk2
 				if regs[in.A] != 0 {
-					bi = in.Blk
-				} else {
-					bi = in.Blk2
+					nxt = in.Blk
 				}
+				if nxt <= bi {
+					t.tc.Safepoint()
+				}
+				bi = nxt
 				continue blocks
 			case ir.OpIntr:
+				// Pure-math intrinsics run inline; everything else (I/O,
+				// iteration control, arraycopy) pays the intrinsic call.
+				if in.Dst != ir.NoReg {
+					switch int(in.Imm) {
+					case inSqrt:
+						regs[in.Dst] = math.Float64bits(math.Sqrt(math.Float64frombits(regs[in.Args[0]])))
+						continue
+					case inAbs:
+						regs[in.Dst] = math.Float64bits(math.Abs(math.Float64frombits(regs[in.Args[0]])))
+						continue
+					}
+				}
 				v, err := t.intrinsic(in, regs)
 				if err != nil {
 					return 0, err
@@ -212,25 +414,9 @@ blocks:
 					regs[in.Dst] = v
 				}
 
-			case ir.OpMonEnter:
-				if err := t.monEnter(heap.Addr(regs[in.A])); err != nil {
-					return 0, err
-				}
-			case ir.OpMonExit:
-				if err := t.monExit(heap.Addr(regs[in.A])); err != nil {
-					return 0, err
-				}
-
 			// --- Page half (program P') ---
 			case ir.OpPNew:
 				ref, err := t.iter.Current().AllocRecord(uint16(in.Cls.ID), int(in.Imm))
-				if err != nil {
-					return 0, err
-				}
-				regs[in.Dst] = Value(ref)
-			case ir.OpPNewArr:
-				n := int(int32(regs[in.A]))
-				ref, err := t.iter.Current().AllocArray(vm.RT.ArrayTypeIndex(in.Type), in.Type.FieldSize(), n)
 				if err != nil {
 					return 0, err
 				}
@@ -275,14 +461,6 @@ blocks:
 					return 0, errNPE("array record length")
 				}
 				regs[in.Dst] = Value(uint32(vm.RT.ArrayLen(ref)))
-			case ir.OpPInstOf:
-				regs[in.Dst] = boolVal(t.recInstanceOf(offheap.PageRef(regs[in.A]), in))
-			case ir.OpPCast:
-				ref := offheap.PageRef(regs[in.A])
-				if ref != 0 && !t.recInstanceOf(ref, in) {
-					return 0, fmt.Errorf("ClassCastException: record is not a %s", in.Cls.Name)
-				}
-				regs[in.Dst] = regs[in.A]
 			case ir.OpResolve:
 				// Retrieve the receiver-pool facade for the record's
 				// runtime type and bind it (§3.2, "Resolving types").
@@ -320,43 +498,19 @@ blocks:
 				hp.SetLong(heap.Addr(pe.recv), vm.pageRefField.Offset, int64(ref))
 				t.poolHits++
 				regs[in.Dst] = pe.recv
-			case ir.OpPMonEnter:
-				if err := vm.RT.Locks.Enter(vm.RT, offheap.PageRef(regs[in.A]), t, parker{t}); err != nil {
-					return 0, err
-				}
-			case ir.OpPMonExit:
-				if err := vm.RT.Locks.Exit(vm.RT, offheap.PageRef(regs[in.A]), t); err != nil {
-					return 0, err
-				}
 
 			default:
+				if h := opHandlers[in.Op]; h != nil {
+					if err := h(t, regs, in); err != nil {
+						return 0, err
+					}
+					continue
+				}
 				return 0, fmt.Errorf("vm: %s: unimplemented op %s", fn.Name, in.Op)
 			}
 		}
 		return 0, fmt.Errorf("vm: %s: fell off block b%d", fn.Name, bi)
 	}
-}
-
-// invoke builds the callee argument list from the caller's registers and
-// executes the callee.
-func (t *Thread) invoke(callee *ir.Func, regs []Value, in *ir.Instr, recv Value, hasRecv bool) (Value, error) {
-	var buf [8]Value
-	nargs := len(in.Args)
-	total := nargs
-	if hasRecv {
-		total++
-	}
-	args := buf[:0]
-	if total > len(buf) {
-		args = make([]Value, 0, total)
-	}
-	if hasRecv {
-		args = append(args, recv)
-	}
-	for _, r := range in.Args {
-		args = append(args, regs[r])
-	}
-	return t.exec(callee, args)
 }
 
 // instanceOf implements the heap-object subtype test.
@@ -430,7 +584,7 @@ func loadField(hp *heap.Heap, obj heap.Addr, f *lang.Field) Value {
 	}
 }
 
-func storeField(hp *heap.Heap, obj heap.Addr, f *lang.Field, v Value) {
+func storeField(hp *heap.Heap, tc *heap.ThreadCtx, obj heap.Addr, f *lang.Field, v Value) {
 	switch f.Type.Kind {
 	case lang.TBool, lang.TByte:
 		hp.SetByte(obj, f.Offset, int8(v))
@@ -441,7 +595,7 @@ func storeField(hp *heap.Heap, obj heap.Addr, f *lang.Field, v Value) {
 	case lang.TDouble:
 		hp.SetDouble(obj, f.Offset, math.Float64frombits(v))
 	default:
-		hp.SetRef(obj, f.Offset, heap.Addr(v))
+		hp.SetRefTC(tc, obj, f.Offset, heap.Addr(v))
 	}
 }
 
@@ -461,7 +615,7 @@ func loadElem(hp *heap.Heap, arr heap.Addr, elem *lang.Type, i int) Value {
 	}
 }
 
-func storeElem(hp *heap.Heap, arr heap.Addr, elem *lang.Type, i int, v Value) {
+func storeElem(hp *heap.Heap, tc *heap.ThreadCtx, arr heap.Addr, elem *lang.Type, i int, v Value) {
 	off := i * elem.FieldSize()
 	switch elem.Kind {
 	case lang.TBool, lang.TByte:
@@ -473,7 +627,7 @@ func storeElem(hp *heap.Heap, arr heap.Addr, elem *lang.Type, i int, v Value) {
 	case lang.TDouble:
 		hp.SetDouble(arr, off, math.Float64frombits(v))
 	default:
-		hp.SetRef(arr, off, heap.Addr(v))
+		hp.SetRefTC(tc, arr, off, heap.Addr(v))
 	}
 }
 

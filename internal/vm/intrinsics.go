@@ -230,11 +230,11 @@ func (t *Thread) arraycopyHeap(in *ir.Instr, regs []Value) error {
 		// System.arraycopy (memmove semantics).
 		if src == dst && dstPos > srcPos {
 			for i := n - 1; i >= 0; i-- {
-				hp.SetRef(dst, (dstPos+i)*es, hp.GetRef(src, (srcPos+i)*es))
+				hp.SetRefTC(t.tc, dst, (dstPos+i)*es, hp.GetRef(src, (srcPos+i)*es))
 			}
 		} else {
 			for i := 0; i < n; i++ {
-				hp.SetRef(dst, (dstPos+i)*es, hp.GetRef(src, (srcPos+i)*es))
+				hp.SetRefTC(t.tc, dst, (dstPos+i)*es, hp.GetRef(src, (srcPos+i)*es))
 			}
 		}
 		return nil

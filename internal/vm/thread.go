@@ -10,7 +10,10 @@ import (
 	"repro/internal/offheap"
 )
 
-// frame is one interpreter activation record.
+// frame is one interpreter activation record. Frames are stored by value
+// in the thread's frame stack so that pushing one is a slice append into
+// already-reserved capacity rather than a heap allocation per interpreted
+// call.
 type frame struct {
 	fn   *ir.Func
 	regs []Value
@@ -32,7 +35,7 @@ type Thread struct {
 	tc *heap.ThreadCtx
 	id int
 
-	frames []*frame
+	frames []frame
 
 	// stack backs frame register windows (LIFO); frames that overflow it
 	// fall back to fresh slices.
@@ -127,7 +130,8 @@ func (t *Thread) Close() {
 // visitRoots scans the thread's frame registers and facade pools. Runs
 // with the world stopped.
 func (t *Thread) visitRoots(visit func(heap.Addr) heap.Addr) {
-	for _, fr := range t.frames {
+	for fi := range t.frames {
+		fr := &t.frames[fi]
 		for i, rt := range fr.fn.RegTypes {
 			if rt.IsRef() {
 				fr.regs[i] = Value(visit(heap.Addr(fr.regs[i])))

@@ -42,6 +42,9 @@ type Config struct {
 	Out io.Writer
 	// RandSeed seeds the deterministic Sys.rand source.
 	RandSeed int64
+	// GCWorkers is the heap full-collection mark parallelism
+	// (heap.Config.GCWorkers); 0 picks the heap's default.
+	GCWorkers int
 	// NativeRT supplies the page store for transformed programs; a fresh
 	// one is created when nil and the program is transformed.
 	NativeRT *offheap.Runtime
@@ -136,7 +139,7 @@ func New(prog *ir.Program, cfg Config) (*VM, error) {
 		cBoundary: reg.Counter(obs.CtrBoundaryCalls),
 		cPoolHits: reg.Counter(obs.CtrFacadePoolHits),
 	}
-	vm.Heap = heap.New(heap.Config{HeapSize: cfg.HeapSize, Obs: reg, Faults: cfg.Faults}, prog.H)
+	vm.Heap = heap.New(heap.Config{HeapSize: cfg.HeapSize, GCWorkers: cfg.GCWorkers, Obs: reg, Faults: cfg.Faults}, prog.H)
 	if prog.Transformed {
 		vm.RT = cfg.NativeRT
 		if vm.RT == nil {
@@ -267,6 +270,10 @@ func (vm *VM) link() error {
 					if !ok {
 						return fmt.Errorf("vm: %s: unknown intrinsic %s", f.Name, in.Sym)
 					}
+					// Imm is unused by OpIntr, so it carries the index for
+					// the dispatch loop's inline fast path; Cache keeps the
+					// boxed copy as the "linked" marker for the slow path.
+					in.Imm = int64(idx)
 					in.Cache = idx
 				}
 			}
