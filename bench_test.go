@@ -363,7 +363,7 @@ class Main {
 	b.Run("heap-objects", func(b *testing.B) {
 		var bytesUsed int64
 		for i := 0; i < b.N; i++ {
-			_, res, err := facade.RunMain(prog, facade.RunConfig{HeapSize: 16 << 20})
+			res, err := facade.Run(prog, facade.WithHeapSize(16<<20))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -375,7 +375,7 @@ class Main {
 	b.Run("page-records", func(b *testing.B) {
 		var bytesUsed int64
 		for i := 0; i < b.N; i++ {
-			_, res, err := facade.RunMain(p2, facade.RunConfig{HeapSize: 16 << 20})
+			res, err := facade.Run(p2, facade.WithHeapSize(16<<20))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -415,7 +415,7 @@ class Main {
 	}{{"heap", prog}, {"pages", p2}} {
 		b.Run(pr.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, res, err := facade.RunMain(pr.p, facade.RunConfig{HeapSize: 8 << 20})
+				res, err := facade.Run(pr.p, facade.WithHeapSize(8<<20))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -575,7 +575,7 @@ class D { int x; }
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, res, err := facade.RunMain(prog, facade.RunConfig{HeapSize: 8 << 20})
+		res, err := facade.Run(prog, facade.WithHeapSize(8<<20))
 		if err != nil {
 			b.Fatal(err)
 		}

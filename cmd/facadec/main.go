@@ -123,15 +123,17 @@ func main() {
 	}
 
 	if *run != "" {
-		outP, resP, err := facade.RunMain(prog, facade.RunConfig{Entry: *run, HeapSize: *heapMB << 20})
+		resP, err := facade.Run(prog, facade.WithEntry(*run), facade.WithHeapSize(*heapMB<<20))
 		if err != nil {
 			fatal(fmt.Errorf("running P: %w", err))
 		}
+		outP := resP.Output()
 		resP.Close()
-		outP2, resP2, err := facade.RunMain(p2, facade.RunConfig{Entry: *run, HeapSize: *heapMB << 20})
+		resP2, err := facade.Run(p2, facade.WithEntry(*run), facade.WithHeapSize(*heapMB<<20))
 		if err != nil {
 			fatal(fmt.Errorf("running P': %w", err))
 		}
+		outP2 := resP2.Output()
 		resP2.Close()
 		fmt.Printf("\n--- P output ---\n%s", outP)
 		fmt.Printf("--- P' output ---\n%s", outP2)
@@ -169,9 +171,14 @@ func vetMain(argv []string) int {
 			status = 1
 			continue
 		}
-		r, err := facade.Vet(map[string]string{path: string(src)}, facade.VetOptions{
-			DataClasses: data, Strict: *strict, Seed: *seed,
-		})
+		vopts := []facade.VetOption{facade.VetWithDataClasses(data...)}
+		if *strict {
+			vopts = append(vopts, facade.VetStrict())
+		}
+		if *seed != "" {
+			vopts = append(vopts, facade.VetWithSeedViolation(*seed))
+		}
+		r, err := facade.Vet(map[string]string{path: string(src)}, vopts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "facadec vet: %s: %v\n", path, err)
 			status = 1

@@ -15,6 +15,13 @@
 //	repro speed    [flags]   transform compilation speed (§4.1-4.3)
 //	repro bench    [flags]   measurement harness + regression gate (docs/PERFORMANCE.md)
 //	repro all                everything at default (small) scale
+//
+// Daemon mode (docs/SERVER.md):
+//
+//	repro serve    [flags]   run the multi-tenant job daemon in the foreground
+//	repro submit   [flags]   submit FJ sources to the daemon (auto-starts it)
+//	repro status   [flags]   print daemon status (jobs, budgets, warm pool)
+//	repro shutdown [flags]   stop the daemon
 package main
 
 import (
@@ -31,6 +38,10 @@ var commands = map[string]func([]string) error{
 	"objcount": objcountCmd,
 	"speed":    speedCmd,
 	"bench":    benchCmd,
+	"serve":    serveCmd,
+	"submit":   submitCmd,
+	"status":   statusCmd,
+	"shutdown": shutdownCmd,
 }
 
 func main() {
@@ -61,5 +72,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: repro {table2|fig4a|table3|fig4bc|gps|objcount|speed|bench|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: repro {table2|fig4a|table3|fig4bc|gps|objcount|speed|bench|serve|submit|status|shutdown|all} [flags]")
 }

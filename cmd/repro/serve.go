@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// serveCmd runs the facade.job/v1 daemon in the foreground until it is
+// stopped (signal, POST /v1/shutdown, or idle timeout).
+func serveCmd(argv []string) error {
+	fs := flag.NewFlagSet("repro serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address")
+	portFile := fs.String("portfile", server.DefaultPortFile(), "discovery file written after listen")
+	budgetMB := fs.Int64("budget", 1024, "aggregate heap budget across queued+running jobs (MiB)")
+	tenantMB := fs.Int64("tenant-budget", 0, "default per-tenant heap budget (MiB, 0 = aggregate only)")
+	jobs := fs.Int("jobs", 2, "max concurrently executing jobs")
+	poolCap := fs.Int("pool", 8, "warm VM pool capacity")
+	idle := fs.Duration("idle", 0, "auto-shutdown after this long idle (0 = never)")
+	fs.Parse(argv)
+
+	s, err := server.New(server.Config{
+		Addr:          *addr,
+		PortFile:      *portFile,
+		HeapBudget:    *budgetMB << 20,
+		TenantBudget:  *tenantMB << 20,
+		MaxConcurrent: *jobs,
+		WarmPoolCap:   *poolCap,
+		IdleTimeout:   *idle,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repro serve: listening on %s (portfile %s)\n", s.Addr(), *portFile)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		ctx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+		defer stop()
+		s.Shutdown(ctx)
+	}()
+
+	s.Wait()
+	return nil
+}
+
+// submitCmd sends FJ sources to the daemon (auto-starting it when none is
+// running) and, unless -nowait is given, waits for the result and prints
+// the program output.
+func submitCmd(argv []string) error {
+	fs := flag.NewFlagSet("repro submit", flag.ExitOnError)
+	portFile := fs.String("portfile", server.DefaultPortFile(), "daemon discovery file")
+	tenant := fs.String("tenant", "", "tenant name for budget accounting")
+	priority := fs.Int("priority", 0, "queue priority (higher runs sooner)")
+	transform := fs.Bool("transform", false, "apply the FACADE transform (run P')")
+	dataList := fs.String("data", "", "comma-separated data classes for the transform")
+	entry := fs.String("entry", "", `entry function (default "Main.main")`)
+	heapMB := fs.Int("heap", 64, "managed heap budget (MiB)")
+	quota := fs.Int64("quota", 0, "live off-heap page quota (0 = unlimited)")
+	seed := fs.Int64("seed", 1, "Sys.rand seed")
+	faults := fs.String("faults", "", `fault-injection spec (e.g. "alloc=0.001,seed=7")`)
+	noWait := fs.Bool("nowait", false, "print the job id and exit without waiting")
+	oneshot := fs.Bool("oneshot", false, "run in-process without a daemon (reference path)")
+	fs.Parse(argv)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: repro submit [flags] file.fj...")
+	}
+
+	sources := make(map[string]string)
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		sources[path] = string(src)
+	}
+	var data []string
+	if *dataList != "" {
+		data = strings.Split(*dataList, ",")
+	}
+
+	req := server.SubmitRequest{
+		Tenant:      *tenant,
+		Priority:    *priority,
+		Sources:     sources,
+		Transform:   *transform,
+		DataClasses: data,
+		Entry:       *entry,
+		HeapSize:    *heapMB << 20,
+		PageQuota:   *quota,
+		RandSeed:    seed,
+		Faults:      *faults,
+	}
+	if *oneshot {
+		out, _, err := server.OneShot(req)
+		fmt.Print(out)
+		return err
+	}
+	c, err := server.EnsureServer(*portFile, server.StartOptions{})
+	if err != nil {
+		return err
+	}
+	resp, err := c.Submit(req)
+	if err != nil {
+		return err
+	}
+	if *noWait {
+		fmt.Println(resp.JobID)
+		return nil
+	}
+	st, err := c.Wait(resp.JobID)
+	if err != nil {
+		return err
+	}
+	fmt.Print(st.Output)
+	if st.State != server.StateDone {
+		return fmt.Errorf("job %s %s: %s", st.JobID, st.State, st.Error)
+	}
+	return nil
+}
+
+// statusCmd prints the daemon's status, or reports that none is running.
+func statusCmd(argv []string) error {
+	fs := flag.NewFlagSet("repro status", flag.ExitOnError)
+	portFile := fs.String("portfile", server.DefaultPortFile(), "daemon discovery file")
+	fs.Parse(argv)
+	c, err := server.Discover(*portFile)
+	if err != nil {
+		fmt.Println("no daemon running")
+		return nil
+	}
+	st, err := c.Status()
+	if err != nil {
+		return err
+	}
+	return server.EncodeJob(os.Stdout, st)
+}
+
+// shutdownCmd stops the daemon if one is running.
+func shutdownCmd(argv []string) error {
+	fs := flag.NewFlagSet("repro shutdown", flag.ExitOnError)
+	portFile := fs.String("portfile", server.DefaultPortFile(), "daemon discovery file")
+	fs.Parse(argv)
+	c, err := server.Discover(*portFile)
+	if err != nil {
+		fmt.Println("no daemon running")
+		return nil
+	}
+	return c.Shutdown()
+}

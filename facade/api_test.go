@@ -19,18 +19,18 @@ func TestCompileErrorsSurface(t *testing.T) {
 	}
 }
 
-func TestRunMainMissingEntry(t *testing.T) {
+func TestRunMissingEntry(t *testing.T) {
 	prog, err := Compile(map[string]string{"x.fj": "class Foo { int x; }"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = RunMain(prog, RunConfig{})
+	_, err = Run(prog)
 	if err == nil || !strings.Contains(err.Error(), "Main.main") {
 		t.Fatalf("missing entry not reported: %v", err)
 	}
 }
 
-func TestRunMainCustomEntry(t *testing.T) {
+func TestRunCustomEntry(t *testing.T) {
 	prog, err := Compile(map[string]string{"x.fj": `
 class App {
     static void start() { Sys.println(7); }
@@ -39,12 +39,12 @@ class App {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, res, err := RunMain(prog, RunConfig{Entry: "App.start"})
+	res, err := Run(prog, WithEntry("App.start"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer res.Close()
-	if out != "7\n" {
+	if out := res.Output(); out != "7\n" {
 		t.Fatalf("got %q", out)
 	}
 }
@@ -79,13 +79,13 @@ class D {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// RunMain must route "Main.main" to "MainFacade.main" automatically.
-	out, res, err := RunMain(p2, RunConfig{})
+	// Run must route "Main.main" to "MainFacade.main" automatically.
+	res, err := Run(p2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer res.Close()
-	if out != "11\n" {
+	if out := res.Output(); out != "11\n" {
 		t.Fatalf("got %q", out)
 	}
 }
@@ -240,14 +240,14 @@ class Main {
 	if seed0 == seed1 {
 		t.Fatal("WithRandSeed(0) remapped to seed 1")
 	}
-	// The legacy struct cannot express seed 0: zero value means default.
-	legacy, res, err := RunMain(prog, RunConfig{})
+	// Without WithRandSeed the default seed is 1.
+	res, err := Run(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer res.Close()
-	if legacy != seed1 {
-		t.Fatal("legacy default seed must stay 1")
+	if res.Output() != seed1 {
+		t.Fatal("default seed must stay 1")
 	}
 }
 
@@ -281,12 +281,12 @@ class Main {
 	}
 	// And explicitly with a 2 MiB heap for P.
 	prog, _ := Compile(map[string]string{"x.fj": src})
-	outSmall, res, err := RunMain(prog, RunConfig{HeapSize: 2 << 20})
+	res, err := Run(prog, WithHeapSize(2<<20))
 	if err != nil {
 		t.Fatalf("P under tiny heap: %v", err)
 	}
 	defer res.Close()
-	if outSmall != out {
+	if res.Output() != out {
 		t.Fatal("tiny-heap run diverges")
 	}
 	if res.VM.Heap.Stats().MinorGCs+res.VM.Heap.Stats().FullGCs < 5 {

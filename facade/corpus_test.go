@@ -409,13 +409,13 @@ class Main {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, res, err := RunMain(p2, RunConfig{HeapSize: 2 << 20})
+	res, err := Run(p2, WithHeapSize(2<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer res.Close()
 	want := "4950\n4950\ntrue\n199990000\n"
-	if out != want {
+	if out := res.Output(); out != want {
 		t.Fatalf("got %q want %q", out, want)
 	}
 	hs := res.VM.Heap.Stats()
@@ -463,7 +463,7 @@ class Main {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, res, err := RunMain(p2, RunConfig{HeapSize: 32 << 20})
+	res, err := Run(p2, WithHeapSize(32<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,19 +502,21 @@ class Main {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outP, r1, err := RunMain(prog, RunConfig{HeapSize: 16 << 20})
+	r1, err := Run(prog, WithHeapSize(16<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
+	outP := r1.Output()
 	r1.Close()
 	p3, err := Transform(prog, TransformOptions{DataClasses: []string{"P2", "Main"}, Devirtualize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	outP3, r3, err := RunMain(p3, RunConfig{HeapSize: 16 << 20})
+	r3, err := Run(p3, WithHeapSize(16<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
+	outP3 := r3.Output()
 	r3.Close()
 	if outP != outP3 {
 		t.Fatalf("devirtualized run diverges: %q vs %q", outP, outP3)

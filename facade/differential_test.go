@@ -244,7 +244,7 @@ func TestDifferentialExamples(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r, err := Vet(map[string]string{path: string(src)}, VetOptions{})
+			r, err := Vet(map[string]string{path: string(src)})
 			if err != nil {
 				t.Fatalf("vet: %v", err)
 			}

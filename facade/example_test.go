@@ -27,12 +27,12 @@ class Main {
 	if err != nil {
 		panic(err)
 	}
-	out, res, err := facade.RunMain(prog, facade.RunConfig{})
+	res, err := facade.Run(prog)
 	if err != nil {
 		panic(err)
 	}
 	defer res.Close()
-	fmt.Print(out)
+	fmt.Print(res.Output())
 	// Output: 7
 }
 
@@ -67,12 +67,12 @@ class Main {
 	if err != nil {
 		panic(err)
 	}
-	out, res, err := facade.RunMain(p2, facade.RunConfig{})
+	res, err := facade.Run(p2)
 	if err != nil {
 		panic(err)
 	}
 	defer res.Close()
-	fmt.Print(out)
+	fmt.Print(res.Output())
 	fmt.Println("records:", res.VM.RT.Stats().Records >= 5000)
 	facades := res.VM.Heap.ClassAllocCount(p2.H.Class("PointFacade"))
 	fmt.Println("facades bounded:", facades <= int64(p2.Bounds["Point"]+1))

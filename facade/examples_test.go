@@ -42,22 +42,24 @@ func TestExamplesVetCleanAndEquivalent(t *testing.T) {
 	for path, src := range exampleSources(t) {
 		path, src := path, src
 		t.Run(filepath.Base(path), func(t *testing.T) {
-			r, err := facade.Vet(map[string]string{path: src}, facade.VetOptions{})
+			r, err := facade.Vet(map[string]string{path: src})
 			if err != nil {
 				t.Fatalf("vet: %v", err)
 			}
 			if !r.Clean() {
 				t.Fatalf("vet not clean:\n%s", r.Report())
 			}
-			outP, resP, err := facade.RunMain(r.P, facade.RunConfig{HeapSize: 64 << 20})
+			resP, err := facade.Run(r.P, facade.WithHeapSize(64<<20))
 			if err != nil {
 				t.Fatalf("run P: %v", err)
 			}
+			outP := resP.Output()
 			resP.Close()
-			outP2, resP2, err := facade.RunMain(r.P2, facade.RunConfig{HeapSize: 64 << 20})
+			resP2, err := facade.Run(r.P2, facade.WithHeapSize(64<<20))
 			if err != nil {
 				t.Fatalf("run P': %v", err)
 			}
+			outP2 := resP2.Output()
 			resP2.Close()
 			if outP == "" || outP != outP2 {
 				t.Fatalf("P/P' outputs differ or empty.\nP:\n%s\nP':\n%s", outP, outP2)
@@ -122,15 +124,17 @@ func TestDCEPreservesOutputAndRemovesInstructions(t *testing.T) {
 	if got, want := opt.NumInstrs(), plain.NumInstrs()-opt.DCERemoved; got != want {
 		t.Fatalf("instruction accounting: %d instrs after DCE, want %d", got, want)
 	}
-	outPlain, r1, err := facade.RunMain(plain, facade.RunConfig{HeapSize: 32 << 20})
+	r1, err := facade.Run(plain, facade.WithHeapSize(32<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
+	outPlain := r1.Output()
 	r1.Close()
-	outOpt, r2, err := facade.RunMain(opt, facade.RunConfig{HeapSize: 32 << 20})
+	r2, err := facade.Run(opt, facade.WithHeapSize(32<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
+	outOpt := r2.Output()
 	r2.Close()
 	if outPlain != outOpt {
 		t.Fatalf("DCE changed output.\nwithout:\n%s\nwith:\n%s", outPlain, outOpt)

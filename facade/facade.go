@@ -12,16 +12,24 @@
 //	fmt.Print(res.Output())
 //	stats := res.Stats() // GC pauses, page counters, per-class allocs
 //
+// Run is RunContext with context.Background(); RunContext supports real
+// cancellation — a canceled context unwinds the interpreter at the next
+// safepoint and surfaces as a *CanceledError.
+//
 // Result.Stats returns RunStats, a self-contained mirror of everything the
 // run measured, so reporting code needs no internal packages.
 //
 // Framework integrations (GraphChi, Hyracks, GPS in internal/...) create a
 // VM directly with NewVM and drive the data path through vm.Thread's
-// boundary helpers.
+// boundary helpers. Long-lived callers (the repro serve daemon,
+// internal/server) reuse a VM across runs with WithReusedVM, which keeps
+// the heap arena, dispatch tables, and recycled page pool warm.
 package facade
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -72,6 +80,23 @@ type Result struct {
 	out *bytes.Buffer
 }
 
+// CanceledError reports that a run was canceled through its context. The
+// interpreter polls cancellation at safepoints (calls and loop back-edges),
+// so cancellation latency is bounded by straight-line code between them.
+// Unwrap exposes the context's error, so
+// errors.Is(err, context.Canceled) and errors.Is(err, context.DeadlineExceeded)
+// both work as expected.
+type CanceledError struct {
+	// Cause is the context's error: context.Canceled,
+	// context.DeadlineExceeded, or a custom cancel cause.
+	Cause error
+}
+
+func (e *CanceledError) Error() string { return "facade: run canceled: " + e.Cause.Error() }
+
+// Unwrap returns the context error that canceled the run.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
 // Run creates a VM for p, runs the entry function on a fresh thread, and
 // returns the Result. Options configure the heap budget, entry point,
 // random seed, output tee, and event observer:
@@ -79,8 +104,19 @@ type Result struct {
 //	res, err := facade.Run(p, facade.WithHeapSize(32<<20), facade.WithEntry("App.start"))
 //
 // The Sys.print output is available from Result.Output, and measurements
-// from Result.Stats. Call Result.Close when done.
+// from Result.Stats. Call Result.Close when done. Run is exactly
+// RunContext(context.Background(), p, opts...).
 func Run(p *ir.Program, opts ...Option) (*Result, error) {
+	return RunContext(context.Background(), p, opts...)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled (or its
+// deadline passes), the interpreter unwinds at the next safepoint and
+// RunContext returns a *CanceledError wrapping ctx's error. With
+// WithReusedVM the run executes on a warm VM reset for reuse instead of
+// building a fresh one — the path the repro serve daemon takes for every
+// job after the first.
+func RunContext(ctx context.Context, p *ir.Program, opts ...Option) (*Result, error) {
 	o := defaultRunOptions()
 	for _, opt := range opts {
 		opt(&o)
@@ -111,13 +147,45 @@ func Run(p *ir.Program, opts ...Option) (*Result, error) {
 	if p.DCERemoved > 0 {
 		reg.Counter(obs.CtrDCERemoved).Add(int64(p.DCERemoved))
 	}
-	m, err := vm.New(p, vm.Config{
-		HeapSize: o.heapSize, Out: w, RandSeed: o.randSeed, Obs: reg,
-		GCWorkers: o.gcWorkers,
-		Faults:    faults.New(o.faults),
-	})
-	if err != nil {
-		return nil, err
+	inj := faults.New(o.faults)
+	var m *vm.VM
+	if o.reuseVM != nil {
+		m = o.reuseVM
+		if m.Prog != p {
+			return nil, fmt.Errorf("facade: WithReusedVM: VM was built for a different program")
+		}
+		if m.Heap.Size() != o.heapSize {
+			return nil, fmt.Errorf("facade: WithReusedVM: VM heap is %d bytes, run wants %d (pool by heap size)",
+				m.Heap.Size(), o.heapSize)
+		}
+		if err := m.ResetForReuse(vm.ResetConfig{
+			Out: w, RandSeed: o.randSeed, Obs: reg, Faults: inj,
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		m, err = vm.New(p, vm.Config{
+			HeapSize: o.heapSize, Out: w, RandSeed: o.randSeed, Obs: reg,
+			GCWorkers: o.gcWorkers,
+			Faults:    inj,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if m.RT != nil && o.pageQuota > 0 {
+		m.RT.SetPageQuota(o.pageQuota)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &CanceledError{Cause: err}
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			var canceled error = &CanceledError{Cause: context.Cause(ctx)}
+			m.Cancel(canceled)
+		})
+		defer stop()
 	}
 	t, err := m.NewThread(nil)
 	if err != nil {
@@ -137,6 +205,10 @@ func Run(p *ir.Program, opts ...Option) (*Result, error) {
 	v, err := t.Call(entry)
 	res.Value = v
 	if err != nil {
+		var ce *CanceledError
+		if errors.As(err, &ce) {
+			return res, ce
+		}
 		return res, fmt.Errorf("running %s: %w", entry, err)
 	}
 	return res, nil
@@ -155,43 +227,6 @@ func (r *Result) Close() {
 	if r.Thread != nil {
 		r.Thread.Close()
 	}
-}
-
-// RunConfig configures a program run.
-//
-// Deprecated: use Run with options (WithHeapSize, WithEntry, WithRandSeed).
-type RunConfig struct {
-	// HeapSize is the managed heap budget in bytes (default 64 MiB).
-	HeapSize int
-	// Entry is the entry function key (default "Main.main").
-	Entry string
-	// RandSeed seeds Sys.rand (default 1; pass WithRandSeed(0) to Run for
-	// an explicit zero seed — this struct cannot express it).
-	RandSeed int64
-}
-
-// RunMain creates a VM, runs the entry function on a fresh thread, and
-// returns the captured Sys.print output. The VM and thread are returned
-// for stats inspection; call Result.Close when done.
-//
-// Deprecated: use Run, which returns the output via Result.Output and
-// measurements via Result.Stats.
-func RunMain(p *ir.Program, cfg RunConfig) (string, *Result, error) {
-	opts := []Option{}
-	if cfg.HeapSize != 0 {
-		opts = append(opts, WithHeapSize(cfg.HeapSize))
-	}
-	if cfg.Entry != "" {
-		opts = append(opts, WithEntry(cfg.Entry))
-	}
-	if cfg.RandSeed != 0 {
-		opts = append(opts, WithRandSeed(cfg.RandSeed))
-	}
-	res, err := Run(p, opts...)
-	if res == nil {
-		return "", nil, err
-	}
-	return res.Output(), res, err
 }
 
 // NewVM builds a VM for a compiled or transformed program.

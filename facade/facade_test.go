@@ -24,10 +24,11 @@ func runBoth(t *testing.T, src string, dataClasses []string) string {
 	if fs := analysis.LintProgram(prog); len(fs) > 0 {
 		t.Fatalf("lint P: %d finding(s), first: %s", len(fs), fs[0])
 	}
-	outP, resP, err := RunMain(prog, RunConfig{HeapSize: 32 << 20})
+	resP, err := Run(prog, WithHeapSize(32<<20))
 	if err != nil {
-		t.Fatalf("run P: %v (output so far: %q)", err, outP)
+		t.Fatalf("run P: %v", err)
 	}
+	outP := resP.Output()
 	resP.Close()
 
 	p2, err := Transform(prog, TransformOptions{DataClasses: dataClasses})
@@ -40,10 +41,11 @@ func runBoth(t *testing.T, src string, dataClasses []string) string {
 	if fs := analysis.LintProgram(p2); len(fs) > 0 {
 		t.Fatalf("lint P': %d finding(s), first: %s", len(fs), fs[0])
 	}
-	outP2, resP2, err := RunMain(p2, RunConfig{HeapSize: 32 << 20})
+	resP2, err := Run(p2, WithHeapSize(32<<20))
 	if err != nil {
-		t.Fatalf("run P': %v (output so far: %q)", err, outP2)
+		t.Fatalf("run P': %v", err)
 	}
+	outP2 := resP2.Output()
 	resP2.Close()
 
 	if outP != outP2 {
@@ -309,12 +311,12 @@ class Main {
 	if err != nil {
 		t.Fatalf("transform: %v", err)
 	}
-	out, res, err := RunMain(p2, RunConfig{HeapSize: 32 << 20})
+	res, err := Run(p2, WithHeapSize(32<<20))
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	defer res.Close()
-	if out != "12497500\n" {
+	if out := res.Output(); out != "12497500\n" {
 		t.Fatalf("got %q", out)
 	}
 	// Count heap allocations of the facade class for Item: bounded by the

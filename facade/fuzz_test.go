@@ -198,10 +198,11 @@ func TestRandomProgramEquivalence(t *testing.T) {
 			if err := analysis.VerifyProgram(prog); err != nil {
 				t.Fatalf("P fails IR verification (compiler bug): %v\n%s", err, src)
 			}
-			outP, resP, err := RunMain(prog, RunConfig{HeapSize: 16 << 20})
+			resP, err := Run(prog, WithHeapSize(16<<20))
 			if err != nil {
 				t.Fatalf("P: %v\n%s", err, src)
 			}
+			outP := resP.Output()
 			resP.Close()
 			p2, err := Transform(prog, TransformOptions{DataClasses: []string{"Node", "Leaf", "Main"}})
 			if err != nil {
@@ -213,10 +214,11 @@ func TestRandomProgramEquivalence(t *testing.T) {
 			if fs := analysis.LintProgram(p2); len(fs) > 0 {
 				t.Fatalf("P' fails facade-safety lint: %s\n%s", fs[0], src)
 			}
-			outP2, resP2, err := RunMain(p2, RunConfig{HeapSize: 16 << 20})
+			resP2, err := Run(p2, WithHeapSize(16<<20))
 			if err != nil {
 				t.Fatalf("P': %v\n%s", err, src)
 			}
+			outP2 := resP2.Output()
 			resP2.Close()
 			if outP != outP2 {
 				t.Fatalf("divergence (seed %d):\nP:  %q\nP': %q\nprogram:\n%s", seed, outP, outP2, src)
@@ -232,10 +234,11 @@ func TestRandomProgramEquivalence(t *testing.T) {
 			if err := analysis.VerifyProgram(p3); err != nil {
 				t.Fatalf("P'' fails IR verification (devirt bug): %v\n%s", err, src)
 			}
-			outP3, resP3, err := RunMain(p3, RunConfig{HeapSize: 16 << 20})
+			resP3, err := Run(p3, WithHeapSize(16<<20))
 			if err != nil {
 				t.Fatalf("P'' (devirt): %v\n%s", err, src)
 			}
+			outP3 := resP3.Output()
 			resP3.Close()
 			if outP != outP3 {
 				t.Fatalf("devirt divergence (seed %d):\nP:   %q\nP'': %q\nprogram:\n%s", seed, outP, outP3, src)

@@ -5,9 +5,10 @@ import (
 	"io"
 
 	"repro/internal/faults"
+	"repro/internal/vm"
 )
 
-// Option configures a Run call (functional options).
+// Option configures a Run or RunContext call (functional options).
 type Option func(*runOptions)
 
 type runOptions struct {
@@ -21,6 +22,8 @@ type runOptions struct {
 	faultsErr error
 	verify    bool
 	gcWorkers int
+	reuseVM   *vm.VM
+	pageQuota int64
 }
 
 func defaultRunOptions() runOptions {
@@ -83,6 +86,27 @@ func WithObserver(fn func(Event)) Option {
 // analysis.* counters.
 func WithVerify() Option {
 	return func(o *runOptions) { o.verify = true }
+}
+
+// WithReusedVM runs the program on a warm VM from a previous run instead of
+// building a fresh one. The VM must have been built for the same *ir.Program
+// and with the same heap size as this run requests; Run resets all job
+// state (heap contents, statics, string cache, handles, RNG, counters) so
+// output is bit-identical to a cold run, while the expensive parts — heap
+// arena, dispatch tables, facade metadata, recycled page pool — stay warm.
+// The reset fails (and the Run call errors) if the VM still has live
+// threads or live pages, so a poisoned VM is never silently reused.
+func WithReusedVM(m *vm.VM) Option {
+	return func(o *runOptions) { o.reuseVM = m }
+}
+
+// WithPageQuota caps the number of live off-heap pages the run may hold at
+// once. Exceeding the quota surfaces as offheap.ErrPageQuota, which wraps
+// ErrPageExhausted and therefore rides the same degradation rails as real
+// page exhaustion. 0 (the default) means unlimited. The repro serve daemon
+// uses this to bound each tenant's off-heap footprint.
+func WithPageQuota(pages int64) Option {
+	return func(o *runOptions) { o.pageQuota = pages }
 }
 
 // WithFaults enables deterministic fault injection from a spec string like

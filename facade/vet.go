@@ -9,20 +9,39 @@ import (
 	"repro/internal/ir"
 )
 
-// VetOptions configures a Vet pipeline run.
-type VetOptions struct {
-	// DataClasses names the data classes for the FACADE transform. When
-	// empty, Vet looks for a "// facadec: data=C1,C2" directive line in the
-	// sources.
-	DataClasses []string
-	// Strict disables data-set closure expansion (core.Options.NoAutoClose).
-	Strict bool
-	// Seed injects a known violation into P' before linting it — one of
-	// analysis.SeedViolation's kinds ("use-before-def", "pool-clobber") —
-	// for exercising the linter against a clean program.
-	Seed string
-	// Devirtualize forwards core.Options.Devirtualize.
-	Devirtualize bool
+// VetOption configures a Vet pipeline run (functional options, mirroring
+// Run's Option pattern).
+type VetOption func(*vetOptions)
+
+type vetOptions struct {
+	dataClasses  []string
+	strict       bool
+	seed         string
+	devirtualize bool
+}
+
+// VetWithDataClasses names the data classes for the FACADE transform. When
+// not given, Vet looks for a "// facadec: data=C1,C2" directive line in the
+// sources.
+func VetWithDataClasses(classes ...string) VetOption {
+	return func(o *vetOptions) { o.dataClasses = classes }
+}
+
+// VetStrict disables data-set closure expansion (core.Options.NoAutoClose).
+func VetStrict() VetOption {
+	return func(o *vetOptions) { o.strict = true }
+}
+
+// VetWithSeedViolation injects a known violation into P' before linting it —
+// one of analysis.SeedViolation's kinds ("use-before-def", "pool-clobber") —
+// for exercising the linter against a clean program.
+func VetWithSeedViolation(kind string) VetOption {
+	return func(o *vetOptions) { o.seed = kind }
+}
+
+// VetDevirtualize forwards core.Options.Devirtualize.
+func VetDevirtualize() VetOption {
+	return func(o *vetOptions) { o.devirtualize = true }
 }
 
 // VetResult carries everything a vet run produced.
@@ -79,7 +98,11 @@ func (r *VetResult) Report() string {
 // engine behind `facadec vet` and the golden-diagnostics tests. A non-nil
 // error means the pipeline itself could not run (parse/type/transform
 // failure); verifier and lint results are reported in the VetResult.
-func Vet(sources map[string]string, opts VetOptions) (*VetResult, error) {
+func Vet(sources map[string]string, vopts ...VetOption) (*VetResult, error) {
+	var opts vetOptions
+	for _, opt := range vopts {
+		opt(&opts)
+	}
 	p, err := Compile(sources)
 	if err != nil {
 		return nil, err
@@ -92,7 +115,7 @@ func Vet(sources map[string]string, opts VetOptions) (*VetResult, error) {
 	r.VerifiedFuncs += len(p.FuncList)
 	r.addFindings(analysis.LintProgram(p))
 
-	data := opts.DataClasses
+	data := opts.dataClasses
 	if len(data) == 0 {
 		for _, src := range sources {
 			if d := DataClassesDirective(src); len(d) > 0 {
@@ -104,7 +127,7 @@ func Vet(sources map[string]string, opts VetOptions) (*VetResult, error) {
 		return nil, fmt.Errorf("no data classes: pass -data or add a \"// facadec: data=C1,C2\" directive")
 	}
 	p2, err := Transform(p, TransformOptions{
-		DataClasses: data, NoAutoClose: opts.Strict, Devirtualize: opts.Devirtualize,
+		DataClasses: data, NoAutoClose: opts.strict, Devirtualize: opts.devirtualize,
 	})
 	if err != nil {
 		return nil, err
@@ -117,8 +140,8 @@ func Vet(sources map[string]string, opts VetOptions) (*VetResult, error) {
 		return r, nil
 	}
 	r.VerifiedFuncs += len(p2.FuncList)
-	if opts.Seed != "" {
-		if err := analysis.SeedViolation(p2, opts.Seed); err != nil {
+	if opts.seed != "" {
+		if err := analysis.SeedViolation(p2, opts.seed); err != nil {
 			return nil, err
 		}
 	}

@@ -17,13 +17,13 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden .want files")
 
-func vetFile(t *testing.T, name string, opts facade.VetOptions) *facade.VetResult {
+func vetFile(t *testing.T, name string, opts ...facade.VetOption) *facade.VetResult {
 	t.Helper()
 	src, err := os.ReadFile(filepath.Join("testdata", name))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := facade.Vet(map[string]string{name: string(src)}, opts)
+	r, err := facade.Vet(map[string]string{name: string(src)}, opts...)
 	if err != nil {
 		t.Fatalf("vet %s: %v", name, err)
 	}
@@ -56,7 +56,7 @@ func checkGolden(t *testing.T, name string, r *facade.VetResult) {
 }
 
 func TestGoldenFacadeLeak(t *testing.T) {
-	r := vetFile(t, "leak.fj", facade.VetOptions{})
+	r := vetFile(t, "leak.fj")
 	checkGolden(t, "leak.fj", r)
 	for _, d := range r.Diagnostics {
 		if !strings.Contains(d, "[facade-leak]") {
@@ -70,11 +70,11 @@ func TestGoldenFacadeLeak(t *testing.T) {
 
 func TestGoldenUseBeforeDef(t *testing.T) {
 	// The program is clean on its own…
-	if r := vetFile(t, "ubd.fj", facade.VetOptions{}); !r.Clean() {
+	if r := vetFile(t, "ubd.fj"); !r.Clean() {
 		t.Fatalf("ubd.fj should vet clean without seeding: %v %v", r.VerifyErrs, r.Diagnostics)
 	}
 	// …and flagged once a use-before-def is seeded into P'.
-	r := vetFile(t, "ubd.fj", facade.VetOptions{Seed: "use-before-def"})
+	r := vetFile(t, "ubd.fj", facade.VetWithSeedViolation("use-before-def"))
 	checkGolden(t, "ubd.fj", r)
 	for _, d := range r.Diagnostics {
 		if !strings.Contains(d, "[use-before-def]") {
@@ -84,10 +84,10 @@ func TestGoldenUseBeforeDef(t *testing.T) {
 }
 
 func TestGoldenPoolClobber(t *testing.T) {
-	if r := vetFile(t, "clobber.fj", facade.VetOptions{}); !r.Clean() {
+	if r := vetFile(t, "clobber.fj"); !r.Clean() {
 		t.Fatalf("clobber.fj should vet clean without seeding: %v %v", r.VerifyErrs, r.Diagnostics)
 	}
-	r := vetFile(t, "clobber.fj", facade.VetOptions{Seed: "pool-clobber"})
+	r := vetFile(t, "clobber.fj", facade.VetWithSeedViolation("pool-clobber"))
 	checkGolden(t, "clobber.fj", r)
 	for _, d := range r.Diagnostics {
 		if !strings.Contains(d, "[pool-clobber]") {

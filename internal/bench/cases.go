@@ -79,7 +79,7 @@ class Main {
 }
 `
 
-// lazyFacade compiles src once and times facade.RunMain per repetition.
+// lazyFacade compiles src once and times facade.Run per repetition.
 func lazyFacade(src string, heapSize int) func() (map[string]float64, error) {
 	var once sync.Once
 	var prog *ir.Program
@@ -91,7 +91,7 @@ func lazyFacade(src string, heapSize int) func() (map[string]float64, error) {
 		if cErr != nil {
 			return nil, cErr
 		}
-		_, res, err := facade.RunMain(prog, facade.RunConfig{HeapSize: heapSize})
+		res, err := facade.Run(prog, facade.WithHeapSize(heapSize))
 		if err != nil {
 			return nil, err
 		}

@@ -223,22 +223,72 @@ func New(cfg Config, h *lang.Hierarchy) *Heap {
 	}
 	// One mark bit per 8 bytes of heap.
 	hp.markBits = make([]uint32, (cfg.HeapSize/8+31)/32)
-	hp.obs = cfg.Obs
-	if hp.obs == nil {
-		hp.obs = obs.NewRegistry()
-	}
-	hp.hPause = hp.obs.Histogram(obs.HistGCPause, obs.GCPauseBounds)
-	hp.hPauseMinor = hp.obs.Histogram(obs.HistGCPauseMinor, obs.GCPauseBounds)
-	hp.hPauseFull = hp.obs.Histogram(obs.HistGCPauseFull, obs.GCPauseBounds)
-	hp.hSafepointWait = hp.obs.Histogram(obs.HistSafepointWait, obs.SafepointWaitBounds)
-	hp.hAllocSize = hp.obs.Histogram(obs.HistAllocSize, obs.AllocSizeBounds)
-	hp.cPromotedBytes = hp.obs.Counter(obs.CtrPromotedBytes)
-	hp.cEvacuated = hp.obs.Counter(obs.CtrEvacuated)
-	hp.cRemsetScanned = hp.obs.Counter(obs.CtrRemsetScanned)
-	hp.inj = cfg.Faults
-	hp.cFaultsInj = hp.obs.Counter(obs.CtrFaultHeapAlloc)
+	hp.bindInstruments(cfg.Obs, cfg.Faults)
 	hp.sp.init()
 	return hp
+}
+
+// bindInstruments points the heap's hot-path instrument pointers at reg (a
+// fresh private registry when nil) and installs the fault injector. Called
+// at construction and again by Reset so a reused heap reports into the new
+// job's registry.
+func (hp *Heap) bindInstruments(reg *obs.Registry, inj *faults.Injector) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	hp.obs = reg
+	hp.hPause = reg.Histogram(obs.HistGCPause, obs.GCPauseBounds)
+	hp.hPauseMinor = reg.Histogram(obs.HistGCPauseMinor, obs.GCPauseBounds)
+	hp.hPauseFull = reg.Histogram(obs.HistGCPauseFull, obs.GCPauseBounds)
+	hp.hSafepointWait = reg.Histogram(obs.HistSafepointWait, obs.SafepointWaitBounds)
+	hp.hAllocSize = reg.Histogram(obs.HistAllocSize, obs.AllocSizeBounds)
+	hp.cPromotedBytes = reg.Counter(obs.CtrPromotedBytes)
+	hp.cEvacuated = reg.Counter(obs.CtrEvacuated)
+	hp.cRemsetScanned = reg.Counter(obs.CtrRemsetScanned)
+	hp.inj = inj
+	hp.cFaultsInj = reg.Counter(obs.CtrFaultHeapAlloc)
+}
+
+// Reset returns the heap to its post-New state so a long-lived VM can be
+// reused for another job without re-allocating the arena: allocation
+// cursors rewind, the remembered set and allocation counters clear, and
+// the instruments rebind to reg. The arena and GC-worker configuration are
+// retained — that is the warm state a daemon keeps between jobs. Every
+// thread must have been unregistered first; Reset fails otherwise, so a
+// poisoned heap (a job that leaked a thread) is rebuilt rather than
+// reused.
+func (hp *Heap) Reset(reg *obs.Registry, inj *faults.Injector) error {
+	hp.sp.mu.Lock()
+	live := len(hp.sp.threads)
+	hp.sp.mu.Unlock()
+	if live != 0 {
+		return fmt.Errorf("heap: reset with %d registered thread(s)", live)
+	}
+	hp.mu.Lock()
+	hp.oldPos = hp.oldBase
+	hp.youngPos = hp.oldEnd
+	hp.remset = make(map[Addr]struct{})
+	hp.mu.Unlock()
+	for i := range hp.classCounts {
+		atomic.StoreInt64(&hp.classCounts[i], 0)
+	}
+	hp.arrMu.Lock()
+	for i := range hp.arrCounts {
+		atomic.StoreInt64(&hp.arrCounts[i], 0)
+	}
+	hp.arrMu.Unlock()
+	hp.clearMarkBits()
+	hp.stats.allocBytes.Store(0)
+	hp.stats.allocObjects.Store(0)
+	hp.stats.minorGCs.Store(0)
+	hp.stats.fullGCs.Store(0)
+	hp.stats.gcNanos.Store(0)
+	hp.stats.promoted.Store(0)
+	hp.stats.marked.Store(0)
+	hp.stats.peakUsed.Store(0)
+	hp.stats.liveAfterGC.Store(0)
+	hp.bindInstruments(reg, inj)
+	return nil
 }
 
 // injectAllocFault consults the fault injector; when the heap.alloc point

@@ -18,6 +18,7 @@ package ir
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/lang"
 )
@@ -279,6 +280,24 @@ type Program struct {
 	// DCERemoved counts instructions removed by dead-code elimination
 	// (internal/analysis), for observability.
 	DCERemoved int
+
+	// linkOnce serializes the one-time, in-place population of
+	// per-instruction dispatch caches (Instr.Imm/Instr.Cache, written by
+	// the VM's linker). The cached values are pure functions of the
+	// program, so every VM sharing this program sees identical caches;
+	// the Once provides the happens-before edge that makes concurrent
+	// VM construction over one shared program race-free.
+	linkOnce sync.Once
+	linkErr  error
+}
+
+// LinkInstrs runs fn at most once per program, memoizing its error. The
+// VM uses it to populate shared per-instruction caches exactly once, so
+// concurrent VM construction and interpretation over the same program
+// never race on the instruction stream.
+func (p *Program) LinkInstrs(fn func() error) error {
+	p.linkOnce.Do(func() { p.linkErr = fn() })
+	return p.linkErr
 }
 
 // FuncKey builds the canonical function key for class + method name.

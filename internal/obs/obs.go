@@ -247,6 +247,20 @@ const (
 	CtrLintFindings = "analysis.lint_findings" // facade-safety lint findings
 	CtrDCERemoved   = "analysis.dce_removed"   // instructions removed by dead-code elimination
 
+	// Daemon (internal/server, the repro serve runtime-as-a-service layer).
+	CtrServerSubmitted  = "server.jobs_submitted"      // jobs accepted into the queue
+	CtrServerDone       = "server.jobs_done"           // jobs finished successfully
+	CtrServerFailed     = "server.jobs_failed"         // jobs finished with an error
+	CtrServerCanceled   = "server.jobs_canceled"       // jobs canceled (client or timeout)
+	CtrServerRejected   = "server.jobs_rejected"       // submissions rejected by admission control
+	CtrServerWarmHits   = "server.warm_hits"           // jobs served by a pooled warm VM
+	CtrServerWarmMisses = "server.warm_misses"         // jobs that had to build a fresh VM
+	CtrServerPoolDrops  = "server.pool_rebuilds"       // pool entries dropped for rebuild (failed re-verify)
+	GaugeServerRunning  = "server.jobs_running"        // jobs currently executing
+	GaugeServerQueued   = "server.queue_depth"         // jobs waiting for admission
+	GaugeServerReserved = "server.heap_reserved_bytes" // aggregate heap budget reserved by admitted jobs
+	GaugeServerWarmPool = "server.warm_pool_size"      // VMs parked in the warm pool
+
 	// Event kinds.
 	EvGC             = "gc"         // label minor|full, A=pause ns, B=promoted objs (minor) / live bytes (full)
 	EvIteration      = "iteration"  // label start|end, A=iteration ordinal

@@ -44,9 +44,14 @@ var (
 	// ErrTooManyArrayTypes is returned when the dense array-type registry
 	// is exhausted (the type word reserves 14 bits for the index).
 	ErrTooManyArrayTypes = errors.New("offheap: too many distinct array element types")
-	// ErrPageExhausted is returned when a page acquire fails — today only
-	// via injected faults, standing in for native allocation failure.
+	// ErrPageExhausted is returned when a page acquire fails — via
+	// injected faults or an exceeded page quota, standing in for native
+	// allocation failure.
 	ErrPageExhausted = errors.New("offheap: page store exhausted")
+	// ErrPageQuota wraps ErrPageExhausted for acquires denied by a tenant
+	// page quota (SetPageQuota), so quota overruns ride the same OOM
+	// degradation rails while staying distinguishable with errors.Is.
+	ErrPageQuota = fmt.Errorf("%w: page quota exceeded", ErrPageExhausted)
 )
 
 // PageRef is a reference to a record in native memory: the page index+1 in
@@ -130,6 +135,11 @@ type Runtime struct {
 	// Fault injection: nil when disabled.
 	inj        *faults.Injector
 	cFaultsInj *obs.Counter
+
+	// quota caps simultaneously live pages (0 = unlimited); acquires past
+	// the cap fail with ErrPageQuota. This is the per-tenant offheap
+	// budget hook the daemon's admission control leans on.
+	quota atomic.Int64
 }
 
 // Stats is a snapshot of the native store counters.
@@ -180,6 +190,70 @@ func (rt *Runtime) SetFaultInjector(inj *faults.Injector) {
 	if inj != nil && rt.cFaultsInj == nil {
 		rt.cFaultsInj = rt.obs.Counter(obs.CtrFaultPageAcquire)
 	}
+}
+
+// SetPageQuota caps the number of simultaneously live pages (0 removes
+// the cap). An acquire that would exceed the quota fails with
+// ErrPageQuota, which wraps ErrPageExhausted and therefore takes the same
+// recovery path as native allocation failure. Deterministic for a given
+// program: the cap is evaluated against the store's live-page gauge, which
+// a single-job VM drives deterministically.
+func (rt *Runtime) SetPageQuota(pages int64) { rt.quota.Store(pages) }
+
+// PageQuota returns the current live-page cap (0 = unlimited).
+func (rt *Runtime) PageQuota() int64 { return rt.quota.Load() }
+
+// checkQuota admits one more live page or returns ErrPageQuota.
+func (rt *Runtime) checkQuota() error {
+	if q := rt.quota.Load(); q > 0 && rt.stats.pagesLive.Load() >= q {
+		return fmt.Errorf("%w (quota %d pages)", ErrPageQuota, q)
+	}
+	return nil
+}
+
+// Reset returns the store to its post-New state for reuse by another job,
+// keeping the recycled-page free pool warm: free pages are re-indexed into
+// a fresh page table so the table does not grow without bound across jobs,
+// counters rewind to zero, and the instruments rebind to reg. It fails if
+// any page is still live — a job that leaked pages poisons the store, and
+// the daemon rebuilds instead of reusing it.
+func (rt *Runtime) Reset(reg *obs.Registry, inj *faults.Injector) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if live := rt.stats.pagesLive.Load(); live != 0 {
+		return fmt.Errorf("offheap: reset with %d live page(s)", live)
+	}
+	next := make([]*page, len(rt.free))
+	for i, p := range rt.free {
+		p.idx = i
+		p.pos = 0
+		p.released.Store(false)
+		next[i] = p
+	}
+	rt.table.Store(&next)
+	rt.stats.pagesCreated.Store(0)
+	rt.stats.pagesRecycled.Store(0)
+	rt.stats.pagesLive.Store(0)
+	rt.stats.oversize.Store(0)
+	rt.stats.records.Store(0)
+	rt.stats.bytesInUse.Store(0)
+	rt.stats.peakBytes.Store(0)
+	rt.stats.managers.Store(0)
+	rt.Locks = NewLockPool(defaultLockPoolSize)
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rt.obs = reg
+	rt.cPageAcquires = reg.Counter(obs.CtrPageAcquires)
+	rt.cPageReleases = reg.Counter(obs.CtrPageReleases)
+	rt.cPageRecycles = reg.Counter(obs.CtrPageRecycles)
+	rt.gPagesLive = reg.Gauge(obs.GaugePagesLive)
+	rt.inj = inj
+	rt.cFaultsInj = nil
+	if inj != nil {
+		rt.cFaultsInj = reg.Counter(obs.CtrFaultPageAcquire)
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -234,6 +308,9 @@ func (rt *Runtime) getPage(size int) (*page, error) {
 		rt.obs.Emit(obs.EvFault, string(faults.PageAcquire), n, 0, 0)
 		return nil, fmt.Errorf("%w (injected fault)", ErrPageExhausted)
 	}
+	if err := rt.checkQuota(); err != nil {
+		return nil, err
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.stats.pagesLive.Add(1)
@@ -276,6 +353,9 @@ func (rt *Runtime) noteCachedRecycle(p *page) error {
 		rt.cFaultsInj.Inc()
 		rt.obs.Emit(obs.EvFault, string(faults.PageAcquire), n, 0, 0)
 		return fmt.Errorf("%w (injected fault)", ErrPageExhausted)
+	}
+	if err := rt.checkQuota(); err != nil {
+		return err
 	}
 	rt.stats.pagesLive.Add(1)
 	rt.cPageAcquires.Inc()

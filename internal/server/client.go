@@ -1,0 +1,214 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// DefaultPortFile returns the per-user default discovery path:
+// $TMPDIR/repro-serve-<uid>.json. Daemon and client must agree on it, so
+// both default here.
+func DefaultPortFile() string {
+	return filepath.Join(os.TempDir(), fmt.Sprintf("repro-serve-%d.json", os.Getuid()))
+}
+
+// Client is a thin facade.job/v1 client for one daemon.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// RejectedError is returned by Submit when the daemon refused admission
+// (heap budget exhausted). RetryAfter tells the caller how long to back
+// off before resubmitting.
+type RejectedError struct {
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("rejected: %s (retry after %v)", e.Message, e.RetryAfter)
+}
+
+// Discover connects to the daemon a port file points at, verifying it is
+// alive and speaks our schema. Returns an error when the file is missing,
+// stale, or the daemon does not answer.
+func Discover(portFile string) (*Client, error) {
+	data, err := os.ReadFile(portFile)
+	if err != nil {
+		return nil, err
+	}
+	var info portFileInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return nil, fmt.Errorf("port file %s: %w", portFile, err)
+	}
+	if info.Schema != Schema {
+		return nil, fmt.Errorf("port file %s: daemon speaks %q, client wants %q", portFile, info.Schema, Schema)
+	}
+	c := &Client{BaseURL: "http://" + info.Addr, HTTP: &http.Client{Timeout: 60 * time.Second}}
+	if _, err := c.Status(); err != nil {
+		return nil, fmt.Errorf("daemon at %s not responding: %w", info.Addr, err)
+	}
+	return c, nil
+}
+
+// StartOptions configures daemon auto-start.
+type StartOptions struct {
+	// Args are extra arguments for the `serve` subcommand (budgets,
+	// concurrency).
+	Args []string
+	// IdleTimeout is forwarded as -idle so an auto-started daemon reaps
+	// itself (default 5m).
+	IdleTimeout time.Duration
+	// Timeout bounds how long to wait for the daemon to come up
+	// (default 10s).
+	Timeout time.Duration
+}
+
+// EnsureServer discovers a running daemon or transparently starts one:
+// the current executable is re-invoked as `serve -portfile <pf> -idle
+// <d>` and detached, then polled until its port file answers. This is
+// how `repro submit` works without an explicit daemon-management step.
+func EnsureServer(portFile string, opts StartOptions) (*Client, error) {
+	if c, err := Discover(portFile); err == nil {
+		return c, nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("auto-start: %w", err)
+	}
+	idle := opts.IdleTimeout
+	if idle == 0 {
+		idle = 5 * time.Minute
+	}
+	// Remove a stale port file so we do not rediscover a dead daemon.
+	os.Remove(portFile)
+	args := append([]string{"serve", "-portfile", portFile, "-idle", idle.String()}, opts.Args...)
+	cmd := exec.Command(exe, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("auto-start %s serve: %w", exe, err)
+	}
+	// Detach: the daemon outlives this client process.
+	go cmd.Wait()
+
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c, err := Discover(portFile); err == nil {
+			return c, nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("auto-started daemon did not come up within %v", timeout)
+}
+
+// Submit sends a job; the request's schema field is stamped automatically.
+func (c *Client) Submit(req SubmitRequest) (SubmitResponse, error) {
+	req.Schema = Schema
+	var resp SubmitResponse
+	err := c.do("POST", "/v1/jobs", &req, &resp)
+	return resp, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do("GET", "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait blocks until the job reaches a terminal state, long-polling the
+// daemon.
+func (c *Client) Wait(id string) (JobStatus, error) {
+	for {
+		var st JobStatus
+		if err := c.do("GET", "/v1/jobs/"+id+"?wait=1", nil, &st); err != nil {
+			return st, err
+		}
+		if st.State == StateDone || st.State == StateFailed || st.State == StateCanceled {
+			return st, nil
+		}
+	}
+}
+
+// Cancel requests cancellation of a queued or running job and returns its
+// (possibly still-running) status.
+func (c *Client) Cancel(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do("POST", "/v1/jobs/"+id+"/cancel", nil, &st)
+	return st, err
+}
+
+// Status fetches the daemon-wide status.
+func (c *Client) Status() (ServerStatus, error) {
+	var st ServerStatus
+	err := c.do("GET", "/v1/status", nil, &st)
+	return st, err
+}
+
+// Shutdown asks the daemon to stop.
+func (c *Client) Shutdown() error {
+	return c.do("POST", "/v1/shutdown", nil, nil)
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf := &bytes.Buffer{}
+		if err := json.NewEncoder(buf).Encode(body); err != nil {
+			return err
+		}
+		rd = buf
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var er ErrorResponse
+		data, _ := io.ReadAll(resp.Body)
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			if resp.StatusCode == http.StatusTooManyRequests {
+				retry := time.Duration(er.RetryAfterMillis) * time.Millisecond
+				if retry == 0 {
+					if secs, _ := strconv.Atoi(resp.Header.Get("Retry-After")); secs > 0 {
+						retry = time.Duration(secs) * time.Second
+					}
+				}
+				return &RejectedError{Message: er.Error, RetryAfter: retry}
+			}
+			return fmt.Errorf("%s %s: %s", method, path, er.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,169 @@
+// Package server implements the repro serve daemon: a multi-tenant
+// runtime-as-a-service layer over facade.RunContext. The daemon keeps a
+// pool of warm VMs (heap arena, dispatch tables, facade metadata, and the
+// recycled page pool survive across jobs), admits concurrent job
+// submissions under per-tenant heap budgets and off-heap page quotas, and
+// speaks the versioned facade.job/v1 HTTP/JSON protocol documented in
+// docs/SERVER.md.
+//
+// The thin client in this package (Client, EnsureServer) discovers a
+// running daemon through its port file and auto-starts one when none is
+// listening, so `repro submit` works without a separate daemon-management
+// step — the clangd/gopls model of a transparently managed long-lived
+// server behind a short-lived CLI.
+package server
+
+import (
+	"fmt"
+	"io"
+
+	"repro/facade"
+	"repro/internal/obs"
+)
+
+// Schema versions the job protocol. Every request and response carries
+// it; the daemon rejects requests whose schema it does not understand, so
+// a stale client never silently runs against an incompatible server.
+const Schema = "facade.job/v1"
+
+// Job states, as reported in JobStatus.State.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// SubmitRequest asks the daemon to compile and run an FJ program.
+type SubmitRequest struct {
+	Schema string `json:"schema"`
+	// Tenant names the submitting tenant for budget accounting. Empty
+	// means the "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders the admission queue: higher runs sooner. Ties run
+	// in submission order.
+	Priority int `json:"priority,omitempty"`
+
+	// Sources maps file names to FJ source text.
+	Sources map[string]string `json:"sources"`
+	// Transform applies the FACADE transform before running (program P').
+	Transform bool `json:"transform,omitempty"`
+	// DataClasses names the data classes for the transform. When empty,
+	// the daemon falls back to "// facadec: data=..." directives in the
+	// sources.
+	DataClasses []string `json:"data_classes,omitempty"`
+
+	// Entry is the entry function key (default "Main.main").
+	Entry string `json:"entry,omitempty"`
+	// HeapSize is the managed heap budget in bytes (default 64 MiB). It
+	// is also the amount reserved against the tenant and aggregate
+	// budgets while the job is queued or running.
+	HeapSize int `json:"heap_size,omitempty"`
+	// PageQuota caps the job's live off-heap pages (0 = unlimited).
+	PageQuota int64 `json:"page_quota,omitempty"`
+	// RandSeed seeds Sys.rand; nil means the default seed 1 (the pointer
+	// distinguishes "unset" from an explicit zero seed).
+	RandSeed *int64 `json:"rand_seed,omitempty"`
+	// Faults is a deterministic fault-injection spec
+	// ("alloc=0.001,page=0.001,seed=7"); empty disables injection.
+	Faults string `json:"faults,omitempty"`
+}
+
+// SubmitResponse acknowledges an admitted job.
+type SubmitResponse struct {
+	Schema string `json:"schema"`
+	JobID  string `json:"job_id"`
+	State  string `json:"state"`
+}
+
+// JobStatus reports one job's lifecycle, output, and measurements.
+type JobStatus struct {
+	Schema string `json:"schema"`
+	JobID  string `json:"job_id"`
+	Tenant string `json:"tenant"`
+	State  string `json:"state"`
+
+	// WarmHit reports whether the job ran on a reused warm VM instead of
+	// a freshly built one.
+	WarmHit bool `json:"warm_hit"`
+
+	// Output is the program's Sys.print output (terminal states only).
+	Output string `json:"output,omitempty"`
+	// Error describes the failure for failed/canceled jobs.
+	Error string `json:"error,omitempty"`
+	// Stats mirrors facade.RunStats for completed runs.
+	Stats *facade.RunStats `json:"stats,omitempty"`
+
+	QueuedNanos   int64 `json:"queued_ns,omitempty"`      // time spent queued
+	RunningNanos  int64 `json:"running_ns,omitempty"`     // time spent executing
+	HeapReserved  int64 `json:"heap_reserved"`            // bytes held against budgets
+	QueuePosition int   `json:"queue_position,omitempty"` // 1-based, queued state only
+}
+
+// TenantStatus reports one tenant's budget accounting.
+type TenantStatus struct {
+	HeapBudget   int64 `json:"heap_budget"`
+	HeapReserved int64 `json:"heap_reserved"`
+	JobsQueued   int   `json:"jobs_queued"`
+	JobsRunning  int   `json:"jobs_running"`
+}
+
+// ServerStatus is the daemon-wide view returned by GET /v1/status.
+type ServerStatus struct {
+	Schema  string `json:"schema"`
+	PID     int    `json:"pid"`
+	Started string `json:"started"` // RFC 3339
+
+	HeapBudget   int64 `json:"heap_budget"`
+	HeapReserved int64 `json:"heap_reserved"`
+
+	JobsQueued   int `json:"jobs_queued"`
+	JobsRunning  int `json:"jobs_running"`
+	JobsDone     int `json:"jobs_done"`
+	JobsFailed   int `json:"jobs_failed"`
+	JobsCanceled int `json:"jobs_canceled"`
+	JobsRejected int `json:"jobs_rejected"`
+
+	WarmPoolSize int   `json:"warm_pool_size"`
+	WarmHits     int64 `json:"warm_hits"`
+	WarmMisses   int64 `json:"warm_misses"`
+	PoolRebuilds int64 `json:"pool_rebuilds"`
+
+	Tenants map[string]TenantStatus `json:"tenants,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx daemon reply.
+type ErrorResponse struct {
+	Schema string `json:"schema"`
+	Error  string `json:"error"`
+	// RetryAfterMillis is set on 429 (budget exhausted) responses and
+	// mirrors the Retry-After header: the client should back off at
+	// least this long before resubmitting.
+	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Validate checks a submit request for protocol-level problems before any
+// compilation work happens.
+func (r *SubmitRequest) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("unsupported schema %q (want %q)", r.Schema, Schema)
+	}
+	if len(r.Sources) == 0 {
+		return fmt.Errorf("no sources")
+	}
+	if r.HeapSize < 0 {
+		return fmt.Errorf("negative heap_size")
+	}
+	if r.PageQuota < 0 {
+		return fmt.Errorf("negative page_quota")
+	}
+	return nil
+}
+
+// EncodeJob writes any facade.job/v1 message as deterministic indented
+// JSON (sorted keys, stable float formatting), so protocol fixtures can be
+// byte-pinned in golden tests.
+func EncodeJob(w io.Writer, v any) error {
+	return obs.EncodeDeterministic(w, v)
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/facade"
+)
+
+var update = flag.Bool("update", false, "rewrite golden protocol fixtures")
+
+// TestGoldenJobSchema byte-pins the facade.job/v1 wire format: every
+// message kind is encoded deterministically and compared against a
+// checked-in fixture, so any field rename, addition, or encoding change
+// shows up as a diff that must be deliberate (and versioned).
+func TestGoldenJobSchema(t *testing.T) {
+	seed := int64(7)
+	msgs := []struct {
+		name string
+		v    any
+	}{
+		{"submit_request", SubmitRequest{
+			Schema:      Schema,
+			Tenant:      "analytics",
+			Priority:    3,
+			Sources:     map[string]string{"job.fj": "class Main { static void main() { Sys.println(42); } }"},
+			Transform:   true,
+			DataClasses: []string{"Vertex", "Edge"},
+			Entry:       "Main.main",
+			HeapSize:    32 << 20,
+			PageQuota:   128,
+			RandSeed:    &seed,
+			Faults:      "alloc=0.001,seed=7",
+		}},
+		{"submit_response", SubmitResponse{
+			Schema: Schema,
+			JobID:  "job-000001",
+			State:  StateQueued,
+		}},
+		{"job_status", JobStatus{
+			Schema:       Schema,
+			JobID:        "job-000001",
+			Tenant:       "analytics",
+			State:        StateDone,
+			WarmHit:      true,
+			Output:       "42\n",
+			Stats:        &facade.RunStats{},
+			QueuedNanos:  1500,
+			RunningNanos: 250000,
+		}},
+		{"server_status", ServerStatus{
+			Schema:       Schema,
+			PID:          4242,
+			Started:      "2026-01-02T03:04:05Z",
+			HeapBudget:   1 << 30,
+			HeapReserved: 96 << 20,
+			JobsQueued:   1,
+			JobsRunning:  2,
+			JobsDone:     17,
+			JobsFailed:   1,
+			JobsCanceled: 1,
+			JobsRejected: 3,
+			WarmPoolSize: 2,
+			WarmHits:     14,
+			WarmMisses:   5,
+			PoolRebuilds: 1,
+			Tenants: map[string]TenantStatus{
+				"analytics": {HeapBudget: 256 << 20, HeapReserved: 96 << 20, JobsQueued: 1, JobsRunning: 2},
+			},
+		}},
+		{"error_response", ErrorResponse{
+			Schema:           Schema,
+			Error:            "aggregate heap budget exhausted: 1006632960 reserved + 67108864 requested > 1073741824",
+			RetryAfterMillis: 500,
+		}},
+	}
+
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		buf.WriteString("== " + m.name + " ==\n")
+		if err := EncodeJob(&buf, m.v); err != nil {
+			t.Fatalf("encode %s: %v", m.name, err)
+		}
+		buf.WriteString("\n")
+	}
+
+	golden := filepath.Join("testdata", "job_v1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("facade.job/v1 encoding changed — if intentional, bump the schema and regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestValidateRejectsBadRequests pins the protocol-level validation.
+func TestValidateRejectsBadRequests(t *testing.T) {
+	good := SubmitRequest{Schema: Schema, Sources: map[string]string{"a.fj": "x"}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	cases := map[string]SubmitRequest{
+		"wrong schema": {Schema: "facade.job/v0", Sources: map[string]string{"a.fj": "x"}},
+		"no schema":    {Sources: map[string]string{"a.fj": "x"}},
+		"no sources":   {Schema: Schema},
+		"neg heap":     {Schema: Schema, Sources: map[string]string{"a.fj": "x"}, HeapSize: -1},
+		"neg quota":    {Schema: Schema, Sources: map[string]string{"a.fj": "x"}, PageQuota: -1},
+	}
+	for name, req := range cases {
+		if err := req.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

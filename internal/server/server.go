@@ -1,0 +1,713 @@
+package server
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/facade"
+	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// Config configures a daemon instance. The zero value listens on an
+// ephemeral localhost port with a 1 GiB aggregate heap budget, no
+// per-tenant limits, two execution slots, and no idle timeout.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// PortFile, when set, is written after listen (JSON: schema, pid,
+	// addr) and removed on shutdown; clients discover the daemon through
+	// it.
+	PortFile string
+
+	// HeapBudget bounds the sum of heap reservations across all queued
+	// and running jobs (default 1 GiB). Submissions that would exceed it
+	// are rejected with 429 + Retry-After.
+	HeapBudget int64
+	// TenantBudget is the default per-tenant heap budget (0 = no
+	// per-tenant limit beyond the aggregate).
+	TenantBudget int64
+	// TenantBudgets overrides TenantBudget for specific tenants.
+	TenantBudgets map[string]int64
+
+	// MaxConcurrent is the number of jobs executing at once (default 2).
+	MaxConcurrent int
+	// WarmPoolCap bounds the number of idle warm VMs kept (default 8).
+	WarmPoolCap int
+	// IdleTimeout shuts the daemon down after this long with no requests
+	// and no work (0 = run until told to stop).
+	IdleTimeout time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Addr == "" {
+		out.Addr = "127.0.0.1:0"
+	}
+	if out.HeapBudget == 0 {
+		out.HeapBudget = 1 << 30
+	}
+	if out.MaxConcurrent == 0 {
+		out.MaxConcurrent = 2
+	}
+	if out.WarmPoolCap == 0 {
+		out.WarmPoolCap = 8
+	}
+	return out
+}
+
+// job is one submitted run and its full lifecycle.
+type job struct {
+	id       string
+	seq      int64
+	req      SubmitRequest
+	tenant   string
+	reserved int64
+
+	state   string
+	warmHit bool
+	output  string
+	errMsg  string
+	stats   *facade.RunStats
+
+	queuedAt, startedAt, finishedAt time.Time
+
+	cancel context.CancelCauseFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+}
+
+func (j *job) terminal() bool {
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+}
+
+// jobQueue is a priority queue: higher Priority first, FIFO within a
+// priority level.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].req.Priority != q[j].req.Priority {
+		return q[i].req.Priority > q[j].req.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*job)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Server is a running daemon.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	progs *progCache
+	pool  *warmPool
+
+	ln      net.Listener
+	httpSrv *http.Server
+	started time.Time
+
+	mu             sync.Mutex
+	jobs           map[string]*job
+	queue          jobQueue
+	seq            int64
+	reserved       int64
+	tenantReserved map[string]int64
+	running        int
+	lastActivity   time.Time
+	stopping       bool
+
+	kick     chan struct{}
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+
+	cSubmitted, cDone, cFailed, cCanceled, cRejected *obs.Counter
+	gRunning, gQueued, gReserved                     *obs.Gauge
+}
+
+// New starts a daemon: listen, write the port file, and begin serving.
+// Callers stop it with Shutdown (or POST /v1/shutdown) and wait for full
+// termination with Wait.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
+	s := &Server{
+		cfg:            cfg,
+		reg:            reg,
+		progs:          newProgCache(),
+		pool:           newWarmPool(cfg.WarmPoolCap, reg),
+		started:        time.Now(),
+		jobs:           make(map[string]*job),
+		tenantReserved: make(map[string]int64),
+		kick:           make(chan struct{}, 1),
+		stopped:        make(chan struct{}),
+		cSubmitted:     reg.Counter(obs.CtrServerSubmitted),
+		cDone:          reg.Counter(obs.CtrServerDone),
+		cFailed:        reg.Counter(obs.CtrServerFailed),
+		cCanceled:      reg.Counter(obs.CtrServerCanceled),
+		cRejected:      reg.Counter(obs.CtrServerRejected),
+		gRunning:       reg.Gauge(obs.GaugeServerRunning),
+		gQueued:        reg.Gauge(obs.GaugeServerQueued),
+		gReserved:      reg.Gauge(obs.GaugeServerReserved),
+	}
+	s.lastActivity = s.started
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/shutdown", s.handleShutdown)
+	s.httpSrv = &http.Server{Handler: mux}
+
+	if cfg.PortFile != "" {
+		if err := writePortFile(cfg.PortFile, s.Addr()); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.httpSrv.Serve(ln) // returns on Shutdown/Close
+	}()
+	s.wg.Add(1)
+	go s.schedule()
+	if cfg.IdleTimeout > 0 {
+		s.wg.Add(1)
+		go s.idleWatch()
+	}
+	return s, nil
+}
+
+// Addr returns the daemon's listen address ("127.0.0.1:port").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Wait blocks until the daemon has fully stopped (idle timeout, shutdown
+// endpoint, or Shutdown call).
+func (s *Server) Wait() { <-s.stopped }
+
+// Shutdown stops the daemon: pending and running jobs are canceled, the
+// listener closes, and the port file is removed. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.stopping = true
+		// Cancel everything still queued; the scheduler skips canceled
+		// entries.
+		for _, j := range s.jobs {
+			if j.state == StateQueued {
+				s.finishLocked(j, StateCanceled, "", nil, "server shutting down")
+			} else if j.state == StateRunning && j.cancel != nil {
+				j.cancel(fmt.Errorf("server shutting down"))
+			}
+		}
+		s.mu.Unlock()
+		s.kickScheduler()
+
+		sctx, stop := context.WithTimeout(ctx, 5*time.Second)
+		defer stop()
+		s.httpSrv.Shutdown(sctx)
+		close(s.stopped)
+		if s.cfg.PortFile != "" {
+			os.Remove(s.cfg.PortFile)
+		}
+	})
+	// Wait for the scheduler and any running jobs to drain.
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) touch() {
+	s.mu.Lock()
+	s.lastActivity = time.Now()
+	s.mu.Unlock()
+}
+
+func (s *Server) idleWatch() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.IdleTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			idle := time.Since(s.lastActivity) >= s.cfg.IdleTimeout &&
+				s.running == 0 && len(s.queue) == 0 && !s.stopping
+			s.mu.Unlock()
+			if idle {
+				go s.Shutdown(context.Background())
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) kickScheduler() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// schedule moves queued jobs into execution slots as capacity frees up.
+func (s *Server) schedule() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-s.kick:
+		}
+		for {
+			s.mu.Lock()
+			if s.stopping || s.running >= s.cfg.MaxConcurrent || len(s.queue) == 0 {
+				s.mu.Unlock()
+				break
+			}
+			j := heap.Pop(&s.queue).(*job)
+			if j.terminal() { // canceled while queued
+				s.mu.Unlock()
+				continue
+			}
+			j.state = StateRunning
+			j.startedAt = time.Now()
+			s.running++
+			s.gRunning.Set(int64(s.running))
+			s.gQueued.Set(int64(len(s.queue)))
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one admitted job end to end: resolve the compiled
+// program (shared cache), take a warm VM when one matches, run through
+// facade.RunContext, and return the VM to the pool.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	defer s.kickScheduler()
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s.mu.Lock()
+	j.cancel = cancel
+	canceledEarly := j.terminal()
+	s.mu.Unlock()
+	defer cancel(nil)
+	if canceledEarly {
+		return
+	}
+
+	key := programKey(&j.req)
+	prog, err := s.progs.get(key, func() (*ir.Program, error) { return compileRequest(&j.req) })
+	if err != nil {
+		s.finish(j, StateFailed, "", nil, "compile: "+err.Error())
+		return
+	}
+
+	vk := vmKey{prog: key, heap: j.req.HeapSize}
+	warm := s.pool.take(vk)
+	opts := runOptions(&j.req)
+	if warm != nil {
+		opts = append(opts, facade.WithReusedVM(warm))
+	}
+
+	s.mu.Lock()
+	j.warmHit = warm != nil
+	s.mu.Unlock()
+
+	res, runErr := facade.RunContext(ctx, prog, opts...)
+	var output string
+	var stats *facade.RunStats
+	if res != nil {
+		output = res.Output()
+		if res.VM != nil {
+			st := res.Stats()
+			stats = &st
+		}
+		res.Close()
+		// Return the VM for reuse; put re-verifies it and drops it (a
+		// pool rebuild) when a crashed run left threads or pages behind.
+		s.pool.put(vk, res.VM)
+	}
+	if runErr != nil {
+		state := StateFailed
+		if _, ok := runErr.(*facade.CanceledError); ok {
+			state = StateCanceled
+		}
+		s.finish(j, state, output, stats, runErr.Error())
+		return
+	}
+	s.finish(j, StateDone, output, stats, "")
+}
+
+// runOptions maps a submit request onto facade options. The daemon
+// execution path and the client-side one-shot path share this mapping, so
+// the same request runs bit-identically either way.
+func runOptions(req *SubmitRequest) []facade.Option {
+	opts := []facade.Option{facade.WithHeapSize(req.HeapSize)}
+	if req.Entry != "" {
+		opts = append(opts, facade.WithEntry(req.Entry))
+	}
+	if req.RandSeed != nil {
+		opts = append(opts, facade.WithRandSeed(*req.RandSeed))
+	}
+	if req.PageQuota > 0 {
+		opts = append(opts, facade.WithPageQuota(req.PageQuota))
+	}
+	if req.Faults != "" {
+		opts = append(opts, facade.WithFaults(req.Faults))
+	}
+	return opts
+}
+
+// OneShot runs a submit request in-process, without a daemon: the exact
+// compile-and-run path runJob takes, minus warm-pool reuse. `repro submit
+// -oneshot` uses it, and the CI daemon smoke compares daemon outputs
+// against it byte for byte.
+func OneShot(req SubmitRequest) (string, *facade.RunStats, error) {
+	req.Schema = Schema
+	if err := req.Validate(); err != nil {
+		return "", nil, err
+	}
+	if req.HeapSize == 0 {
+		req.HeapSize = 64 << 20
+	}
+	prog, err := compileRequest(&req)
+	if err != nil {
+		return "", nil, fmt.Errorf("compile: %w", err)
+	}
+	res, err := facade.Run(prog, runOptions(&req)...)
+	if res == nil {
+		return "", nil, err
+	}
+	out := res.Output()
+	var stats *facade.RunStats
+	if res.VM != nil {
+		st := res.Stats()
+		stats = &st
+	}
+	res.Close()
+	return out, stats, err
+}
+
+func (s *Server) finish(j *job, state, output string, stats *facade.RunStats, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finishLocked(j, state, output, stats, errMsg)
+}
+
+// finishLocked moves a job to a terminal state, releases its budget
+// reservation, and wakes any status long-pollers. Caller holds s.mu.
+func (s *Server) finishLocked(j *job, state, output string, stats *facade.RunStats, errMsg string) {
+	if j.terminal() {
+		return
+	}
+	wasRunning := j.state == StateRunning
+	j.state = state
+	j.output = output
+	j.stats = stats
+	j.errMsg = errMsg
+	j.finishedAt = time.Now()
+	if j.startedAt.IsZero() {
+		j.startedAt = j.finishedAt
+	}
+	s.reserved -= j.reserved
+	s.tenantReserved[j.tenant] -= j.reserved
+	s.gReserved.Set(s.reserved)
+	if wasRunning {
+		s.running--
+		s.gRunning.Set(int64(s.running))
+	}
+	switch state {
+	case StateDone:
+		s.cDone.Add(1)
+	case StateFailed:
+		s.cFailed.Add(1)
+	case StateCanceled:
+		s.cCanceled.Add(1)
+	}
+	s.lastActivity = j.finishedAt
+	close(j.done)
+}
+
+// --- HTTP handlers -------------------------------------------------------
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.touch()
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	if req.HeapSize == 0 {
+		req.HeapSize = 64 << 20
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	need := int64(req.HeapSize)
+
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, "server shutting down", 0)
+		return
+	}
+	if s.reserved+need > s.cfg.HeapBudget {
+		s.mu.Unlock()
+		s.cRejected.Add(1)
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("aggregate heap budget exhausted: %d reserved + %d requested > %d",
+				s.reserved, need, s.cfg.HeapBudget), retryAfter)
+		return
+	}
+	if tb := s.tenantBudget(req.Tenant); tb > 0 && s.tenantReserved[req.Tenant]+need > tb {
+		s.mu.Unlock()
+		s.cRejected.Add(1)
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q heap budget exhausted: %d reserved + %d requested > %d",
+				req.Tenant, s.tenantReserved[req.Tenant], need, tb), retryAfter)
+		return
+	}
+	s.seq++
+	j := &job{
+		id:       fmt.Sprintf("job-%06d", s.seq),
+		seq:      s.seq,
+		req:      req,
+		tenant:   req.Tenant,
+		reserved: need,
+		state:    StateQueued,
+		queuedAt: time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	heap.Push(&s.queue, j)
+	s.reserved += need
+	s.tenantReserved[req.Tenant] += need
+	s.gReserved.Set(s.reserved)
+	s.gQueued.Set(int64(len(s.queue)))
+	s.cSubmitted.Add(1)
+	s.mu.Unlock()
+	s.kickScheduler()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	EncodeJob(w, SubmitResponse{Schema: Schema, JobID: j.id, State: StateQueued})
+}
+
+// retryAfter is the backoff hint (milliseconds) attached to 429 budget
+// rejections.
+const retryAfter = 500
+
+func (s *Server) tenantBudget(tenant string) int64 {
+	if b, ok := s.cfg.TenantBudgets[tenant]; ok {
+		return b
+	}
+	return s.cfg.TenantBudget
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.touch()
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no such job", 0)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		// Long-poll: block until the job is terminal (bounded, so a
+		// stuck client retries rather than pinning a connection).
+		select {
+		case <-j.done:
+		case <-time.After(30 * time.Second):
+		case <-s.stopped:
+		}
+		s.touch()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	EncodeJob(w, s.jobStatus(j))
+}
+
+func (s *Server) jobStatus(j *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStatus{
+		Schema:       Schema,
+		JobID:        j.id,
+		Tenant:       j.tenant,
+		State:        j.state,
+		WarmHit:      j.warmHit,
+		Output:       j.output,
+		Error:        j.errMsg,
+		Stats:        j.stats,
+		HeapReserved: j.reserved,
+	}
+	switch j.state {
+	case StateQueued:
+		st.QueuedNanos = time.Since(j.queuedAt).Nanoseconds()
+		for i, q := range s.queue {
+			if q == j {
+				st.QueuePosition = i + 1
+				break
+			}
+		}
+	case StateRunning:
+		st.QueuedNanos = j.startedAt.Sub(j.queuedAt).Nanoseconds()
+		st.RunningNanos = time.Since(j.startedAt).Nanoseconds()
+	default:
+		st.QueuedNanos = j.startedAt.Sub(j.queuedAt).Nanoseconds()
+		st.RunningNanos = j.finishedAt.Sub(j.startedAt).Nanoseconds()
+		st.HeapReserved = 0
+	}
+	return st
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.touch()
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if ok {
+		switch j.state {
+		case StateQueued:
+			s.finishLocked(j, StateCanceled, "", nil, "canceled by client")
+		case StateRunning:
+			if j.cancel != nil {
+				j.cancel(fmt.Errorf("canceled by client"))
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no such job", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	EncodeJob(w, s.jobStatus(j))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.touch()
+	w.Header().Set("Content-Type", "application/json")
+	EncodeJob(w, s.Status())
+}
+
+// Status snapshots the daemon-wide state (also served at GET /v1/status).
+func (s *Server) Status() ServerStatus {
+	snap := s.reg.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ServerStatus{
+		Schema:       Schema,
+		PID:          os.Getpid(),
+		Started:      s.started.UTC().Format(time.RFC3339),
+		HeapBudget:   s.cfg.HeapBudget,
+		HeapReserved: s.reserved,
+		JobsRunning:  s.running,
+		JobsDone:     int(snap.Counters[obs.CtrServerDone]),
+		JobsFailed:   int(snap.Counters[obs.CtrServerFailed]),
+		JobsCanceled: int(snap.Counters[obs.CtrServerCanceled]),
+		JobsRejected: int(snap.Counters[obs.CtrServerRejected]),
+		WarmPoolSize: s.pool.len(),
+		WarmHits:     snap.Counters[obs.CtrServerWarmHits],
+		WarmMisses:   snap.Counters[obs.CtrServerWarmMisses],
+		PoolRebuilds: snap.Counters[obs.CtrServerPoolDrops],
+		Tenants:      make(map[string]TenantStatus),
+	}
+	for _, j := range s.jobs {
+		if j.state == StateQueued {
+			st.JobsQueued++
+		}
+	}
+	for tenant, res := range s.tenantReserved {
+		ts := TenantStatus{HeapBudget: s.tenantBudget(tenant), HeapReserved: res}
+		for _, j := range s.jobs {
+			if j.tenant != tenant {
+				continue
+			}
+			switch j.state {
+			case StateQueued:
+				ts.JobsQueued++
+			case StateRunning:
+				ts.JobsRunning++
+			}
+		}
+		st.Tenants[tenant] = ts
+	}
+	return st
+}
+
+func (s *Server) handleShutdown(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	EncodeJob(w, map[string]string{"schema": Schema, "state": "stopping"})
+	go s.Shutdown(context.Background())
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string, retryMillis int64) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryMillis > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((retryMillis+999)/1000, 10))
+	}
+	w.WriteHeader(code)
+	EncodeJob(w, ErrorResponse{Schema: Schema, Error: msg, RetryAfterMillis: retryMillis})
+}
+
+// --- port file -----------------------------------------------------------
+
+// portFileInfo is the discovery record the daemon writes next to its
+// socket: enough for a client to find and health-check it.
+type portFileInfo struct {
+	Schema string `json:"schema"`
+	PID    int    `json:"pid"`
+	Addr   string `json:"addr"`
+}
+
+func writePortFile(path, addr string) error {
+	data, err := json.Marshal(portFileInfo{Schema: Schema, PID: os.Getpid(), Addr: addr})
+	if err != nil {
+		return err
+	}
+	// Write-then-rename so a concurrently starting client never reads a
+	// torn file.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -338,6 +338,9 @@ blocks:
 
 			case ir.OpCall:
 				t.tc.Safepoint()
+				if p := vm.cancel.Load(); p != nil {
+					return 0, *p
+				}
 				recv := heap.Addr(regs[in.A])
 				if recv == 0 {
 					return 0, errNPE("virtual call " + in.M.Name)
@@ -359,6 +362,9 @@ blocks:
 				}
 			case ir.OpCallStatic:
 				t.tc.Safepoint()
+				if p := vm.cancel.Load(); p != nil {
+					return 0, *p
+				}
 				callee := in.Cache.(*ir.Func)
 				hasRecv := in.A != ir.NoReg
 				var recv Value
@@ -380,6 +386,9 @@ blocks:
 			case ir.OpJump:
 				if in.Blk <= bi {
 					t.tc.Safepoint()
+					if p := vm.cancel.Load(); p != nil {
+						return 0, *p
+					}
 				}
 				bi = in.Blk
 				continue blocks
@@ -390,6 +399,9 @@ blocks:
 				}
 				if nxt <= bi {
 					t.tc.Safepoint()
+					if p := vm.cancel.Load(); p != nil {
+						return 0, *p
+					}
 				}
 				bi = nxt
 				continue blocks

@@ -20,6 +20,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/faults"
 	"repro/internal/heap"
@@ -114,6 +115,11 @@ type VM struct {
 	cInstr    *obs.Counter // IR instructions executed
 	cBoundary *obs.Counter // control-path -> data-path boundary crossings
 	cPoolHits *obs.Counter // facade pool accesses (resolve/pool-get/recv-pool)
+
+	// cancel, when non-nil, aborts interpretation: every thread polls it
+	// at the same sites the GC safepoint is polled (calls and backward
+	// control-flow edges), so an idle VM pays a nil pointer load per poll.
+	cancel atomic.Pointer[error]
 }
 
 // New creates a VM for prog and links dispatch tables.
@@ -246,40 +252,47 @@ func (vm *VM) link() error {
 	}
 
 	// Per-instruction caches: selector IDs for OpCall, direct functions
-	// for OpCallStatic.
-	for _, f := range vm.Prog.FuncList {
-		for _, b := range f.Blocks {
-			for i := range b.Instrs {
-				in := &b.Instrs[i]
-				switch in.Op {
-				case ir.OpCall:
-					sel, ok := vm.selectors[in.M.Name]
-					if !ok {
-						return fmt.Errorf("vm: %s: no selector for %s", f.Name, in.M.Name)
+	// for OpCallStatic. These write into the instruction stream shared by
+	// every VM built over this program, so they run exactly once per
+	// program: selector IDs (sorted method names), callee pointers (the
+	// program's own *ir.Func values), and intrinsic indices are all pure
+	// functions of the program, and LinkInstrs' Once gives later VMs the
+	// happens-before edge on the cached values.
+	return vm.Prog.LinkInstrs(func() error {
+		for _, f := range vm.Prog.FuncList {
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					switch in.Op {
+					case ir.OpCall:
+						sel, ok := vm.selectors[in.M.Name]
+						if !ok {
+							return fmt.Errorf("vm: %s: no selector for %s", f.Name, in.M.Name)
+						}
+						in.Imm = int64(sel)
+					case ir.OpCallStatic:
+						key := calleeKey(in.M)
+						callee := vm.byKey[key]
+						if callee == nil {
+							return fmt.Errorf("vm: %s: missing callee %s", f.Name, key)
+						}
+						in.Cache = callee
+					case ir.OpIntr:
+						idx, ok := intrinsicIndex[in.Sym]
+						if !ok {
+							return fmt.Errorf("vm: %s: unknown intrinsic %s", f.Name, in.Sym)
+						}
+						// Imm is unused by OpIntr, so it carries the index for
+						// the dispatch loop's inline fast path; Cache keeps the
+						// boxed copy as the "linked" marker for the slow path.
+						in.Imm = int64(idx)
+						in.Cache = idx
 					}
-					in.Imm = int64(sel)
-				case ir.OpCallStatic:
-					key := calleeKey(in.M)
-					callee := vm.byKey[key]
-					if callee == nil {
-						return fmt.Errorf("vm: %s: missing callee %s", f.Name, key)
-					}
-					in.Cache = callee
-				case ir.OpIntr:
-					idx, ok := intrinsicIndex[in.Sym]
-					if !ok {
-						return fmt.Errorf("vm: %s: unknown intrinsic %s", f.Name, in.Sym)
-					}
-					// Imm is unused by OpIntr, so it carries the index for
-					// the dispatch loop's inline fast path; Cache keeps the
-					// boxed copy as the "linked" marker for the slow path.
-					in.Imm = int64(idx)
-					in.Cache = idx
 				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 func calleeKey(m *lang.Method) string {
@@ -331,6 +344,113 @@ func (vm *VM) visitRoots(visit func(heap.Addr) heap.Addr) {
 // when injection is disabled), so engines driving the VM can plan
 // injected failures — e.g. worker crashes — from the same seed.
 func (vm *VM) Injector() *faults.Injector { return vm.inj }
+
+// Cancel aborts interpretation on every thread of this VM: the next
+// safepoint poll (calls and loop back-edges) unwinds to the Call boundary
+// returning err. Cancellation is cooperative — a thread parked in Go code
+// (monitor wait, framework I/O) notices when it next executes IR. A nil
+// err clears a pending cancellation.
+func (vm *VM) Cancel(err error) {
+	if err == nil {
+		vm.cancel.Store(nil)
+		return
+	}
+	vm.cancel.Store(&err)
+}
+
+// Canceled returns the pending cancellation error, or nil.
+func (vm *VM) Canceled() error {
+	if p := vm.cancel.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ResetConfig re-arms a VM for its next job (ResetForReuse).
+type ResetConfig struct {
+	// Out receives Sys.print output; defaults to io.Discard.
+	Out io.Writer
+	// RandSeed re-seeds the deterministic Sys.rand source.
+	RandSeed int64
+	// Obs receives the next job's instruments; a fresh private registry
+	// is created when nil.
+	Obs *obs.Registry
+	// Faults installs the next job's fault injector (nil disables).
+	Faults *faults.Injector
+}
+
+// ResetForReuse returns the VM to its post-New state so a daemon can run
+// another job on it without rebuilding the expensive parts: the heap arena,
+// the linked dispatch tables, the facade metadata and §3.3 pool bounds, and
+// the page store's recycled-page pool all stay warm, while every piece of
+// job state — statics, string literals, handles, monitors, the random
+// stream, thread and iteration ID counters, heap contents, live pages —
+// rewinds to its initial value. The reset is observable-state complete: a
+// run on a reused VM is bit-identical to the same run on a fresh VM.
+//
+// All threads must have been closed first; a job that leaked a thread or a
+// page fails the reset, in which case the caller must discard the VM and
+// rebuild (this is how the daemon keeps a crashed tenant job from
+// poisoning the warm pool).
+func (vm *VM) ResetForReuse(cfg ResetConfig) error {
+	vm.threadsMu.Lock()
+	live := len(vm.threads)
+	vm.threadsMu.Unlock()
+	if live != 0 {
+		return fmt.Errorf("vm: reset with %d live thread(s)", live)
+	}
+	if vm.rootScope != nil {
+		vm.rootScope.ReleaseAll()
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if err := vm.Heap.Reset(reg, cfg.Faults); err != nil {
+		return err
+	}
+	if vm.RT != nil {
+		if err := vm.RT.Reset(reg, cfg.Faults); err != nil {
+			return err
+		}
+		vm.rootScope = vm.RT.NewManager(nil, -2, -1)
+	}
+	vm.obs = reg
+	vm.cInstr = reg.Counter(obs.CtrInstructions)
+	vm.cBoundary = reg.Counter(obs.CtrBoundaryCalls)
+	vm.cPoolHits = reg.Counter(obs.CtrFacadePoolHits)
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	vm.outMu.Lock()
+	vm.out = out
+	vm.outMu.Unlock()
+	vm.inj = cfg.Faults
+	for i := range vm.statics {
+		vm.statics[i] = 0
+	}
+	vm.strMu.Lock()
+	for i := range vm.strCache {
+		vm.strCache[i] = 0
+		vm.strDone[i] = false
+	}
+	vm.strMu.Unlock()
+	vm.monMu.Lock()
+	vm.monitors = make(map[uint32]*monitor)
+	vm.nextMonID = 0
+	vm.monMu.Unlock()
+	vm.handles.reset()
+	vm.rngMu.Lock()
+	vm.rngSt = uint64(cfg.RandSeed)*2862933555777941757 + 3037000493
+	vm.rngMu.Unlock()
+	vm.threadsMu.Lock()
+	vm.nextTID = 0
+	vm.threadsMu.Unlock()
+	vm.iterCounter = 0
+	vm.cancel.Store(nil)
+	return nil
+}
 
 // RandState returns the current Sys.rand cursor. Together with
 // SetRandState it lets engines checkpoint the VM's deterministic random
@@ -417,6 +537,15 @@ func (vm *VM) Drop(h Handle) {
 	ht.vals[h] = 0
 	ht.isRef[h] = false
 	ht.free = append(ht.free, int(h))
+}
+
+// reset empties the table (VM reuse between jobs).
+func (ht *handleTable) reset() {
+	ht.mu.Lock()
+	ht.vals = nil
+	ht.isRef = nil
+	ht.free = nil
+	ht.mu.Unlock()
 }
 
 func (ht *handleTable) visit(visit func(heap.Addr) heap.Addr) {
