@@ -161,6 +161,42 @@ func TestWithReusedVMBitIdenticalAndReseeded(t *testing.T) {
 	}
 }
 
+// TestWithReusedVMClearsPageQuota guards cross-job isolation: a warm VM
+// used by a quota-bearing job must not carry that quota into a later job
+// that set none (the later job would spuriously hit ErrPageQuota).
+func TestWithReusedVMClearsPageQuota(t *testing.T) {
+	prog, err := Compile(map[string]string{"t.fj": reuseSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Transform(prog, TransformOptions{DataClasses: []string{"Rec", "Main"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(p, WithHeapSize(8<<20), WithRandSeed(9), WithPageQuota(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := r1.Output()
+	r1.Close()
+	if q := r1.VM.RT.PageQuota(); q != 1<<20 {
+		t.Fatalf("quota after quota-bearing run = %d, want %d", q, 1<<20)
+	}
+
+	// Reuse with no quota option: the previous job's cap must be gone.
+	r2, err := Run(p, WithHeapSize(8<<20), WithRandSeed(9), WithReusedVM(r1.VM))
+	if err != nil {
+		t.Fatalf("quota leaked into reused run: %v", err)
+	}
+	defer r2.Close()
+	if q := r2.VM.RT.PageQuota(); q != 0 {
+		t.Fatalf("reused VM still has quota %d; stale cap survived reuse", q)
+	}
+	if out2 := r2.Output(); out2 != out1 {
+		t.Fatalf("reused run diverges: %q vs %q", out2, out1)
+	}
+}
+
 func TestWithReusedVMRejectsMismatches(t *testing.T) {
 	progA, err := Compile(map[string]string{"t.fj": reuseSrc})
 	if err != nil {

@@ -174,18 +174,30 @@ func RunContext(ctx context.Context, p *ir.Program, opts ...Option) (*Result, er
 			return nil, err
 		}
 	}
-	if m.RT != nil && o.pageQuota > 0 {
+	if m.RT != nil {
+		// Set unconditionally (including 0 = unlimited): a warm VM must
+		// never run under a quota left over from the previous job.
 		m.RT.SetPageQuota(o.pageQuota)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, &CanceledError{Cause: err}
 	}
 	if ctx.Done() != nil {
+		cancelDone := make(chan struct{})
 		stop := context.AfterFunc(ctx, func() {
+			defer close(cancelDone)
 			var canceled error = &CanceledError{Cause: context.Cause(ctx)}
 			m.Cancel(canceled)
 		})
-		defer stop()
+		// If the context fires as the run completes, stop() returns false
+		// while the callback is still in flight; wait it out so a late
+		// m.Cancel can never land on a VM that was already reset and
+		// handed to another job.
+		defer func() {
+			if !stop() {
+				<-cancelDone
+			}
+		}()
 	}
 	t, err := m.NewThread(nil)
 	if err != nil {

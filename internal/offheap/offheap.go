@@ -239,6 +239,7 @@ func (rt *Runtime) Reset(reg *obs.Registry, inj *faults.Injector) error {
 	rt.stats.bytesInUse.Store(0)
 	rt.stats.peakBytes.Store(0)
 	rt.stats.managers.Store(0)
+	rt.quota.Store(0) // a reused store must not inherit the previous job's cap
 	rt.Locks = NewLockPool(defaultLockPoolSize)
 	if reg == nil {
 		reg = obs.NewRegistry()

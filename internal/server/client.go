@@ -77,7 +77,52 @@ type StartOptions struct {
 // the current executable is re-invoked as `serve -portfile <pf> -idle
 // <d>` and detached, then polled until its port file answers. This is
 // how `repro submit` works without an explicit daemon-management step.
+//
+// Auto-start is serialized through an exclusive lock file next to the
+// port file, so concurrent clients racing past a failed Discover spawn
+// one daemon, not one each; losers of the lock race poll for the
+// winner's daemon instead.
 func EnsureServer(portFile string, opts StartOptions) (*Client, error) {
+	if c, err := Discover(portFile); err == nil {
+		return c, nil
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	lockFile := portFile + ".lock"
+	for {
+		lf, err := os.OpenFile(lockFile, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(lf, "%d", os.Getpid())
+			lf.Close()
+			break // we own the start
+		}
+		// Another client holds the lock and is starting the daemon.
+		if c, derr := Discover(portFile); derr == nil {
+			return c, nil
+		}
+		if fi, serr := os.Stat(lockFile); serr == nil {
+			if time.Since(fi.ModTime()) > timeout {
+				// The lock holder crashed before starting anything;
+				// steal the stale lock and retry acquisition.
+				os.Remove(lockFile)
+				continue
+			}
+		} else {
+			continue // lock released between OpenFile and Stat; retry
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("daemon auto-start: another client held %s but no daemon came up within %v", lockFile, timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	defer os.Remove(lockFile)
+
+	// Re-check under the lock: a daemon may have come up while we raced
+	// for it, and its port file must not be clobbered.
 	if c, err := Discover(portFile); err == nil {
 		return c, nil
 	}
@@ -101,11 +146,6 @@ func EnsureServer(portFile string, opts StartOptions) (*Client, error) {
 	// Detach: the daemon outlives this client process.
 	go cmd.Wait()
 
-	timeout := opts.Timeout
-	if timeout == 0 {
-		timeout = 10 * time.Second
-	}
-	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		if c, err := Discover(portFile); err == nil {
 			return c, nil

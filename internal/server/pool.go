@@ -38,9 +38,13 @@ func programKey(req *SubmitRequest) progKey {
 
 // progCache compiles each distinct source set once and reuses the
 // resulting *ir.Program for every later job, concurrent compiles of the
-// same key collapsing into one.
+// same key collapsing into one. Bounded: past cap entries, the least
+// recently used program is evicted so a daemon serving many distinct
+// source sets does not retain them all forever.
 type progCache struct {
 	mu      sync.Mutex
+	cap     int
+	tick    int64
 	entries map[progKey]*progEntry
 }
 
@@ -48,10 +52,11 @@ type progEntry struct {
 	once sync.Once
 	prog *ir.Program
 	err  error
+	last int64 // recency stamp, guarded by progCache.mu
 }
 
-func newProgCache() *progCache {
-	return &progCache{entries: make(map[progKey]*progEntry)}
+func newProgCache(capacity int) *progCache {
+	return &progCache{cap: capacity, entries: make(map[progKey]*progEntry)}
 }
 
 func (pc *progCache) get(key progKey, build func() (*ir.Program, error)) (*ir.Program, error) {
@@ -60,10 +65,36 @@ func (pc *progCache) get(key progKey, build func() (*ir.Program, error)) (*ir.Pr
 	if !ok {
 		e = &progEntry{}
 		pc.entries[key] = e
+		if pc.cap > 0 && len(pc.entries) > pc.cap {
+			pc.evictLRULocked(key)
+		}
 	}
+	pc.tick++
+	e.last = pc.tick
 	pc.mu.Unlock()
+	// An evicted entry still completes its build for the goroutines
+	// holding it; the result just is not cached for later jobs.
 	e.once.Do(func() { e.prog, e.err = build() })
 	return e.prog, e.err
+}
+
+// evictLRULocked removes the least recently used entry other than keep.
+// Caller holds pc.mu.
+func (pc *progCache) evictLRULocked(keep progKey) {
+	var victim progKey
+	found := false
+	var min int64
+	for k, e := range pc.entries {
+		if k == keep {
+			continue
+		}
+		if !found || e.last < min {
+			found, min, victim = true, e.last, k
+		}
+	}
+	if found {
+		delete(pc.entries, victim)
+	}
 }
 
 // compileRequest builds the program a submit request describes: compile
@@ -163,6 +194,12 @@ func (wp *warmPool) put(key vmKey, m *vm.VM) {
 	wp.size++
 	wp.gauge.Set(int64(wp.size))
 }
+
+// drop discards a taken VM that turned out to be unusable (e.g. its
+// program was evicted from the cache and recompiled, so the pointer
+// identity WithReusedVM requires no longer holds), counting it as a pool
+// rebuild.
+func (wp *warmPool) drop() { wp.rebuilds.Add(1) }
 
 // len reports the number of pooled VMs.
 func (wp *warmPool) len() int {

@@ -45,6 +45,17 @@ type Config struct {
 	// IdleTimeout shuts the daemon down after this long with no requests
 	// and no work (0 = run until told to stop).
 	IdleTimeout time.Duration
+
+	// JobRetention is how long a terminal job (and its output) stays
+	// queryable before being garbage-collected (default 15m, negative =
+	// keep forever).
+	JobRetention time.Duration
+	// MaxJobHistory caps the number of retained terminal jobs regardless
+	// of age, oldest evicted first (default 512, negative = unlimited).
+	MaxJobHistory int
+	// ProgCacheCap bounds the compiled-program cache, least recently used
+	// evicted first (default 32, negative = unlimited).
+	ProgCacheCap int
 }
 
 func (c *Config) withDefaults() Config {
@@ -60,6 +71,15 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.WarmPoolCap == 0 {
 		out.WarmPoolCap = 8
+	}
+	if out.JobRetention == 0 {
+		out.JobRetention = 15 * time.Minute
+	}
+	if out.MaxJobHistory == 0 {
+		out.MaxJobHistory = 512
+	}
+	if out.ProgCacheCap == 0 {
+		out.ProgCacheCap = 32
 	}
 	return out
 }
@@ -123,6 +143,7 @@ type Server struct {
 
 	mu             sync.Mutex
 	jobs           map[string]*job
+	finished       []*job // terminal jobs in finish order, for pruning
 	queue          jobQueue
 	seq            int64
 	reserved       int64
@@ -149,7 +170,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:            cfg,
 		reg:            reg,
-		progs:          newProgCache(),
+		progs:          newProgCache(cfg.ProgCacheCap),
 		pool:           newWarmPool(cfg.WarmPoolCap, reg),
 		started:        time.Now(),
 		jobs:           make(map[string]*job),
@@ -249,7 +270,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) touch() {
 	s.mu.Lock()
 	s.lastActivity = time.Now()
+	s.pruneJobsLocked(s.lastActivity)
 	s.mu.Unlock()
+}
+
+// pruneJobsLocked garbage-collects terminal jobs: anything older than
+// JobRetention, plus oldest-first overflow past MaxJobHistory, so a
+// long-lived daemon does not pin every completed job's output forever.
+// Caller holds s.mu.
+func (s *Server) pruneJobsLocked(now time.Time) {
+	n := 0
+	for n < len(s.finished) {
+		j := s.finished[n]
+		overCap := s.cfg.MaxJobHistory > 0 && len(s.finished)-n > s.cfg.MaxJobHistory
+		aged := s.cfg.JobRetention > 0 && now.Sub(j.finishedAt) >= s.cfg.JobRetention
+		if !overCap && !aged {
+			break
+		}
+		delete(s.jobs, j.id)
+		n++
+	}
+	if n > 0 {
+		s.finished = append(s.finished[:0], s.finished[n:]...)
+	}
 }
 
 func (s *Server) idleWatch() {
@@ -300,6 +343,11 @@ func (s *Server) schedule() {
 				s.mu.Unlock()
 				continue
 			}
+			// Create the job's cancelable context here, under s.mu, so a
+			// concurrent Shutdown/cancel never observes StateRunning with
+			// a nil j.cancel (which would let the job run to completion).
+			ctx, cancel := context.WithCancelCause(context.Background())
+			j.cancel = cancel
 			j.state = StateRunning
 			j.startedAt = time.Now()
 			s.running++
@@ -307,7 +355,7 @@ func (s *Server) schedule() {
 			s.gQueued.Set(int64(len(s.queue)))
 			s.mu.Unlock()
 			s.wg.Add(1)
-			go s.runJob(j)
+			go s.runJob(j, ctx, cancel)
 		}
 	}
 }
@@ -315,19 +363,10 @@ func (s *Server) schedule() {
 // runJob executes one admitted job end to end: resolve the compiled
 // program (shared cache), take a warm VM when one matches, run through
 // facade.RunContext, and return the VM to the pool.
-func (s *Server) runJob(j *job) {
+func (s *Server) runJob(j *job, ctx context.Context, cancel context.CancelCauseFunc) {
 	defer s.wg.Done()
 	defer s.kickScheduler()
-
-	ctx, cancel := context.WithCancelCause(context.Background())
-	s.mu.Lock()
-	j.cancel = cancel
-	canceledEarly := j.terminal()
-	s.mu.Unlock()
 	defer cancel(nil)
-	if canceledEarly {
-		return
-	}
 
 	key := programKey(&j.req)
 	prog, err := s.progs.get(key, func() (*ir.Program, error) { return compileRequest(&j.req) })
@@ -338,6 +377,12 @@ func (s *Server) runJob(j *job) {
 
 	vk := vmKey{prog: key, heap: j.req.HeapSize}
 	warm := s.pool.take(vk)
+	if warm != nil && warm.Prog != prog {
+		// The program was evicted from the cache and recompiled since
+		// this VM was pooled; WithReusedVM requires pointer identity.
+		s.pool.drop()
+		warm = nil
+	}
 	opts := runOptions(&j.req)
 	if warm != nil {
 		opts = append(opts, facade.WithReusedVM(warm))
@@ -459,6 +504,8 @@ func (s *Server) finishLocked(j *job, state, output string, stats *facade.RunSta
 		s.cCanceled.Add(1)
 	}
 	s.lastActivity = j.finishedAt
+	s.finished = append(s.finished, j)
+	s.pruneJobsLocked(j.finishedAt)
 	close(j.done)
 }
 
