@@ -20,8 +20,9 @@
 //
 //	repro serve    [flags]   run the multi-tenant job daemon in the foreground
 //	repro submit   [flags]   submit FJ sources to the daemon (auto-starts it)
+//	repro wait     [flags]   wait for submitted jobs and print their output
 //	repro status   [flags]   print daemon status (jobs, budgets, warm pool)
-//	repro shutdown [flags]   stop the daemon
+//	repro shutdown [flags]   stop the daemon (-drain for a graceful stop)
 package main
 
 import (
@@ -40,6 +41,7 @@ var commands = map[string]func([]string) error{
 	"bench":    benchCmd,
 	"serve":    serveCmd,
 	"submit":   submitCmd,
+	"wait":     waitCmd,
 	"status":   statusCmd,
 	"shutdown": shutdownCmd,
 }
@@ -72,5 +74,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: repro {table2|fig4a|table3|fig4bc|gps|objcount|speed|bench|serve|submit|status|shutdown|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: repro {table2|fig4a|table3|fig4bc|gps|objcount|speed|bench|serve|submit|wait|status|shutdown|all} [flags]")
 }

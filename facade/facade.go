@@ -147,7 +147,12 @@ func RunContext(ctx context.Context, p *ir.Program, opts ...Option) (*Result, er
 	if p.DCERemoved > 0 {
 		reg.Counter(obs.CtrDCERemoved).Add(int64(p.DCERemoved))
 	}
-	inj := faults.New(o.faults)
+	faultCfg := o.faults
+	if faultCfg != nil && o.faultAttempt >= 2 {
+		derived := faultCfg.ForNode(o.faultAttempt)
+		faultCfg = &derived
+	}
+	inj := faults.New(faultCfg)
 	var m *vm.VM
 	if o.reuseVM != nil {
 		m = o.reuseVM
@@ -179,8 +184,11 @@ func RunContext(ctx context.Context, p *ir.Program, opts ...Option) (*Result, er
 		// never run under a quota left over from the previous job.
 		m.RT.SetPageQuota(o.pageQuota)
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, &CanceledError{Cause: err}
+	if ctx.Err() != nil {
+		// context.Cause preserves a WithCancelCause/WithDeadlineCause
+		// cause (e.g. a daemon's typed deadline error), falling back to
+		// Canceled/DeadlineExceeded.
+		return nil, &CanceledError{Cause: context.Cause(ctx)}
 	}
 	if ctx.Done() != nil {
 		cancelDone := make(chan struct{})

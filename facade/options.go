@@ -12,18 +12,19 @@ import (
 type Option func(*runOptions)
 
 type runOptions struct {
-	heapSize  int
-	entry     string
-	randSeed  int64
-	seedSet   bool
-	out       io.Writer
-	observer  func(Event)
-	faults    *faults.Config
-	faultsErr error
-	verify    bool
-	gcWorkers int
-	reuseVM   *vm.VM
-	pageQuota int64
+	heapSize     int
+	entry        string
+	randSeed     int64
+	seedSet      bool
+	out          io.Writer
+	observer     func(Event)
+	faults       *faults.Config
+	faultsErr    error
+	faultAttempt int
+	verify       bool
+	gcWorkers    int
+	reuseVM      *vm.VM
+	pageQuota    int64
 }
 
 func defaultRunOptions() runOptions {
@@ -107,6 +108,17 @@ func WithReusedVM(m *vm.VM) Option {
 // uses this to bound each tenant's off-heap footprint.
 func WithPageQuota(pages int64) Option {
 	return func(o *runOptions) { o.pageQuota = pages }
+}
+
+// WithFaultAttempt re-derives the fault seed for automatic re-run attempt
+// n (n >= 2): a transiently failed job that a daemon retries must not
+// deterministically replay the exact same injected failures, while the
+// derivation stays a pure function of (spec, n) so a crash-recovery
+// replay — which restarts every job at attempt 1 — still reproduces the
+// original run bit for bit. Values below 2 are no-ops (attempt 1 runs
+// the spec's own seed).
+func WithFaultAttempt(n int) Option {
+	return func(o *runOptions) { o.faultAttempt = n }
 }
 
 // WithFaults enables deterministic fault injection from a spec string like

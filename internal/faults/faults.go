@@ -59,6 +59,10 @@ const (
 	NetReorder Point = "net.reorder"
 	// NodeCrash kills a whole node (planned via CrashPlan, not sampled).
 	NodeCrash Point = "node.crash"
+	// ServerCrash kills the whole daemon process at a scheduled journal
+	// append (the repro serve crash-recovery smoke uses it to die
+	// mid-batch deterministically, standing in for kill -9).
+	ServerCrash Point = "server.crash"
 )
 
 // Config declares which faults to inject. The zero value injects nothing.
@@ -91,13 +95,19 @@ type Config struct {
 	// acquires.
 	PageProb float64
 	PageAt   int64
+
+	// KillAt crashes the daemon process at exactly the KillAt-th journal
+	// append (1-based) — the deterministic stand-in for SIGKILL that the
+	// daemon crash-recovery smoke schedules via "killat=N".
+	KillAt int64
 }
 
 // Enabled reports whether the config injects any fault at all.
 func (c Config) Enabled() bool {
 	return c.Drop > 0 || c.Dup > 0 || c.Reorder > 0 ||
 		(c.DelayProb > 0 && c.DelayMax > 0) || c.Crashes > 0 ||
-		c.AllocProb > 0 || c.AllocAt > 0 || c.PageProb > 0 || c.PageAt > 0
+		c.AllocProb > 0 || c.AllocAt > 0 || c.PageProb > 0 || c.PageAt > 0 ||
+		c.KillAt > 0
 }
 
 // ForNode derives the per-node variant of the config: same fault rates,
@@ -167,15 +177,18 @@ func Parse(spec string) (Config, error) {
 				return c, fmt.Errorf("faults: crash wants a count, got %q", v)
 			}
 			c.Crashes = n
-		case "allocat", "pageat":
+		case "allocat", "pageat", "killat":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil || n < 1 {
 				return c, fmt.Errorf("faults: %s wants a positive index, got %q", k, v)
 			}
-			if k == "allocat" {
+			switch k {
+			case "allocat":
 				c.AllocAt = n
-			} else {
+			case "pageat":
 				c.PageAt = n
+			case "killat":
+				c.KillAt = n
 			}
 		case "seed":
 			n, err := strconv.ParseInt(v, 10, 64)
@@ -250,6 +263,8 @@ func (i *Injector) probAt(p Point) (float64, int64) {
 		return i.cfg.AllocProb, i.cfg.AllocAt
 	case PageAcquire:
 		return i.cfg.PageProb, i.cfg.PageAt
+	case ServerCrash:
+		return 0, i.cfg.KillAt
 	case NetDrop:
 		return i.cfg.Drop, 0
 	case NetDup:

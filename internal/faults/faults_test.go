@@ -161,3 +161,32 @@ func TestForNodeDistinctStreams(t *testing.T) {
 		t.Fatal("per-node streams identical")
 	}
 }
+
+// TestKillAtSchedule pins the daemon-level crash point: killat=N fires
+// server.crash on exactly the N-th evaluation — the deterministic SIGKILL
+// stand-in the crash-recovery smoke schedules.
+func TestKillAtSchedule(t *testing.T) {
+	c, err := Parse("killat=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.KillAt != 3 {
+		t.Fatalf("KillAt = %d, want 3", c.KillAt)
+	}
+	if !c.Enabled() {
+		t.Fatal("killat spec should enable injection")
+	}
+	i := New(&c)
+	if i == nil {
+		t.Fatal("killat spec built a nil injector")
+	}
+	for n := 1; n <= 6; n++ {
+		fired := i.Fire(ServerCrash)
+		if fired != (n == 3) {
+			t.Fatalf("evaluation %d: fired=%v", n, fired)
+		}
+	}
+	if _, err := Parse("killat=0"); err == nil {
+		t.Fatal("killat=0 accepted")
+	}
+}

@@ -261,6 +261,15 @@ const (
 	GaugeServerReserved = "server.heap_reserved_bytes" // aggregate heap budget reserved by admitted jobs
 	GaugeServerWarmPool = "server.warm_pool_size"      // VMs parked in the warm pool
 
+	// Daemon crash safety (journal, replay, retry, drain — docs/SERVER.md).
+	CtrServerJournalEvents = "server.journal_events" // events appended to the job journal
+	CtrServerJournalSyncs  = "server.journal_syncs"  // fsync batches committed (group commit)
+	CtrServerReplayed      = "server.jobs_replayed"  // non-terminal jobs re-enqueued by startup replay
+	CtrServerRetried       = "server.jobs_retried"   // transient failures automatically re-run
+	CtrServerDeadline      = "server.jobs_deadline"  // jobs failed by their deadline_ms
+	GaugeServerReplaying   = "server.replaying"      // 1 while recovered jobs are still re-running
+	GaugeServerDraining    = "server.draining"       // 1 while a SIGTERM drain is in progress
+
 	// Event kinds.
 	EvGC             = "gc"         // label minor|full, A=pause ns, B=promoted objs (minor) / live bytes (full)
 	EvIteration      = "iteration"  // label start|end, A=iteration ordinal

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -23,12 +24,20 @@ func DefaultPortFile() string {
 // Client is a thin facade.job/v1 client for one daemon.
 type Client struct {
 	BaseURL string
-	HTTP    *http.Client
+	// HTTP is the underlying client (default http.DefaultClient). Leave
+	// its Timeout zero: per-request deadlines come from Timeout below, so
+	// long polls can budget their own window instead of racing a global
+	// transport timeout.
+	HTTP *http.Client
+	// Timeout bounds each plain request (default 60s). Wait's long polls
+	// ignore it and budget longPollWindow plus grace per poll instead.
+	Timeout time.Duration
 }
 
-// RejectedError is returned by Submit when the daemon refused admission
-// (heap budget exhausted). RetryAfter tells the caller how long to back
-// off before resubmitting.
+// RejectedError is returned by Submit when the daemon refused admission:
+// 429 (heap budget exhausted) or 503 (draining toward shutdown, replaying
+// its journal). RetryAfter tells the caller how long to back off before
+// resubmitting; SubmitWithRetry does that automatically.
 type RejectedError struct {
 	Message    string
 	RetryAfter time.Duration
@@ -53,7 +62,7 @@ func Discover(portFile string) (*Client, error) {
 	if info.Schema != Schema {
 		return nil, fmt.Errorf("port file %s: daemon speaks %q, client wants %q", portFile, info.Schema, Schema)
 	}
-	c := &Client{BaseURL: "http://" + info.Addr, HTTP: &http.Client{Timeout: 60 * time.Second}}
+	c := &Client{BaseURL: "http://" + info.Addr}
 	if _, err := c.Status(); err != nil {
 		return nil, fmt.Errorf("daemon at %s not responding: %w", info.Addr, err)
 	}
@@ -71,6 +80,10 @@ type StartOptions struct {
 	// Timeout bounds how long to wait for the daemon to come up
 	// (default 10s).
 	Timeout time.Duration
+	// Launch overrides how the winning client starts the daemon (tests
+	// inject an in-process server here instead of exec'ing a binary). It
+	// must arrange for portFile to eventually exist and answer.
+	Launch func(portFile string) error
 }
 
 // EnsureServer discovers a running daemon or transparently starts one:
@@ -126,25 +139,15 @@ func EnsureServer(portFile string, opts StartOptions) (*Client, error) {
 	if c, err := Discover(portFile); err == nil {
 		return c, nil
 	}
-	exe, err := os.Executable()
-	if err != nil {
-		return nil, fmt.Errorf("auto-start: %w", err)
-	}
-	idle := opts.IdleTimeout
-	if idle == 0 {
-		idle = 5 * time.Minute
-	}
 	// Remove a stale port file so we do not rediscover a dead daemon.
 	os.Remove(portFile)
-	args := append([]string{"serve", "-portfile", portFile, "-idle", idle.String()}, opts.Args...)
-	cmd := exec.Command(exe, args...)
-	cmd.Stdout = io.Discard
-	cmd.Stderr = io.Discard
-	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("auto-start %s serve: %w", exe, err)
+	launch := opts.Launch
+	if launch == nil {
+		launch = func(pf string) error { return launchDaemon(pf, opts) }
 	}
-	// Detach: the daemon outlives this client process.
-	go cmd.Wait()
+	if err := launch(portFile); err != nil {
+		return nil, err
+	}
 
 	for time.Now().Before(deadline) {
 		if c, err := Discover(portFile); err == nil {
@@ -155,12 +158,100 @@ func EnsureServer(portFile string, opts StartOptions) (*Client, error) {
 	return nil, fmt.Errorf("auto-started daemon did not come up within %v", timeout)
 }
 
+// launchDaemon re-invokes the current executable as a detached `serve`
+// process — the default StartOptions.Launch.
+func launchDaemon(portFile string, opts StartOptions) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("auto-start: %w", err)
+	}
+	idle := opts.IdleTimeout
+	if idle == 0 {
+		idle = 5 * time.Minute
+	}
+	args := append([]string{"serve", "-portfile", portFile, "-idle", idle.String()}, opts.Args...)
+	cmd := exec.Command(exe, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("auto-start %s serve: %w", exe, err)
+	}
+	// Detach: the daemon outlives this client process.
+	go cmd.Wait()
+	return nil
+}
+
 // Submit sends a job; the request's schema field is stamped automatically.
 func (c *Client) Submit(req SubmitRequest) (SubmitResponse, error) {
 	req.Schema = Schema
 	var resp SubmitResponse
 	err := c.do("POST", "/v1/jobs", &req, &resp)
 	return resp, err
+}
+
+// SubmitOptions shapes SubmitWithRetry's client-side backoff.
+type SubmitOptions struct {
+	// MaxRetries is how many rejections to absorb before giving up
+	// (0 = fail on the first RejectedError, like plain Submit).
+	MaxRetries int
+	// BaseBackoff and MaxBackoff shape the capped exponential backoff
+	// (defaults 100ms / 5s). The daemon's Retry-After hint, when longer,
+	// wins over the computed delay.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed makes the jitter deterministic for a given (seed, attempt);
+	// callers that want reproducible schedules set it, everyone else can
+	// leave it zero.
+	Seed int64
+	// Sleep replaces time.Sleep (tests). Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// SubmitWithRetry is Submit plus client-side backpressure handling: on a
+// RejectedError (429 budget exhaustion, 503 drain/replay) it backs off —
+// honoring the daemon's Retry-After when that is longer than the capped
+// exponential delay — and resubmits, up to opts.MaxRetries times. Any
+// other error, including a protocol or transport error, fails immediately.
+func (c *Client) SubmitWithRetry(req SubmitRequest, opts SubmitOptions) (SubmitResponse, error) {
+	base := opts.BaseBackoff
+	if base == 0 {
+		base = 100 * time.Millisecond
+	}
+	maxB := opts.MaxBackoff
+	if maxB == 0 {
+		maxB = 5 * time.Second
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := c.Submit(req)
+		if err == nil {
+			return resp, nil
+		}
+		rej, ok := err.(*RejectedError)
+		if !ok || attempt >= opts.MaxRetries {
+			return resp, err
+		}
+		delay := base << uint(attempt)
+		if delay <= 0 || delay > maxB {
+			delay = maxB
+		}
+		// Deterministic jitter in [0, delay/2]: decorrelates a burst of
+		// rejected clients without losing reproducibility.
+		z := uint64(opts.Seed)<<8 ^ uint64(attempt+1)
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		if half := uint64(delay / 2); half > 0 {
+			delay += time.Duration(z % (half + 1))
+		}
+		if rej.RetryAfter > delay {
+			delay = rej.RetryAfter
+		}
+		sleep(delay)
+	}
 }
 
 // Job fetches one job's status.
@@ -170,12 +261,21 @@ func (c *Client) Job(id string) (JobStatus, error) {
 	return st, err
 }
 
+// longPollGrace is how much the client's per-poll deadline exceeds the
+// server's longPollWindow: enough headroom for scheduling and transport
+// that a healthy poll always returns before the client gives up, however
+// long the job runs.
+const longPollGrace = 15 * time.Second
+
 // Wait blocks until the job reaches a terminal state, long-polling the
-// daemon.
+// daemon. Each poll carries its own deadline of longPollWindow +
+// longPollGrace — deliberately decoupled from Client.Timeout, so waiting
+// on a job slower than any fixed request timeout works: the daemon ends
+// each poll at longPollWindow and the client immediately re-polls.
 func (c *Client) Wait(id string) (JobStatus, error) {
 	for {
 		var st JobStatus
-		if err := c.do("GET", "/v1/jobs/"+id+"?wait=1", nil, &st); err != nil {
+		if err := c.doTimeout("GET", "/v1/jobs/"+id+"?wait=1", nil, &st, longPollWindow+longPollGrace); err != nil {
 			return st, err
 		}
 		if st.State == StateDone || st.State == StateFailed || st.State == StateCanceled {
@@ -199,12 +299,59 @@ func (c *Client) Status() (ServerStatus, error) {
 	return st, err
 }
 
-// Shutdown asks the daemon to stop.
+// Ready asks GET /v1/readyz. It returns the daemon's lifecycle phase and
+// whether it currently accepts new jobs (false while replaying its
+// journal after a crash and while draining). Not-ready is a status, not
+// an error: the daemon's 503 decodes into ReadyStatus like the 200 does.
+func (c *Client) Ready() (ReadyStatus, error) {
+	var rs ReadyStatus
+	d := c.Timeout
+	if d == 0 {
+		d = 60 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", c.BaseURL+"/v1/readyz", nil)
+	if err != nil {
+		return rs, err
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return rs, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return rs, fmt.Errorf("GET /v1/readyz: HTTP %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rs)
+	return rs, err
+}
+
+// Shutdown asks the daemon to stop immediately, canceling queued and
+// running jobs.
 func (c *Client) Shutdown() error {
 	return c.do("POST", "/v1/shutdown", nil, nil)
 }
 
+// Drain asks the daemon to stop gracefully: finish running jobs, keep
+// queued ones checkpointed in the journal for the next incarnation.
+func (c *Client) Drain() error {
+	return c.do("POST", "/v1/shutdown?drain=1", nil, nil)
+}
+
 func (c *Client) do(method, path string, body, out any) error {
+	d := c.Timeout
+	if d == 0 {
+		d = 60 * time.Second
+	}
+	return c.doTimeout(method, path, body, out, d)
+}
+
+func (c *Client) doTimeout(method, path string, body, out any, d time.Duration) error {
 	var rd io.Reader
 	if body != nil {
 		buf := &bytes.Buffer{}
@@ -213,7 +360,9 @@ func (c *Client) do(method, path string, body, out any) error {
 		}
 		rd = buf
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return err
 	}
@@ -233,7 +382,8 @@ func (c *Client) do(method, path string, body, out any) error {
 		var er ErrorResponse
 		data, _ := io.ReadAll(resp.Body)
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.StatusCode == http.StatusTooManyRequests ||
+				(resp.StatusCode == http.StatusServiceUnavailable && er.RetryAfterMillis > 0) {
 				retry := time.Duration(er.RetryAfterMillis) * time.Millisecond
 				if retry == 0 {
 					if secs, _ := strconv.Atoi(resp.Header.Get("Retry-After")); secs > 0 {

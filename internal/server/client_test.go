@@ -1,0 +1,278 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// inProcessLaunch is a StartOptions.Launch hook that starts a real daemon
+// in-process instead of exec'ing a binary, counting how many times it was
+// invoked — the seam that makes the auto-start races testable.
+func inProcessLaunch(t *testing.T, launches *atomic.Int32) func(string) error {
+	t.Helper()
+	var mu sync.Mutex
+	var started []*Server
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range started {
+			ctx, stop := context.WithTimeout(context.Background(), 30*time.Second)
+			s.Shutdown(ctx)
+			stop()
+		}
+	})
+	return func(pf string) error {
+		launches.Add(1)
+		s, err := New(Config{PortFile: pf, JournalPath: "none"})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		started = append(started, s)
+		mu.Unlock()
+		return nil
+	}
+}
+
+// TestEnsureServerConcurrentAutoStart: many clients racing past a failed
+// Discover must elect exactly one daemon-starter through the lock file;
+// everyone ends up talking to that daemon.
+func TestEnsureServerConcurrentAutoStart(t *testing.T) {
+	pf := filepath.Join(t.TempDir(), "port.json")
+	var launches atomic.Int32
+	launch := inProcessLaunch(t, &launches)
+
+	const n = 8
+	var wg sync.WaitGroup
+	clients := make([]*Client, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clients[i], errs[i] = EnsureServer(pf, StartOptions{Launch: launch, Timeout: 30 * time.Second})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+	}
+	if got := launches.Load(); got != 1 {
+		t.Fatalf("%d daemons launched for %d racing clients, want 1", got, n)
+	}
+	// Everyone discovered the same daemon.
+	for i := 1; i < n; i++ {
+		if clients[i].BaseURL != clients[0].BaseURL {
+			t.Fatalf("client %d points at %s, client 0 at %s", i, clients[i].BaseURL, clients[0].BaseURL)
+		}
+	}
+	if _, err := clients[0].Status(); err != nil {
+		t.Fatalf("elected daemon not serving: %v", err)
+	}
+}
+
+// TestEnsureServerStalePortFile: a port file left behind by a dead daemon
+// (valid schema, nobody listening) must not wedge auto-start — the stale
+// file is replaced by a fresh daemon's.
+func TestEnsureServerStalePortFile(t *testing.T) {
+	pf := filepath.Join(t.TempDir(), "port.json")
+	// A dead address: listen, record, close.
+	dead, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr()
+	ctx, stop := context.WithTimeout(context.Background(), 30*time.Second)
+	dead.Shutdown(ctx)
+	stop()
+	data, _ := json.Marshal(portFileInfo{Schema: Schema, PID: 999999, Addr: addr})
+	if err := os.WriteFile(pf, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var launches atomic.Int32
+	c, err := EnsureServer(pf, StartOptions{Launch: inProcessLaunch(t, &launches), Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("EnsureServer past stale port file: %v", err)
+	}
+	if launches.Load() != 1 {
+		t.Fatalf("launches = %d, want 1", launches.Load())
+	}
+	if _, err := c.Status(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnsureServerStaleLockSteal: a lock file whose holder died before
+// starting anything is stolen once it is older than the timeout, instead
+// of deadlocking every future auto-start.
+func TestEnsureServerStaleLockSteal(t *testing.T) {
+	pf := filepath.Join(t.TempDir(), "port.json")
+	lock := pf + ".lock"
+	if err := os.WriteFile(lock, []byte("999999"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	var launches atomic.Int32
+	c, err := EnsureServer(pf, StartOptions{Launch: inProcessLaunch(t, &launches), Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("EnsureServer past stale lock: %v", err)
+	}
+	if launches.Load() != 1 {
+		t.Fatalf("launches = %d, want 1", launches.Load())
+	}
+	if _, err := c.Status(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Fatalf("lock file still present after auto-start: %v", err)
+	}
+}
+
+// TestEnsureServerLockReleasedMidWait: the holder releases the lock (and
+// starts nothing) while another client is waiting on it — the waiter must
+// notice the release, take the lock itself, and start the daemon.
+func TestEnsureServerLockReleasedMidWait(t *testing.T) {
+	pf := filepath.Join(t.TempDir(), "port.json")
+	lock := pf + ".lock"
+	if err := os.WriteFile(lock, []byte("1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		os.Remove(lock)
+	}()
+
+	var launches atomic.Int32
+	c, err := EnsureServer(pf, StartOptions{Launch: inProcessLaunch(t, &launches), Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("EnsureServer after mid-wait lock release: %v", err)
+	}
+	if launches.Load() != 1 {
+		t.Fatalf("launches = %d, want 1", launches.Load())
+	}
+	if _, err := c.Status(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitWithRetryEventualSuccess: 429 rejections with Retry-After are
+// absorbed with backoff (honoring the server's hint) until the submission
+// is admitted.
+func TestSubmitWithRetryEventualSuccess(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(ErrorResponse{Schema: Schema, Error: "budget exhausted", RetryAfterMillis: 40})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(SubmitResponse{Schema: Schema, JobID: "job-000001", State: StateQueued})
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{BaseURL: srv.URL}
+	resp, err := c.SubmitWithRetry(SubmitRequest{Sources: map[string]string{"a.fj": "x"}}, SubmitOptions{
+		MaxRetries:  5,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		Seed:        7,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatalf("SubmitWithRetry: %v", err)
+	}
+	if resp.JobID != "job-000001" {
+		t.Fatalf("job id %q", resp.JobID)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d submit calls, want 3", calls.Load())
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	for i, d := range slept {
+		// Retry-After (40ms) dominates the small computed backoff.
+		if d < 40*time.Millisecond {
+			t.Fatalf("sleep %d = %v, shorter than the server's Retry-After", i, d)
+		}
+	}
+}
+
+// TestSubmitWithRetryGivesUp: the budget is finite — after MaxRetries
+// rejections the caller gets the typed RejectedError back.
+func TestSubmitWithRetryGivesUp(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(ErrorResponse{Schema: Schema, Error: "budget exhausted", RetryAfterMillis: 1})
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL}
+	_, err := c.SubmitWithRetry(SubmitRequest{Sources: map[string]string{"a.fj": "x"}}, SubmitOptions{
+		MaxRetries:  2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Sleep:       func(time.Duration) {},
+	})
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("got %v, want RejectedError", err)
+	}
+	if calls.Load() != 3 { // initial + 2 retries
+		t.Fatalf("%d submit calls, want 3", calls.Load())
+	}
+}
+
+// TestWaitOutlivesClientTimeout pins the long-poll fix: Wait must not
+// inherit the client's per-request timeout (historically a hardcoded 60s
+// http.Client timeout that made Wait fail on any job slower than that).
+// Here the client timeout is far shorter than the poll; Wait still
+// completes because it budgets longPollWindow+grace per poll.
+func TestWaitOutlivesClientTimeout(t *testing.T) {
+	var polls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := JobStatus{Schema: Schema, JobID: "job-000001", State: StateRunning}
+		if polls.Add(1) >= 2 {
+			st.State = StateDone
+			st.Output = "42\n"
+		}
+		time.Sleep(120 * time.Millisecond) // longer than Client.Timeout
+		json.NewEncoder(w).Encode(st)
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Timeout: 20 * time.Millisecond}
+	st, err := c.Wait("job-000001")
+	if err != nil {
+		t.Fatalf("Wait with short client timeout: %v", err)
+	}
+	if st.State != StateDone || st.Output != "42\n" {
+		t.Fatalf("wait result: %+v", st)
+	}
+	// The short timeout still applies to plain requests.
+	if _, err := c.Job("job-000001"); err == nil {
+		t.Fatal("plain request ignored Client.Timeout")
+	}
+}

@@ -16,6 +16,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/facade"
 	"repro/internal/obs"
@@ -34,6 +35,50 @@ const (
 	StateFailed   = "failed"
 	StateCanceled = "canceled"
 )
+
+// Failure kinds, as reported in JobStatus.ErrorKind for failed/canceled
+// jobs. They drive the daemon's retry policy (docs/ROBUSTNESS.md):
+// transient failures are re-run automatically up to MaxAttempts with
+// capped exponential backoff; deterministic ones fail fast — re-running a
+// deterministic program against the same inputs can only fail the same
+// way.
+const (
+	// ErrKindTransient: injected crash faults, warm-pool reset failures —
+	// environment trouble, not a property of the program.
+	ErrKindTransient = "transient"
+	// ErrKindDeterministic: compile/verify/lint errors, OutOfMemoryError,
+	// page-quota exhaustion — retrying cannot change the outcome.
+	ErrKindDeterministic = "deterministic"
+	// ErrKindDeadline: the job exceeded its deadline_ms (typed as
+	// *DeadlineError on the client, never retried).
+	ErrKindDeadline = "deadline"
+	// ErrKindCanceled: canceled by the client or by daemon shutdown.
+	ErrKindCanceled = "canceled"
+)
+
+// Daemon lifecycle phases, as reported by GET /v1/readyz and
+// ServerStatus.Phase. The daemon is ready exactly when it is in
+// PhaseReady; while replaying the journal or draining it answers 503 so
+// load balancers and auto-start clients hold new work back.
+const (
+	PhaseReplaying = "replaying"
+	PhaseReady     = "ready"
+	PhaseDraining  = "draining"
+	PhaseStopping  = "stopping"
+)
+
+// DeadlineError reports that a job exceeded its deadline_ms budget. The
+// daemon enforces the deadline through the interpreter's safepoint
+// cancellation, so a runaway job is stopped at the next call or loop
+// back-edge; JobStatus.Err surfaces the same typed error client-side.
+type DeadlineError struct {
+	JobID string
+	Limit time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("job %s exceeded its deadline of %v", e.JobID, e.Limit)
+}
 
 // SubmitRequest asks the daemon to compile and run an FJ program.
 type SubmitRequest struct {
@@ -68,6 +113,17 @@ type SubmitRequest struct {
 	// Faults is a deterministic fault-injection spec
 	// ("alloc=0.001,page=0.001,seed=7"); empty disables injection.
 	Faults string `json:"faults,omitempty"`
+
+	// DeadlineMillis bounds the job's end-to-end time (queued + every
+	// attempt). A job past its deadline fails with a typed DeadlineError;
+	// 0 means no deadline. Recovery replay restarts the budget: the
+	// deadline bounds service latency, not wall-clock survival across
+	// daemon crashes.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	// MaxAttempts caps automatic re-runs after transient failures
+	// (injected crash faults, warm-pool reset failures). 0 or 1 means no
+	// retry; deterministic failures never retry regardless. Capped at 8.
+	MaxAttempts int `json:"max_attempts,omitempty"`
 }
 
 // SubmitResponse acknowledges an admitted job.
@@ -90,15 +146,37 @@ type JobStatus struct {
 
 	// Output is the program's Sys.print output (terminal states only).
 	Output string `json:"output,omitempty"`
-	// Error describes the failure for failed/canceled jobs.
-	Error string `json:"error,omitempty"`
+	// Error describes the failure for failed/canceled jobs; ErrorKind
+	// classifies it (transient, deterministic, deadline, canceled).
+	Error     string `json:"error,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
 	// Stats mirrors facade.RunStats for completed runs.
 	Stats *facade.RunStats `json:"stats,omitempty"`
+
+	// Attempt is the execution attempt this status describes (1-based;
+	// >1 means the daemon re-ran the job after transient failures).
+	Attempt int `json:"attempt,omitempty"`
+	// DeadlineMillis echoes the request's deadline budget.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 
 	QueuedNanos   int64 `json:"queued_ns,omitempty"`      // time spent queued
 	RunningNanos  int64 `json:"running_ns,omitempty"`     // time spent executing
 	HeapReserved  int64 `json:"heap_reserved"`            // bytes held against budgets
 	QueuePosition int   `json:"queue_position,omitempty"` // 1-based, queued state only
+}
+
+// Err maps a terminal status onto a typed error: nil for done, a
+// *DeadlineError for deadline failures, and a descriptive error
+// otherwise. Non-terminal statuses report nil — ask again.
+func (st *JobStatus) Err() error {
+	switch st.State {
+	case StateDone, StateQueued, StateRunning, "":
+		return nil
+	}
+	if st.ErrorKind == ErrKindDeadline {
+		return &DeadlineError{JobID: st.JobID, Limit: time.Duration(st.DeadlineMillis) * time.Millisecond}
+	}
+	return fmt.Errorf("job %s %s: %s", st.JobID, st.State, st.Error)
 }
 
 // TenantStatus reports one tenant's budget accounting.
@@ -114,6 +192,9 @@ type ServerStatus struct {
 	Schema  string `json:"schema"`
 	PID     int    `json:"pid"`
 	Started string `json:"started"` // RFC 3339
+	// Phase is the lifecycle phase (replaying, ready, draining,
+	// stopping); GET /v1/readyz answers 200 only in "ready".
+	Phase string `json:"phase,omitempty"`
 
 	HeapBudget   int64 `json:"heap_budget"`
 	HeapReserved int64 `json:"heap_reserved"`
@@ -124,6 +205,11 @@ type ServerStatus struct {
 	JobsFailed   int `json:"jobs_failed"`
 	JobsCanceled int `json:"jobs_canceled"`
 	JobsRejected int `json:"jobs_rejected"`
+	// JobsReplayed counts non-terminal jobs this incarnation re-enqueued
+	// from the journal at startup; JobsRetried counts automatic re-runs
+	// after transient failures.
+	JobsReplayed int `json:"jobs_replayed,omitempty"`
+	JobsRetried  int `json:"jobs_retried,omitempty"`
 
 	WarmPoolSize int   `json:"warm_pool_size"`
 	WarmHits     int64 `json:"warm_hits"`
@@ -158,7 +244,25 @@ func (r *SubmitRequest) Validate() error {
 	if r.PageQuota < 0 {
 		return fmt.Errorf("negative page_quota")
 	}
+	if r.DeadlineMillis < 0 {
+		return fmt.Errorf("negative deadline_ms")
+	}
+	if r.MaxAttempts < 0 || r.MaxAttempts > maxAttemptsCap {
+		return fmt.Errorf("max_attempts %d out of range [0,%d]", r.MaxAttempts, maxAttemptsCap)
+	}
 	return nil
+}
+
+// maxAttemptsCap bounds automatic re-runs: past a handful of attempts a
+// "transient" failure is not transient.
+const maxAttemptsCap = 8
+
+// ReadyStatus is the body of GET /v1/readyz (and, with Ready always
+// true, GET /v1/healthz).
+type ReadyStatus struct {
+	Schema string `json:"schema"`
+	Ready  bool   `json:"ready"`
+	Phase  string `json:"phase"`
 }
 
 // EncodeJob writes any facade.job/v1 message as deterministic indented

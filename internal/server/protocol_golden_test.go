@@ -34,6 +34,9 @@ func TestGoldenJobSchema(t *testing.T) {
 			PageQuota:   128,
 			RandSeed:    &seed,
 			Faults:      "alloc=0.001,seed=7",
+
+			DeadlineMillis: 30000,
+			MaxAttempts:    3,
 		}},
 		{"submit_response", SubmitResponse{
 			Schema: Schema,
@@ -51,10 +54,25 @@ func TestGoldenJobSchema(t *testing.T) {
 			QueuedNanos:  1500,
 			RunningNanos: 250000,
 		}},
+		{"job_status_failed", JobStatus{
+			Schema:         Schema,
+			JobID:          "job-000002",
+			Tenant:         "analytics",
+			State:          StateFailed,
+			Error:          "job job-000002 exceeded its deadline of 30s",
+			ErrorKind:      ErrKindDeadline,
+			Attempt:        2,
+			DeadlineMillis: 30000,
+			QueuedNanos:    1500,
+			RunningNanos:   250000,
+		}},
 		{"server_status", ServerStatus{
 			Schema:       Schema,
 			PID:          4242,
 			Started:      "2026-01-02T03:04:05Z",
+			Phase:        PhaseReady,
+			JobsReplayed: 2,
+			JobsRetried:  1,
 			HeapBudget:   1 << 30,
 			HeapReserved: 96 << 20,
 			JobsQueued:   1,
@@ -75,6 +93,11 @@ func TestGoldenJobSchema(t *testing.T) {
 			Schema:           Schema,
 			Error:            "aggregate heap budget exhausted: 1006632960 reserved + 67108864 requested > 1073741824",
 			RetryAfterMillis: 500,
+		}},
+		{"ready_status", ReadyStatus{
+			Schema: Schema,
+			Ready:  false,
+			Phase:  PhaseReplaying,
 		}},
 	}
 
@@ -113,11 +136,14 @@ func TestValidateRejectsBadRequests(t *testing.T) {
 		t.Fatalf("valid request rejected: %v", err)
 	}
 	cases := map[string]SubmitRequest{
-		"wrong schema": {Schema: "facade.job/v0", Sources: map[string]string{"a.fj": "x"}},
-		"no schema":    {Sources: map[string]string{"a.fj": "x"}},
-		"no sources":   {Schema: Schema},
-		"neg heap":     {Schema: Schema, Sources: map[string]string{"a.fj": "x"}, HeapSize: -1},
-		"neg quota":    {Schema: Schema, Sources: map[string]string{"a.fj": "x"}, PageQuota: -1},
+		"wrong schema":  {Schema: "facade.job/v0", Sources: map[string]string{"a.fj": "x"}},
+		"no schema":     {Sources: map[string]string{"a.fj": "x"}},
+		"no sources":    {Schema: Schema},
+		"neg heap":      {Schema: Schema, Sources: map[string]string{"a.fj": "x"}, HeapSize: -1},
+		"neg quota":     {Schema: Schema, Sources: map[string]string{"a.fj": "x"}, PageQuota: -1},
+		"neg deadline":  {Schema: Schema, Sources: map[string]string{"a.fj": "x"}, DeadlineMillis: -1},
+		"neg attempts":  {Schema: Schema, Sources: map[string]string{"a.fj": "x"}, MaxAttempts: -1},
+		"huge attempts": {Schema: Schema, Sources: map[string]string{"a.fj": "x"}, MaxAttempts: 99},
 	}
 	for name, req := range cases {
 		if err := req.Validate(); err == nil {

@@ -4,15 +4,18 @@ import (
 	"container/heap"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/facade"
+	"repro/internal/faults"
 	"repro/internal/ir"
 	"repro/internal/obs"
 )
@@ -27,6 +30,11 @@ type Config struct {
 	// addr) and removed on shutdown; clients discover the daemon through
 	// it.
 	PortFile string
+	// JournalPath is the durable job journal (facade.journal/v1, an
+	// append-only JSONL write-ahead log). Empty derives "<PortFile>.journal"
+	// when a port file is configured; "none" disables journaling (jobs
+	// then die with the process, the pre-journal behavior).
+	JournalPath string
 
 	// HeapBudget bounds the sum of heap reservations across all queued
 	// and running jobs (default 1 GiB). Submissions that would exceed it
@@ -45,6 +53,16 @@ type Config struct {
 	// IdleTimeout shuts the daemon down after this long with no requests
 	// and no work (0 = run until told to stop).
 	IdleTimeout time.Duration
+	// DrainTimeout bounds how long a Drain (SIGTERM) waits for running
+	// jobs to finish before sealing the journal and stopping (default
+	// 10s). Jobs still queued or running at the deadline stay non-terminal
+	// in the journal and are replayed by the next incarnation.
+	DrainTimeout time.Duration
+
+	// RetryBase and RetryMax shape the capped exponential backoff between
+	// automatic re-runs of transiently failed jobs (defaults 50ms / 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
 
 	// JobRetention is how long a terminal job (and its output) stays
 	// queryable before being garbage-collected (default 15m, negative =
@@ -56,12 +74,26 @@ type Config struct {
 	// ProgCacheCap bounds the compiled-program cache, least recently used
 	// evicted first (default 32, negative = unlimited).
 	ProgCacheCap int
+
+	// FaultSpec enables daemon-level fault injection (internal/faults);
+	// "killat=N" crashes the process at the N-th journal append — the
+	// deterministic SIGKILL the crash-recovery smoke schedules.
+	FaultSpec string
+	// CrashFn overrides how an injected daemon crash dies (tests);
+	// default prints a note and os.Exit(137), mimicking SIGKILL.
+	CrashFn func()
 }
 
 func (c *Config) withDefaults() Config {
 	out := *c
 	if out.Addr == "" {
 		out.Addr = "127.0.0.1:0"
+	}
+	if out.JournalPath == "" && out.PortFile != "" {
+		out.JournalPath = out.PortFile + ".journal"
+	}
+	if out.JournalPath == "none" {
+		out.JournalPath = ""
 	}
 	if out.HeapBudget == 0 {
 		out.HeapBudget = 1 << 30
@@ -71,6 +103,15 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.WarmPoolCap == 0 {
 		out.WarmPoolCap = 8
+	}
+	if out.DrainTimeout == 0 {
+		out.DrainTimeout = 10 * time.Second
+	}
+	if out.RetryBase == 0 {
+		out.RetryBase = 50 * time.Millisecond
+	}
+	if out.RetryMax == 0 {
+		out.RetryMax = 2 * time.Second
 	}
 	if out.JobRetention == 0 {
 		out.JobRetention = 15 * time.Minute
@@ -92,10 +133,16 @@ type job struct {
 	tenant   string
 	reserved int64
 
+	attempt     int // 1-based execution attempt
+	maxAttempts int
+	deadline    time.Time // zero = no deadline
+	recovered   bool      // re-enqueued from the journal at startup
+
 	state   string
 	warmHit bool
 	output  string
 	errMsg  string
+	errKind string
 	stats   *facade.RunStats
 
 	queuedAt, startedAt, finishedAt time.Time
@@ -130,12 +177,18 @@ func (q *jobQueue) Pop() any {
 	return it
 }
 
+// longPollWindow bounds a GET /v1/jobs/{id}?wait=1 long poll server-side;
+// the thin client budgets its per-request deadline against it (plus
+// longPollGrace), so the two can never race each other.
+const longPollWindow = 30 * time.Second
+
 // Server is a running daemon.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	progs *progCache
-	pool  *warmPool
+	cfg     Config
+	reg     *obs.Registry
+	progs   *progCache
+	pool    *warmPool
+	journal *journal
 
 	ln      net.Listener
 	httpSrv *http.Server
@@ -151,19 +204,26 @@ type Server struct {
 	running        int
 	lastActivity   time.Time
 	stopping       bool
+	draining       bool
+	replayLeft     int // recovered jobs not yet terminal (phase "replaying")
+	replayedTotal  int
 
 	kick     chan struct{}
+	ready    chan struct{} // closed once replay converges (or immediately)
 	stopOnce sync.Once
 	stopped  chan struct{}
 	wg       sync.WaitGroup
 
 	cSubmitted, cDone, cFailed, cCanceled, cRejected *obs.Counter
+	cRetried, cDeadline, cReplayed                   *obs.Counter
 	gRunning, gQueued, gReserved                     *obs.Gauge
+	gReplaying, gDraining                            *obs.Gauge
 }
 
-// New starts a daemon: listen, write the port file, and begin serving.
-// Callers stop it with Shutdown (or POST /v1/shutdown) and wait for full
-// termination with Wait.
+// New starts a daemon: replay the journal, listen, write the port file,
+// and begin serving. Callers stop it with Shutdown (or POST /v1/shutdown)
+// and wait for full termination with Wait; SIGTERM handlers should prefer
+// Drain.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := obs.NewRegistry()
@@ -176,20 +236,35 @@ func New(cfg Config) (*Server, error) {
 		jobs:           make(map[string]*job),
 		tenantReserved: make(map[string]int64),
 		kick:           make(chan struct{}, 1),
+		ready:          make(chan struct{}),
 		stopped:        make(chan struct{}),
 		cSubmitted:     reg.Counter(obs.CtrServerSubmitted),
 		cDone:          reg.Counter(obs.CtrServerDone),
 		cFailed:        reg.Counter(obs.CtrServerFailed),
 		cCanceled:      reg.Counter(obs.CtrServerCanceled),
 		cRejected:      reg.Counter(obs.CtrServerRejected),
+		cRetried:       reg.Counter(obs.CtrServerRetried),
+		cDeadline:      reg.Counter(obs.CtrServerDeadline),
+		cReplayed:      reg.Counter(obs.CtrServerReplayed),
 		gRunning:       reg.Gauge(obs.GaugeServerRunning),
 		gQueued:        reg.Gauge(obs.GaugeServerQueued),
 		gReserved:      reg.Gauge(obs.GaugeServerReserved),
+		gReplaying:     reg.Gauge(obs.GaugeServerReplaying),
+		gDraining:      reg.Gauge(obs.GaugeServerDraining),
 	}
 	s.lastActivity = s.started
 
+	if cfg.JournalPath != "" {
+		if err := s.openJournal(cfg.JournalPath); err != nil {
+			return nil, err
+		}
+	}
+
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		if s.journal != nil {
+			s.journal.seal()
+		}
 		return nil, err
 	}
 	s.ln = ln
@@ -199,14 +274,25 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("POST /v1/shutdown", s.handleShutdown)
 	s.httpSrv = &http.Server{Handler: mux}
 
 	if cfg.PortFile != "" {
 		if err := writePortFile(cfg.PortFile, s.Addr()); err != nil {
 			ln.Close()
+			if s.journal != nil {
+				s.journal.seal()
+			}
 			return nil, err
 		}
+	}
+
+	if s.replayLeft == 0 {
+		close(s.ready)
+	} else {
+		s.gReplaying.Set(1)
 	}
 
 	s.wg.Add(1)
@@ -220,7 +306,123 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.idleWatch()
 	}
+	s.kickScheduler()
 	return s, nil
+}
+
+// openJournal replays the write-ahead log left by the previous daemon
+// incarnation, restores terminal jobs (still queryable), re-enqueues every
+// non-terminal job — FACADE jobs are deterministic, so a re-run is
+// bit-identical to the run the crash interrupted — compacts the log, and
+// reopens it for appending.
+func (s *Server) openJournal(path string) error {
+	events, err := readJournal(path)
+	if err != nil {
+		return fmt.Errorf("journal replay: %w", err)
+	}
+	replayed, maxSeq := replayJournal(events)
+	if maxSeq > s.seq {
+		s.seq = maxSeq
+	}
+	now := time.Now()
+	for _, rj := range replayed {
+		j := &job{
+			id:          rj.id,
+			seq:         rj.seq,
+			req:         rj.req,
+			tenant:      rj.tenant,
+			attempt:     1,
+			maxAttempts: maxAttemptsOf(&rj.req),
+			queuedAt:    now,
+			done:        make(chan struct{}),
+		}
+		if rj.state != "" { // terminal: restore the recorded outcome
+			j.state = rj.state
+			j.output = rj.output
+			j.errMsg = rj.errMsg
+			j.errKind = rj.errKind
+			j.startedAt, j.finishedAt = now, now
+			close(j.done)
+			s.jobs[j.id] = j
+			s.finished = append(s.finished, j)
+			continue
+		}
+		j.state = StateQueued
+		j.recovered = true
+		j.reserved = int64(j.req.HeapSize)
+		if j.req.DeadlineMillis > 0 {
+			// The deadline budget restarts: it bounds service latency,
+			// not wall-clock survival across daemon crashes.
+			j.deadline = now.Add(time.Duration(j.req.DeadlineMillis) * time.Millisecond)
+		}
+		s.jobs[j.id] = j
+		heap.Push(&s.queue, j)
+		s.reserved += j.reserved
+		s.tenantReserved[j.tenant] += j.reserved
+		s.replayLeft++
+		s.replayedTotal++
+	}
+	s.gReserved.Set(s.reserved)
+	s.gQueued.Set(int64(len(s.queue)))
+	s.cReplayed.Add(int64(s.replayedTotal))
+
+	if err := rewriteJournal(path, compactEvents(replayed)); err != nil {
+		return fmt.Errorf("journal compact: %w", err)
+	}
+	jl, err := createJournal(path, s.reg)
+	if err != nil {
+		return err
+	}
+	s.journal = jl
+	if s.cfg.FaultSpec != "" {
+		fcfg, err := faults.Parse(s.cfg.FaultSpec)
+		if err != nil {
+			jl.seal()
+			return fmt.Errorf("daemon fault spec: %w", err)
+		}
+		if inj := faults.New(&fcfg); inj != nil {
+			crash := s.cfg.CrashFn
+			if crash == nil {
+				crash = func() {
+					fmt.Fprintln(os.Stderr, "repro serve: injected daemon crash (server.crash)")
+					os.Exit(137)
+				}
+			}
+			jl.onAppend = func() {
+				if inj.Fire(faults.ServerCrash) {
+					crash()
+				}
+			}
+		}
+	}
+	// Deadline timers for recovered queued jobs.
+	for _, j := range s.jobs {
+		if j.state == StateQueued && !j.deadline.IsZero() {
+			s.armDeadline(j)
+		}
+	}
+	return nil
+}
+
+func maxAttemptsOf(req *SubmitRequest) int {
+	if req.MaxAttempts < 1 {
+		return 1
+	}
+	return req.MaxAttempts
+}
+
+// journalAppend writes an event when a journal is configured, swallowing
+// errors on the non-durable paths: losing a started/done record to a bad
+// disk only means the job re-runs deterministically on recovery.
+func (s *Server) journalAppend(ev journalEvent, durable bool) error {
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.append(ev, durable)
+	if errors.Is(err, errJournalClosed) && !durable {
+		return nil
+	}
+	return err
 }
 
 // Addr returns the daemon's listen address ("127.0.0.1:port").
@@ -230,8 +432,43 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // endpoint, or Shutdown call).
 func (s *Server) Wait() { <-s.stopped }
 
-// Shutdown stops the daemon: pending and running jobs are canceled, the
-// listener closes, and the port file is removed. Idempotent.
+// WaitReady blocks until startup replay has converged (all recovered jobs
+// terminal) and the daemon answers /v1/readyz with 200.
+func (s *Server) WaitReady(ctx context.Context) error {
+	select {
+	case <-s.ready:
+		return nil
+	case <-s.stopped:
+		return errors.New("server stopped before becoming ready")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Phase reports the lifecycle phase: replaying, ready, draining, or
+// stopping.
+func (s *Server) Phase() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.phaseLocked()
+}
+
+func (s *Server) phaseLocked() string {
+	switch {
+	case s.stopping:
+		return PhaseStopping
+	case s.draining:
+		return PhaseDraining
+	case s.replayLeft > 0:
+		return PhaseReplaying
+	default:
+		return PhaseReady
+	}
+}
+
+// Shutdown stops the daemon hard: pending and running jobs are canceled,
+// the listener closes, and the port file is removed. Idempotent. Prefer
+// Drain for a graceful stop that preserves queued work in the journal.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopOnce.Do(func() {
 		s.mu.Lock()
@@ -240,7 +477,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// entries.
 		for _, j := range s.jobs {
 			if j.state == StateQueued {
-				s.finishLocked(j, StateCanceled, "", nil, "server shutting down")
+				s.finishLocked(j, StateCanceled, "", nil, "server shutting down", ErrKindCanceled)
 			} else if j.state == StateRunning && j.cancel != nil {
 				j.cancel(fmt.Errorf("server shutting down"))
 			}
@@ -261,10 +498,81 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() { s.wg.Wait(); close(done) }()
 	select {
 	case <-done:
+		if s.journal != nil {
+			s.journal.seal()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Drain is the graceful stop SIGTERM triggers: admission closes (503 +
+// Retry-After), running jobs get up to Config.DrainTimeout to finish, the
+// queue stays durably checkpointed in the journal for the next
+// incarnation, and only then does the daemon stop. Jobs still running at
+// the drain deadline are canceled in-process but remain non-terminal on
+// disk, so a restart replays them bit-identically.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopping || s.draining {
+		s.mu.Unlock()
+		return s.Shutdown(ctx)
+	}
+	s.draining = true
+	s.gDraining.Set(1)
+	s.mu.Unlock()
+	s.journalAppend(journalEvent{Kind: jevDrain}, false)
+
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+drain:
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		idle := s.running == 0
+		s.mu.Unlock()
+		if idle {
+			break
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			break drain
+		case <-s.stopped:
+			break drain
+		}
+	}
+	// Seal before the hard stop: the cancellations Shutdown issues to
+	// stragglers must not journal terminal states — those jobs belong to
+	// the next incarnation.
+	if s.journal != nil {
+		s.journal.seal()
+	}
+	return s.Shutdown(ctx)
+}
+
+// Kill abruptly stops the daemon without flushing the journal, journaling
+// terminal states, or removing the port file — the in-process stand-in
+// for SIGKILL that the crash-recovery tests use. Whatever the last group
+// commit covered is exactly what the next incarnation replays.
+func (s *Server) Kill() {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.stopping = true
+		if s.journal != nil {
+			s.journal.kill()
+		}
+		for _, j := range s.jobs {
+			if j.state == StateRunning && j.cancel != nil {
+				j.cancel(fmt.Errorf("daemon killed"))
+			}
+		}
+		s.mu.Unlock()
+		s.httpSrv.Close()
+		close(s.stopped)
+	})
+	s.wg.Wait()
 }
 
 func (s *Server) touch() {
@@ -306,7 +614,7 @@ func (s *Server) idleWatch() {
 		case <-tick.C:
 			s.mu.Lock()
 			idle := time.Since(s.lastActivity) >= s.cfg.IdleTimeout &&
-				s.running == 0 && len(s.queue) == 0 && !s.stopping
+				s.running == 0 && len(s.queue) == 0 && !s.stopping && !s.draining
 			s.mu.Unlock()
 			if idle {
 				go s.Shutdown(context.Background())
@@ -324,6 +632,8 @@ func (s *Server) kickScheduler() {
 }
 
 // schedule moves queued jobs into execution slots as capacity frees up.
+// During a drain it starts nothing: queued jobs stay checkpointed for the
+// next incarnation.
 func (s *Server) schedule() {
 	defer s.wg.Done()
 	for {
@@ -334,7 +644,7 @@ func (s *Server) schedule() {
 		}
 		for {
 			s.mu.Lock()
-			if s.stopping || s.running >= s.cfg.MaxConcurrent || len(s.queue) == 0 {
+			if s.stopping || s.draining || s.running >= s.cfg.MaxConcurrent || len(s.queue) == 0 {
 				s.mu.Unlock()
 				break
 			}
@@ -343,10 +653,22 @@ func (s *Server) schedule() {
 				s.mu.Unlock()
 				continue
 			}
+			if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+				de := &DeadlineError{JobID: j.id, Limit: time.Duration(j.req.DeadlineMillis) * time.Millisecond}
+				s.finishLocked(j, StateFailed, "", nil, de.Error(), ErrKindDeadline)
+				s.mu.Unlock()
+				continue
+			}
 			// Create the job's cancelable context here, under s.mu, so a
 			// concurrent Shutdown/cancel never observes StateRunning with
 			// a nil j.cancel (which would let the job run to completion).
-			ctx, cancel := context.WithCancelCause(context.Background())
+			base := context.Background()
+			stopTimer := func() {}
+			if !j.deadline.IsZero() {
+				base, stopTimer = context.WithDeadlineCause(base, j.deadline,
+					&DeadlineError{JobID: j.id, Limit: time.Duration(j.req.DeadlineMillis) * time.Millisecond})
+			}
+			ctx, cancel := context.WithCancelCause(base)
 			j.cancel = cancel
 			j.state = StateRunning
 			j.startedAt = time.Now()
@@ -355,23 +677,32 @@ func (s *Server) schedule() {
 			s.gQueued.Set(int64(len(s.queue)))
 			s.mu.Unlock()
 			s.wg.Add(1)
-			go s.runJob(j, ctx, cancel)
+			go s.runJob(j, ctx, cancel, stopTimer)
 		}
 	}
 }
 
 // runJob executes one admitted job end to end: resolve the compiled
 // program (shared cache), take a warm VM when one matches, run through
-// facade.RunContext, and return the VM to the pool.
-func (s *Server) runJob(j *job, ctx context.Context, cancel context.CancelCauseFunc) {
+// facade.RunContext, and return the VM to the pool. Transient failures
+// are re-queued with backoff up to the job's attempt budget.
+func (s *Server) runJob(j *job, ctx context.Context, cancel context.CancelCauseFunc, stopTimer func()) {
 	defer s.wg.Done()
 	defer s.kickScheduler()
+	defer stopTimer()
 	defer cancel(nil)
+
+	s.mu.Lock()
+	attempt := j.attempt
+	s.mu.Unlock()
+	s.journalAppend(journalEvent{
+		Kind: jevStarted, Seq: j.seq, JobID: j.id, Tenant: j.tenant, Attempt: attempt,
+	}, false)
 
 	key := programKey(&j.req)
 	prog, err := s.progs.get(key, func() (*ir.Program, error) { return compileRequest(&j.req) })
 	if err != nil {
-		s.finish(j, StateFailed, "", nil, "compile: "+err.Error())
+		s.finish(j, StateFailed, "", nil, "compile: "+err.Error(), ErrKindDeterministic)
 		return
 	}
 
@@ -386,6 +717,13 @@ func (s *Server) runJob(j *job, ctx context.Context, cancel context.CancelCauseF
 	opts := runOptions(&j.req)
 	if warm != nil {
 		opts = append(opts, facade.WithReusedVM(warm))
+	}
+	if attempt >= 2 {
+		// Re-derive the fault streams per attempt: an automatic re-run
+		// must not deterministically replay the injected failure that
+		// caused it (recovery replay restarts at attempt 1, so crash-free
+		// and post-crash runs still match bit for bit).
+		opts = append(opts, facade.WithFaultAttempt(attempt))
 	}
 
 	s.mu.Lock()
@@ -406,15 +744,126 @@ func (s *Server) runJob(j *job, ctx context.Context, cancel context.CancelCauseF
 		// pool rebuild) when a crashed run left threads or pages behind.
 		s.pool.put(vk, res.VM)
 	}
-	if runErr != nil {
-		state := StateFailed
-		if _, ok := runErr.(*facade.CanceledError); ok {
-			state = StateCanceled
-		}
-		s.finish(j, state, output, stats, runErr.Error())
+	if runErr == nil {
+		s.finish(j, StateDone, output, stats, "", "")
 		return
 	}
-	s.finish(j, StateDone, output, stats, "")
+	switch kind := classifyFailure(runErr); kind {
+	case ErrKindCanceled:
+		s.finish(j, StateCanceled, output, stats, runErr.Error(), kind)
+	case ErrKindDeadline:
+		de := &DeadlineError{JobID: j.id, Limit: time.Duration(j.req.DeadlineMillis) * time.Millisecond}
+		s.finish(j, StateFailed, output, stats, de.Error(), kind)
+	case ErrKindTransient:
+		if attempt < j.maxAttempts && s.retryLater(j) {
+			return
+		}
+		s.finish(j, StateFailed, output, stats, runErr.Error(), kind)
+	default:
+		s.finish(j, StateFailed, output, stats, runErr.Error(), kind)
+	}
+}
+
+// classifyFailure sorts a run error into the retry taxonomy
+// (docs/ROBUSTNESS.md): deadline and cancellation are surfaced as-is;
+// injected crash faults and warm-VM reset failures are transient
+// (environment trouble — re-running can succeed); everything else —
+// compile/verify/lint errors, OutOfMemoryError, page quotas — is
+// deterministic and fails fast, because a deterministic program re-run
+// against the same inputs can only fail the same way.
+func classifyFailure(err error) string {
+	var de *DeadlineError
+	if errors.As(err, &de) {
+		return ErrKindDeadline
+	}
+	var ce *facade.CanceledError
+	if errors.As(err, &ce) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return ErrKindDeadline
+		}
+		return ErrKindCanceled
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "injected fault") || strings.Contains(msg, "reset with") ||
+		strings.Contains(msg, "reset:") {
+		return ErrKindTransient
+	}
+	return ErrKindDeterministic
+}
+
+// retryLater re-queues a transiently failed job after a capped
+// exponential backoff with deterministic jitter. Returns false when the
+// daemon is stopping/draining or the job's deadline leaves no headroom —
+// the caller then fails the job instead.
+func (s *Server) retryLater(j *job) bool {
+	s.mu.Lock()
+	if j.terminal() || s.stopping || s.draining {
+		s.mu.Unlock()
+		return false
+	}
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		s.mu.Unlock()
+		return false
+	}
+	j.attempt++
+	j.state = StateQueued
+	j.cancel = nil
+	s.running--
+	s.gRunning.Set(int64(s.running))
+	s.cRetried.Add(1)
+	delay := retryDelay(s.cfg.RetryBase, s.cfg.RetryMax, j.seq, j.attempt)
+	s.mu.Unlock()
+	time.AfterFunc(delay, func() {
+		s.mu.Lock()
+		if j.terminal() || j.state != StateQueued || s.stopping {
+			s.mu.Unlock()
+			return
+		}
+		heap.Push(&s.queue, j)
+		s.gQueued.Set(int64(len(s.queue)))
+		s.mu.Unlock()
+		s.kickScheduler()
+	})
+	return true
+}
+
+// retryDelay is capped exponential backoff (base doubling per attempt,
+// clamped to max) plus deterministic jitter in [0, delay/2] drawn from a
+// splitmix64 hash of (job seq, attempt) — reproducible run to run, but
+// decorrelated across a batch of jobs failing together.
+func retryDelay(base, max time.Duration, seq int64, attempt int) time.Duration {
+	d := base << uint(attempt-2)
+	if d <= 0 || d > max {
+		d = max
+	}
+	z := uint64(seq)<<8 ^ uint64(attempt)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if half := uint64(d / 2); half > 0 {
+		d += time.Duration(z % (half + 1))
+	}
+	return d
+}
+
+// armDeadline fails a job that is still queued when its deadline passes —
+// without it, a job stuck behind long-running work would hold its
+// reservation and its waiters past the promised bound. Running jobs are
+// handled by the context deadline at the interpreter's safepoints.
+func (s *Server) armDeadline(j *job) {
+	wait := time.Until(j.deadline)
+	if wait < 0 {
+		wait = 0
+	}
+	time.AfterFunc(wait, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if j.terminal() || j.state != StateQueued {
+			return
+		}
+		de := &DeadlineError{JobID: j.id, Limit: time.Duration(j.req.DeadlineMillis) * time.Millisecond}
+		s.finishLocked(j, StateFailed, "", nil, de.Error(), ErrKindDeadline)
+	})
 }
 
 // runOptions maps a submit request onto facade options. The daemon
@@ -467,15 +916,16 @@ func OneShot(req SubmitRequest) (string, *facade.RunStats, error) {
 	return out, stats, err
 }
 
-func (s *Server) finish(j *job, state, output string, stats *facade.RunStats, errMsg string) {
+func (s *Server) finish(j *job, state, output string, stats *facade.RunStats, errMsg, errKind string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.finishLocked(j, state, output, stats, errMsg)
+	s.finishLocked(j, state, output, stats, errMsg, errKind)
 }
 
 // finishLocked moves a job to a terminal state, releases its budget
-// reservation, and wakes any status long-pollers. Caller holds s.mu.
-func (s *Server) finishLocked(j *job, state, output string, stats *facade.RunStats, errMsg string) {
+// reservation, journals the outcome, and wakes any status long-pollers.
+// Caller holds s.mu.
+func (s *Server) finishLocked(j *job, state, output string, stats *facade.RunStats, errMsg, errKind string) {
 	if j.terminal() {
 		return
 	}
@@ -484,6 +934,7 @@ func (s *Server) finishLocked(j *job, state, output string, stats *facade.RunSta
 	j.output = output
 	j.stats = stats
 	j.errMsg = errMsg
+	j.errKind = errKind
 	j.finishedAt = time.Now()
 	if j.startedAt.IsZero() {
 		j.startedAt = j.finishedAt
@@ -503,9 +954,23 @@ func (s *Server) finishLocked(j *job, state, output string, stats *facade.RunSta
 	case StateCanceled:
 		s.cCanceled.Add(1)
 	}
+	if errKind == ErrKindDeadline {
+		s.cDeadline.Add(1)
+	}
+	if j.recovered && s.replayLeft > 0 {
+		s.replayLeft--
+		if s.replayLeft == 0 {
+			s.gReplaying.Set(0)
+			close(s.ready)
+		}
+	}
 	s.lastActivity = j.finishedAt
 	s.finished = append(s.finished, j)
 	s.pruneJobsLocked(j.finishedAt)
+	s.journalAppend(journalEvent{
+		Kind: jevDone, Seq: j.seq, JobID: j.id, Tenant: j.tenant, Attempt: j.attempt,
+		State: state, ErrKind: errKind, Output: output, Error: errMsg,
+	}, false)
 	close(j.done)
 }
 
@@ -531,9 +996,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	need := int64(req.HeapSize)
 
 	s.mu.Lock()
-	if s.stopping {
+	if ph := s.phaseLocked(); ph != PhaseReady {
 		s.mu.Unlock()
-		s.writeError(w, http.StatusServiceUnavailable, "server shutting down", 0)
+		s.writeError(w, http.StatusServiceUnavailable, "server "+ph+", not accepting jobs", retryAfter)
 		return
 	}
 	if s.reserved+need > s.cfg.HeapBudget {
@@ -554,23 +1019,48 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	j := &job{
-		id:       fmt.Sprintf("job-%06d", s.seq),
-		seq:      s.seq,
-		req:      req,
-		tenant:   req.Tenant,
-		reserved: need,
-		state:    StateQueued,
-		queuedAt: time.Now(),
-		done:     make(chan struct{}),
+		id:          fmt.Sprintf("job-%06d", s.seq),
+		seq:         s.seq,
+		req:         req,
+		tenant:      req.Tenant,
+		reserved:    need,
+		attempt:     1,
+		maxAttempts: maxAttemptsOf(&req),
+		state:       StateQueued,
+		queuedAt:    time.Now(),
+		done:        make(chan struct{}),
+	}
+	if req.DeadlineMillis > 0 {
+		j.deadline = j.queuedAt.Add(time.Duration(req.DeadlineMillis) * time.Millisecond)
 	}
 	s.jobs[j.id] = j
-	heap.Push(&s.queue, j)
 	s.reserved += need
 	s.tenantReserved[req.Tenant] += need
 	s.gReserved.Set(s.reserved)
-	s.gQueued.Set(int64(len(s.queue)))
 	s.cSubmitted.Add(1)
 	s.mu.Unlock()
+
+	// Write-ahead: the job becomes durable (and only then runnable)
+	// before the 202 goes out, so an acknowledged job survives SIGKILL.
+	// Group commit batches concurrent submissions into one fsync.
+	ev := journalEvent{Kind: jevSubmitted, Seq: j.seq, JobID: j.id, Tenant: j.tenant, Req: &j.req}
+	if err := s.journalAppend(ev, true); err != nil {
+		s.mu.Lock()
+		s.finishLocked(j, StateCanceled, "", nil, "journal write failed: "+err.Error(), ErrKindTransient)
+		s.mu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, "journal write failed: "+err.Error(), retryAfter)
+		return
+	}
+
+	s.mu.Lock()
+	if !j.terminal() { // canceled (shutdown) while the journal write was in flight
+		heap.Push(&s.queue, j)
+		s.gQueued.Set(int64(len(s.queue)))
+	}
+	s.mu.Unlock()
+	if !j.deadline.IsZero() {
+		s.armDeadline(j)
+	}
 	s.kickScheduler()
 
 	w.Header().Set("Content-Type", "application/json")
@@ -579,7 +1069,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // retryAfter is the backoff hint (milliseconds) attached to 429 budget
-// rejections.
+// rejections and 503 not-ready responses.
 const retryAfter = 500
 
 func (s *Server) tenantBudget(tenant string) int64 {
@@ -603,7 +1093,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		// stuck client retries rather than pinning a connection).
 		select {
 		case <-j.done:
-		case <-time.After(30 * time.Second):
+		case <-time.After(longPollWindow):
 		case <-s.stopped:
 		}
 		s.touch()
@@ -616,15 +1106,18 @@ func (s *Server) jobStatus(j *job) JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := JobStatus{
-		Schema:       Schema,
-		JobID:        j.id,
-		Tenant:       j.tenant,
-		State:        j.state,
-		WarmHit:      j.warmHit,
-		Output:       j.output,
-		Error:        j.errMsg,
-		Stats:        j.stats,
-		HeapReserved: j.reserved,
+		Schema:         Schema,
+		JobID:          j.id,
+		Tenant:         j.tenant,
+		State:          j.state,
+		WarmHit:        j.warmHit,
+		Output:         j.output,
+		Error:          j.errMsg,
+		ErrorKind:      j.errKind,
+		Stats:          j.stats,
+		Attempt:        j.attempt,
+		DeadlineMillis: j.req.DeadlineMillis,
+		HeapReserved:   j.reserved,
 	}
 	switch j.state {
 	case StateQueued:
@@ -653,7 +1146,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if ok {
 		switch j.state {
 		case StateQueued:
-			s.finishLocked(j, StateCanceled, "", nil, "canceled by client")
+			s.finishLocked(j, StateCanceled, "", nil, "canceled by client", ErrKindCanceled)
 		case StateRunning:
 			if j.cancel != nil {
 				j.cancel(fmt.Errorf("canceled by client"))
@@ -675,6 +1168,26 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	EncodeJob(w, s.Status())
 }
 
+// handleHealthz is liveness: the process is up and serving HTTP. It says
+// nothing about whether work is being accepted — that is readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	EncodeJob(w, ReadyStatus{Schema: Schema, Ready: true, Phase: s.Phase()})
+}
+
+// handleReadyz is readiness: 200 exactly when the daemon accepts new
+// jobs — false (503 + Retry-After) while replaying the journal after a
+// crash and while draining toward shutdown.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ph := s.Phase()
+	w.Header().Set("Content-Type", "application/json")
+	if ph != PhaseReady {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	EncodeJob(w, ReadyStatus{Schema: Schema, Ready: ph == PhaseReady, Phase: ph})
+}
+
 // Status snapshots the daemon-wide state (also served at GET /v1/status).
 func (s *Server) Status() ServerStatus {
 	snap := s.reg.Snapshot()
@@ -684,6 +1197,7 @@ func (s *Server) Status() ServerStatus {
 		Schema:       Schema,
 		PID:          os.Getpid(),
 		Started:      s.started.UTC().Format(time.RFC3339),
+		Phase:        s.phaseLocked(),
 		HeapBudget:   s.cfg.HeapBudget,
 		HeapReserved: s.reserved,
 		JobsRunning:  s.running,
@@ -691,6 +1205,8 @@ func (s *Server) Status() ServerStatus {
 		JobsFailed:   int(snap.Counters[obs.CtrServerFailed]),
 		JobsCanceled: int(snap.Counters[obs.CtrServerCanceled]),
 		JobsRejected: int(snap.Counters[obs.CtrServerRejected]),
+		JobsReplayed: s.replayedTotal,
+		JobsRetried:  int(snap.Counters[obs.CtrServerRetried]),
 		WarmPoolSize: s.pool.len(),
 		WarmHits:     snap.Counters[obs.CtrServerWarmHits],
 		WarmMisses:   snap.Counters[obs.CtrServerWarmMisses],
@@ -723,6 +1239,10 @@ func (s *Server) Status() ServerStatus {
 func (s *Server) handleShutdown(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	EncodeJob(w, map[string]string{"schema": Schema, "state": "stopping"})
+	if r.URL.Query().Get("drain") != "" {
+		go s.Drain(context.Background())
+		return
+	}
 	go s.Shutdown(context.Background())
 }
 
