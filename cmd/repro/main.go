@@ -22,6 +22,7 @@
 //	repro submit   [flags]   submit FJ sources to the daemon (auto-starts it)
 //	repro wait     [flags]   wait for submitted jobs and print their output
 //	repro status   [flags]   print daemon status (jobs, budgets, warm pool)
+//	repro load     [flags]   deterministic load harness + sustained-throughput gate
 //	repro shutdown [flags]   stop the daemon (-drain for a graceful stop)
 package main
 
@@ -43,6 +44,7 @@ var commands = map[string]func([]string) error{
 	"submit":   submitCmd,
 	"wait":     waitCmd,
 	"status":   statusCmd,
+	"load":     loadCmd,
 	"shutdown": shutdownCmd,
 }
 
@@ -74,5 +76,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: repro {table2|fig4a|table3|fig4bc|gps|objcount|speed|bench|serve|submit|wait|status|shutdown|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: repro {table2|fig4a|table3|fig4bc|gps|objcount|speed|bench|serve|submit|wait|status|load|shutdown|all} [flags]")
 }

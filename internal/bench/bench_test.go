@@ -19,7 +19,9 @@ func TestStats(t *testing.T) {
 	}{
 		{"odd", []int64{5, 1, 3}, 3, 2},
 		{"even", []int64{1, 2, 3, 4}, 2, 1},
+		{"even-unsorted", []int64{40, 10, 30, 20, 60, 50}, 35, 15},
 		{"single", []int64{7}, 7, 0},
+		{"identical", []int64{42, 42, 42, 42}, 42, 0},
 		{"outlier", []int64{10, 11, 10, 12, 500}, 11, 1},
 		{"empty", nil, 0, 0},
 	}
@@ -61,6 +63,22 @@ func TestCompareFlagsRegression(t *testing.T) {
 	for _, d := range deltas {
 		want := d.Name == "b"
 		if d.Regressed != want {
+			t.Fatalf("case %s regressed=%v", d.Name, d.Regressed)
+		}
+	}
+}
+
+func TestCompareZeroTolerance(t *testing.T) {
+	// tolerance 0 flags any slowdown, however small, but never an exact
+	// match — the gate must not fail on "same speed".
+	base := mkFile("main", map[string]int64{"same": 1000, "hair": 1000})
+	cur := mkFile("pr", map[string]int64{"same": 1000, "hair": 1001})
+	deltas, n := Compare(base, cur, 0)
+	if n != 1 {
+		t.Fatalf("regressed = %d, want 1 (%+v)", n, deltas)
+	}
+	for _, d := range deltas {
+		if want := d.Name == "hair"; d.Regressed != want {
 			t.Fatalf("case %s regressed=%v", d.Name, d.Regressed)
 		}
 	}
@@ -136,12 +154,26 @@ func TestGoldenBenchSchema(t *testing.T) {
 	f := &File{
 		Schema: Schema,
 		Rev:    "golden",
-		Cases: []Result{{
-			Name: "interp/fib", Reps: 3, Warmup: 1,
-			MedianNS: 5200000, MADNS: 130000, MinNS: 5000000, MaxNS: 5600000,
-			RepsNS:  []int64{5200000, 5000000, 5600000},
-			Metrics: map[string]float64{"edges_per_s": 3548510.123, "gc_ms": 0},
-		}},
+		Cases: []Result{
+			{
+				Name: "interp/fib", Reps: 3, Warmup: 1,
+				MedianNS: 5200000, MADNS: 130000, MinNS: 5000000, MaxNS: 5600000,
+				RepsNS:  []int64{5200000, 5000000, 5600000},
+				Metrics: map[string]float64{"edges_per_s": 3548510.123, "gc_ms": 0},
+			},
+			// The shape `repro load` emits: a sustained case aggregates a
+			// whole run, so it has no per-rep samples (reps_ns null) and
+			// carries the load metrics instead.
+			{
+				Name: "sustained/smoke/latency", Reps: 40,
+				MedianNS: 25000000, MADNS: 7700000, MinNS: 2900000, MaxNS: 39100000,
+				Metrics: map[string]float64{
+					"p95_ns": 35500000, "p99_ns": 39100000,
+					"rejections": 0, "warm_hit_rate": 0.975,
+					"gc_pause_share": 0.0123, "ome_rate": 0.05,
+				},
+			},
+		},
 	}
 	var buf bytes.Buffer
 	if err := f.Encode(&buf); err != nil {

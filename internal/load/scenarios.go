@@ -1,0 +1,290 @@
+package load
+
+import "sort"
+
+// Scenario is one workload the generator can drive through the daemon: a
+// self-contained FJ program whose output depends only on the job's
+// Sys.rand seed, so any two runs of the same (scenario, seed) pair are
+// bit-identical however they are scheduled. The four built-ins are the
+// daemon-sized miniatures of the repo's evaluation corpus: GraphChi
+// PageRank, Hyracks WordCount, GPS k-means, and GPS RandomWalk.
+type Scenario struct {
+	Name      string
+	Sources   map[string]string
+	Transform bool // run the FACADE transform (program P')
+	HeapSize  int  // per-job managed heap reservation (bytes)
+}
+
+var scenarios = map[string]Scenario{
+	"pagerank": {
+		Name:      "pagerank",
+		Sources:   map[string]string{"pagerank.fj": pagerankSrc},
+		Transform: true,
+		HeapSize:  8 << 20,
+	},
+	"wordcount": {
+		Name:      "wordcount",
+		Sources:   map[string]string{"wordcount.fj": wordcountSrc},
+		Transform: true,
+		HeapSize:  8 << 20,
+	},
+	"kmeans": {
+		Name:      "kmeans",
+		Sources:   map[string]string{"kmeans.fj": kmeansSrc},
+		Transform: true,
+		HeapSize:  8 << 20,
+	},
+	"randomwalk": {
+		Name:      "randomwalk",
+		Sources:   map[string]string{"randomwalk.fj": randomwalkSrc},
+		Transform: true,
+		HeapSize:  8 << 20,
+	},
+}
+
+// Scenarios returns the built-in scenarios sorted by name.
+func Scenarios() []Scenario {
+	out := make([]Scenario, 0, len(scenarios))
+	for _, s := range scenarios {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ScenarioByName looks up a built-in scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	s, ok := scenarios[name]
+	return s, ok
+}
+
+// pagerankSrc: PageRank over a seeded random graph — a ring for
+// connectivity plus Sys.rand chords, 6 supersteps with iteration-scoped
+// scratch. Output is the final rank mass times 1e6, truncated, so runs
+// with different seeds print different integers.
+const pagerankSrc = `
+// facadec: data=Vertex,Main
+class Vertex {
+    double rank;
+    double next;
+    int[] out;
+    int deg;
+    Vertex(int cap) {
+        this.rank = 1.0;
+        this.next = 0.0;
+        this.out = new int[cap];
+        this.deg = 0;
+    }
+    void edge(int to) {
+        this.out[this.deg] = to;
+        this.deg = this.deg + 1;
+    }
+}
+class Main {
+    static void main() {
+        int n = 24;
+        Vertex[] g = new Vertex[n];
+        for (int i = 0; i < n; i = i + 1) {
+            g[i] = new Vertex(4);
+        }
+        for (int i = 0; i < n; i = i + 1) {
+            g[i].edge((i + 1) % n);
+        }
+        for (int i = 0; i < n; i = i + 1) {
+            int to = Sys.rand(n);
+            if (to != i) {
+                g[i].edge(to);
+            }
+        }
+        for (int s = 0; s < 6; s = s + 1) {
+            Sys.iterStart();
+            for (int i = 0; i < n; i = i + 1) {
+                Vertex v = g[i];
+                double share = v.rank / (double) v.deg;
+                for (int e = 0; e < v.deg; e = e + 1) {
+                    g[v.out[e]].next = g[v.out[e]].next + share;
+                }
+            }
+            for (int i = 0; i < n; i = i + 1) {
+                g[i].rank = 0.15 + 0.85 * g[i].next;
+                g[i].next = 0.0;
+            }
+            Sys.iterEnd();
+        }
+        double mass = 0.0;
+        for (int i = 0; i < n; i = i + 1) {
+            mass = mass + g[i].rank * (double) (i + 1);
+        }
+        Sys.println((long) (mass * 1000000.0));
+    }
+}
+`
+
+// wordcountSrc: WordCount over a seeded stream — 240 draws from a fixed
+// vocabulary, counted in a linear table inside one iteration boundary
+// (the Table 3 shape). Prints a positional checksum of the counts.
+const wordcountSrc = `
+// facadec: data=Word,Main
+class Word {
+    String text;
+    int count;
+    Word(String text) {
+        this.text = text;
+        this.count = 1;
+    }
+}
+class Main {
+    static int add(Word[] table, int n, String t) {
+        for (int i = 0; i < n; i = i + 1) {
+            if (table[i].text.equals(t)) {
+                table[i].count = table[i].count + 1;
+                return n;
+            }
+        }
+        table[n] = new Word(t);
+        return n + 1;
+    }
+    static void main() {
+        String[] vocab = new String[8];
+        vocab[0] = "map";
+        vocab[1] = "reduce";
+        vocab[2] = "shuffle";
+        vocab[3] = "page";
+        vocab[4] = "facade";
+        vocab[5] = "heap";
+        vocab[6] = "iterate";
+        vocab[7] = "bound";
+        Sys.iterStart();
+        Word[] table = new Word[8];
+        int n = 0;
+        for (int i = 0; i < 240; i = i + 1) {
+            n = Main.add(table, n, vocab[Sys.rand(8)]);
+        }
+        long sum = 0L;
+        for (int i = 0; i < n; i = i + 1) {
+            sum = sum + (long) table[i].count * (long) (i + 1);
+        }
+        Sys.println(sum);
+        Sys.iterEnd();
+    }
+}
+`
+
+// kmeansSrc: k-means over seeded points — 36 points drawn with Sys.rand,
+// 3 centroids, 5 iterations with per-iteration accumulator scratch (the
+// GPS shape). Prints the final assignment checksum.
+const kmeansSrc = `
+// facadec: data=Point,Main
+class Point {
+    double x;
+    double y;
+    int cluster;
+    Point(double x, double y) {
+        this.x = x;
+        this.y = y;
+        this.cluster = 0;
+    }
+}
+class Main {
+    static void main() {
+        int n = 36;
+        int k = 3;
+        Point[] pts = new Point[n];
+        for (int i = 0; i < n; i = i + 1) {
+            pts[i] = new Point((double) Sys.rand(1000) * 0.01, (double) Sys.rand(1000) * 0.01);
+        }
+        double[] cx = new double[k];
+        double[] cy = new double[k];
+        for (int c = 0; c < k; c = c + 1) {
+            cx[c] = (double) (c * 4);
+            cy[c] = (double) (c * 4);
+        }
+        for (int it = 0; it < 5; it = it + 1) {
+            Sys.iterStart();
+            double[] sx = new double[k];
+            double[] sy = new double[k];
+            int[] cnt = new int[k];
+            for (int i = 0; i < n; i = i + 1) {
+                Point p = pts[i];
+                int best = 0;
+                double bd = 1.0e18;
+                for (int c = 0; c < k; c = c + 1) {
+                    double dx = p.x - cx[c];
+                    double dy = p.y - cy[c];
+                    double d = dx * dx + dy * dy;
+                    if (d < bd) {
+                        bd = d;
+                        best = c;
+                    }
+                }
+                p.cluster = best;
+                sx[best] = sx[best] + p.x;
+                sy[best] = sy[best] + p.y;
+                cnt[best] = cnt[best] + 1;
+            }
+            for (int c = 0; c < k; c = c + 1) {
+                if (cnt[c] > 0) {
+                    cx[c] = sx[c] / (double) cnt[c];
+                    cy[c] = sy[c] / (double) cnt[c];
+                }
+            }
+            Sys.iterEnd();
+        }
+        long sum = 0L;
+        for (int i = 0; i < n; i = i + 1) {
+            sum = sum + (long) ((pts[i].cluster + 1) * (i + 1));
+        }
+        Sys.println(sum);
+    }
+}
+`
+
+// randomwalkSrc: seeded random walks over a small graph — 48 walkers, 16
+// steps each, visit counts accumulated per node (the GPS RandomWalk
+// shape). Every step consumes Sys.rand, so the output is a deep function
+// of the seed.
+const randomwalkSrc = `
+// facadec: data=Node,Main
+class Node {
+    int[] out;
+    int deg;
+    long visits;
+    Node(int cap) {
+        this.out = new int[cap];
+        this.deg = 0;
+        this.visits = 0L;
+    }
+    void edge(int to) {
+        this.out[this.deg] = to;
+        this.deg = this.deg + 1;
+    }
+}
+class Main {
+    static void main() {
+        int n = 20;
+        Node[] g = new Node[n];
+        for (int i = 0; i < n; i = i + 1) {
+            g[i] = new Node(3);
+        }
+        for (int i = 0; i < n; i = i + 1) {
+            g[i].edge((i + 1) % n);
+            g[i].edge((i + 7) % n);
+        }
+        for (int w = 0; w < 48; w = w + 1) {
+            Sys.iterStart();
+            int at = Sys.rand(n);
+            for (int s = 0; s < 16; s = s + 1) {
+                Node cur = g[at];
+                at = cur.out[Sys.rand(cur.deg)];
+                g[at].visits = g[at].visits + 1L;
+            }
+            Sys.iterEnd();
+        }
+        long sum = 0L;
+        for (int i = 0; i < n; i = i + 1) {
+            sum = sum + g[i].visits * (long) (i + 1);
+        }
+        Sys.println(sum);
+    }
+}
+`

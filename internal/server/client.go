@@ -205,13 +205,20 @@ type SubmitOptions struct {
 	Seed int64
 	// Sleep replaces time.Sleep (tests). Nil means time.Sleep.
 	Sleep func(time.Duration)
+	// OnReject observes every rejection absorbed before a retry (load
+	// generators count 429s with it). Nil means no observation.
+	OnReject func(*RejectedError)
 }
 
 // SubmitWithRetry is Submit plus client-side backpressure handling: on a
-// RejectedError (429 budget exhaustion, 503 drain/replay) it backs off —
-// honoring the daemon's Retry-After when that is longer than the capped
-// exponential delay — and resubmits, up to opts.MaxRetries times. Any
-// other error, including a protocol or transport error, fails immediately.
+// RejectedError (429 budget exhaustion, 503 drain/replay) it backs off
+// and resubmits, up to opts.MaxRetries times. When the daemon supplies a
+// millisecond-precision retry_after_ms hint it is authoritative — the
+// daemon scales it with queue depth and reservation pressure, so a burst
+// of rejected clients spreads out instead of re-stampeding on a coarse
+// whole-second Retry-After — and only jitter is added on top. Without a
+// hint the client falls back to capped exponential backoff. Any other
+// error, including a protocol or transport error, fails immediately.
 func (c *Client) SubmitWithRetry(req SubmitRequest, opts SubmitOptions) (SubmitResponse, error) {
 	base := opts.BaseBackoff
 	if base == 0 {
@@ -234,9 +241,16 @@ func (c *Client) SubmitWithRetry(req SubmitRequest, opts SubmitOptions) (SubmitR
 		if !ok || attempt >= opts.MaxRetries {
 			return resp, err
 		}
-		delay := base << uint(attempt)
-		if delay <= 0 || delay > maxB {
-			delay = maxB
+		if opts.OnReject != nil {
+			opts.OnReject(rej)
+		}
+		delay := rej.RetryAfter
+		if delay <= 0 {
+			// No hint from the daemon: capped exponential backoff.
+			delay = base << uint(attempt)
+			if delay <= 0 || delay > maxB {
+				delay = maxB
+			}
 		}
 		// Deterministic jitter in [0, delay/2]: decorrelates a burst of
 		// rejected clients without losing reproducibility.
@@ -246,9 +260,6 @@ func (c *Client) SubmitWithRetry(req SubmitRequest, opts SubmitOptions) (SubmitR
 		z ^= z >> 31
 		if half := uint64(delay / 2); half > 0 {
 			delay += time.Duration(z % (half + 1))
-		}
-		if rej.RetryAfter > delay {
-			delay = rej.RetryAfter
 		}
 		sleep(delay)
 	}

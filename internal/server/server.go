@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/facade"
@@ -71,6 +72,13 @@ type Config struct {
 	// MaxJobHistory caps the number of retained terminal jobs regardless
 	// of age, oldest evicted first (default 512, negative = unlimited).
 	MaxJobHistory int
+	// FetchGrace protects a terminal job whose result has never been
+	// served from MaxJobHistory eviction for this long after it finished,
+	// so a client long-polling Wait between poll windows cannot see a
+	// completed job turn into a 404 under sustained load. It must exceed
+	// the long-poll window plus client turnaround (default 90s, negative
+	// = no protection). JobRetention aging evicts regardless.
+	FetchGrace time.Duration
 	// ProgCacheCap bounds the compiled-program cache, least recently used
 	// evicted first (default 32, negative = unlimited).
 	ProgCacheCap int
@@ -119,6 +127,9 @@ func (c *Config) withDefaults() Config {
 	if out.MaxJobHistory == 0 {
 		out.MaxJobHistory = 512
 	}
+	if out.FetchGrace == 0 {
+		out.FetchGrace = 3 * longPollWindow
+	}
 	if out.ProgCacheCap == 0 {
 		out.ProgCacheCap = 32
 	}
@@ -144,6 +155,7 @@ type job struct {
 	errMsg  string
 	errKind string
 	stats   *facade.RunStats
+	fetched bool // a terminal status has been served at least once
 
 	queuedAt, startedAt, finishedAt time.Time
 
@@ -207,6 +219,12 @@ type Server struct {
 	draining       bool
 	replayLeft     int // recovered jobs not yet terminal (phase "replaying")
 	replayedTotal  int
+
+	// inflight counts HTTP requests currently being served (every
+	// endpoint, health probes included). The idle watch treats a nonzero
+	// count as activity, so a daemon cannot self-terminate in the gap
+	// between a load generator's ramp-up connect and its first submit.
+	inflight atomic.Int64
 
 	kick     chan struct{}
 	ready    chan struct{} // closed once replay converges (or immediately)
@@ -277,7 +295,19 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("POST /v1/shutdown", s.handleShutdown)
-	s.httpSrv = &http.Server{Handler: mux}
+	// Every request — healthz/readyz/status included — counts as activity
+	// while in flight and stamps lastActivity on completion, so the idle
+	// watch never fires under a request that is still being read or served.
+	s.httpSrv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			s.mu.Lock()
+			s.lastActivity = time.Now()
+			s.mu.Unlock()
+		}()
+		mux.ServeHTTP(w, r)
+	})}
 
 	if cfg.PortFile != "" {
 		if err := writePortFile(cfg.PortFile, s.Addr()); err != nil {
@@ -585,22 +615,37 @@ func (s *Server) touch() {
 // pruneJobsLocked garbage-collects terminal jobs: anything older than
 // JobRetention, plus oldest-first overflow past MaxJobHistory, so a
 // long-lived daemon does not pin every completed job's output forever.
-// Caller holds s.mu.
+// A job whose terminal status has never been served is immune to the
+// history cap for FetchGrace after finishing — under sustained load the
+// cap can otherwise evict a completed job a client is still long-polling,
+// turning its result into a 404. JobRetention aging evicts regardless:
+// a client that has not fetched in 15 minutes is gone. Caller holds s.mu.
 func (s *Server) pruneJobsLocked(now time.Time) {
-	n := 0
-	for n < len(s.finished) {
-		j := s.finished[n]
-		overCap := s.cfg.MaxJobHistory > 0 && len(s.finished)-n > s.cfg.MaxJobHistory
+	excess := 0
+	if s.cfg.MaxJobHistory > 0 && len(s.finished) > s.cfg.MaxJobHistory {
+		excess = len(s.finished) - s.cfg.MaxJobHistory
+	}
+	if excess == 0 && s.cfg.JobRetention <= 0 {
+		return
+	}
+	kept := s.finished[:0]
+	for _, j := range s.finished {
 		aged := s.cfg.JobRetention > 0 && now.Sub(j.finishedAt) >= s.cfg.JobRetention
-		if !overCap && !aged {
-			break
+		protected := !j.fetched && s.cfg.FetchGrace > 0 && now.Sub(j.finishedAt) < s.cfg.FetchGrace
+		if aged || (excess > 0 && !protected) {
+			if excess > 0 {
+				excess--
+			}
+			delete(s.jobs, j.id)
+			continue
 		}
-		delete(s.jobs, j.id)
-		n++
+		kept = append(kept, j)
 	}
-	if n > 0 {
-		s.finished = append(s.finished[:0], s.finished[n:]...)
+	tail := s.finished[len(kept):]
+	for i := range tail {
+		tail[i] = nil
 	}
+	s.finished = kept
 }
 
 func (s *Server) idleWatch() {
@@ -614,7 +659,8 @@ func (s *Server) idleWatch() {
 		case <-tick.C:
 			s.mu.Lock()
 			idle := time.Since(s.lastActivity) >= s.cfg.IdleTimeout &&
-				s.running == 0 && len(s.queue) == 0 && !s.stopping && !s.draining
+				s.running == 0 && len(s.queue) == 0 && !s.stopping && !s.draining &&
+				s.inflight.Load() == 0
 			s.mu.Unlock()
 			if idle {
 				go s.Shutdown(context.Background())
@@ -997,24 +1043,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	if ph := s.phaseLocked(); ph != PhaseReady {
+		hint := s.retryHintLocked()
 		s.mu.Unlock()
-		s.writeError(w, http.StatusServiceUnavailable, "server "+ph+", not accepting jobs", retryAfter)
+		s.writeError(w, http.StatusServiceUnavailable, "server "+ph+", not accepting jobs", hint)
 		return
 	}
 	if s.reserved+need > s.cfg.HeapBudget {
+		hint := s.retryHintLocked()
 		s.mu.Unlock()
 		s.cRejected.Add(1)
 		s.writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("aggregate heap budget exhausted: %d reserved + %d requested > %d",
-				s.reserved, need, s.cfg.HeapBudget), retryAfter)
+				s.reserved, need, s.cfg.HeapBudget), hint)
 		return
 	}
 	if tb := s.tenantBudget(req.Tenant); tb > 0 && s.tenantReserved[req.Tenant]+need > tb {
+		hint := s.retryHintLocked()
 		s.mu.Unlock()
 		s.cRejected.Add(1)
 		s.writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("tenant %q heap budget exhausted: %d reserved + %d requested > %d",
-				req.Tenant, s.tenantReserved[req.Tenant], need, tb), retryAfter)
+				req.Tenant, s.tenantReserved[req.Tenant], need, tb), hint)
 		return
 	}
 	s.seq++
@@ -1047,8 +1096,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.journalAppend(ev, true); err != nil {
 		s.mu.Lock()
 		s.finishLocked(j, StateCanceled, "", nil, "journal write failed: "+err.Error(), ErrKindTransient)
+		hint := s.retryHintLocked()
 		s.mu.Unlock()
-		s.writeError(w, http.StatusServiceUnavailable, "journal write failed: "+err.Error(), retryAfter)
+		s.writeError(w, http.StatusServiceUnavailable, "journal write failed: "+err.Error(), hint)
 		return
 	}
 
@@ -1068,9 +1118,43 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	EncodeJob(w, SubmitResponse{Schema: Schema, JobID: j.id, State: StateQueued})
 }
 
-// retryAfter is the backoff hint (milliseconds) attached to 429 budget
-// rejections and 503 not-ready responses.
-const retryAfter = 500
+// Backpressure hint bounds (milliseconds). The hint itself is computed
+// per rejection by retryHintLocked, never a flat constant: a constant
+// makes every rejected client in a burst back off identically and
+// re-stampede together.
+const (
+	retryHintBase = 50
+	retryHintMax  = 10_000
+)
+
+// retryHintLocked estimates how long a rejected client should back off,
+// in milliseconds, from the state that caused the rejection: the hint
+// grows with queue depth per execution slot (a proxy for time until a
+// slot frees) and stretches as heap reservations approach the aggregate
+// budget. Caller holds s.mu.
+func (s *Server) retryHintLocked() int64 {
+	slots := s.cfg.MaxConcurrent
+	if slots < 1 {
+		slots = 1
+	}
+	depth := int64(len(s.queue)) + int64(s.running)
+	hint := int64(retryHintBase) + depth*retryHintBase/int64(slots)
+	if s.cfg.HeapBudget > 0 {
+		// Reservation pressure: at a full budget the hint doubles.
+		hint += hint * s.reserved / s.cfg.HeapBudget
+	}
+	if hint > retryHintMax {
+		hint = retryHintMax
+	}
+	return hint
+}
+
+// retryHint is retryHintLocked for callers not holding s.mu.
+func (s *Server) retryHint() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retryHintLocked()
+}
 
 func (s *Server) tenantBudget(tenant string) int64 {
 	if b, ok := s.cfg.TenantBudgets[tenant]; ok {
@@ -1105,6 +1189,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) jobStatus(j *job) JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if j.terminal() {
+		// The result has been served: the job is now fair game for
+		// MaxJobHistory eviction (see pruneJobsLocked).
+		j.fetched = true
+	}
 	st := JobStatus{
 		Schema:         Schema,
 		JobID:          j.id,
