@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"repro/facade"
+	"repro/internal/analysis"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -452,17 +453,17 @@ func BenchmarkAblationParallelMark(b *testing.B) {
 			// Wide graph: one root array fanning out to 150k short chains
 			// (marking a single linked list cannot parallelize).
 			const fanout = 150000
-			arr, err := hp.AllocArray(tc, lang.ClassType("Node"), fanout)
+			arr, err := hp.AllocArray(tc, lang.ClassType("Node"), fanout, 0)
 			if err != nil {
 				b.Fatal(err)
 			}
 			root = arr
 			for i := 0; i < fanout; i++ {
-				a, err := hp.AllocObject(tc, node)
+				a, err := hp.AllocObject(tc, node, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
-				c, err := hp.AllocObject(tc, node)
+				c, err := hp.AllocObject(tc, node, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -553,6 +554,56 @@ func BenchmarkAblationDCE(b *testing.B) {
 			b.ReportMetric(float64(last.Obs.Counters[obs.CtrInstructions]), "interp-instrs")
 			b.ReportMetric(float64(p2.DCERemoved), "dce-removed")
 		})
+	}
+}
+
+// BenchmarkAblationLifetimes measures the lifetime pass's placement
+// machinery on the Table 2 workloads (GraphChi PageRank and Connected
+// Components): with lifetimes enforced, long-lived sites pretenure
+// straight into the old generation and epoch-local sites land in
+// bulk-reset regions, so the minor collector evacuates fewer young
+// objects. "promoted" counts young-gen evacuation copies; output is
+// identical in every mode (the differential battery pins that).
+func BenchmarkAblationLifetimes(b *testing.B) {
+	p, err := facade.Compile(map[string]string{"graphchi.fj": graphchi.Source})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lifetimes := analysis.Lifetimes(p)
+	g := datagen.PowerLawGraph(2000, 30000, 42)
+	for _, app := range []graphchi.App{graphchi.PageRank, graphchi.ConnectedComponents} {
+		sg := graphchi.Shard(g, 10, app == graphchi.ConnectedComponents)
+		for _, mode := range []struct {
+			name string
+			mode heap.LifetimeMode
+		}{{"off", heap.LifetimeOff}, {"enforce", heap.LifetimeEnforce}} {
+			b.Run(fmt.Sprintf("%s/%s", app, mode.name), func(b *testing.B) {
+				var promoted, pretenured, region float64
+				for i := 0; i < b.N; i++ {
+					cfg := vm.Config{HeapSize: 10 << 20}
+					if mode.mode != heap.LifetimeOff {
+						cfg.Lifetimes = lifetimes
+						cfg.LifetimeMode = mode.mode
+					}
+					m, err := vm.New(p, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := graphchi.Run(m, sg, graphchi.Config{
+						App: app, Workers: 2, Iterations: 2, MemoryBudget: 8 << 20,
+					}); err != nil {
+						b.Fatal(err)
+					}
+					promoted = float64(m.Heap.Stats().Promoted)
+					snap := m.Obs().Snapshot()
+					pretenured = float64(snap.Counters[obs.CtrLifetimePretenured])
+					region = float64(snap.Counters[obs.CtrLifetimeRegionAllocs])
+				}
+				b.ReportMetric(promoted, "promoted")
+				b.ReportMetric(pretenured, "pretenured")
+				b.ReportMetric(region, "region-allocs")
+			})
+		}
 	}
 }
 

@@ -154,9 +154,11 @@ func vetMain(argv []string) int {
 	dataList := fs.String("data", "", "comma-separated data classes (overrides in-file directives)")
 	strict := fs.Bool("strict", false, "disable closure expansion")
 	seed := fs.String("seed", "", "inject a violation into P' (use-before-def, pool-clobber)")
+	lifetimes := fs.Bool("lifetimes", false, "report per-allocation-site lifetime classifications")
+	jsonOut := fs.Bool("json", false, "emit one facade.vet/v1 JSON report per file")
 	fs.Parse(argv)
 	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: facadec vet [-data C1,C2] [-strict] [-seed KIND] file.fj...")
+		fmt.Fprintln(os.Stderr, "usage: facadec vet [-data C1,C2] [-strict] [-seed KIND] [-lifetimes] [-json] file.fj...")
 		return 2
 	}
 	var data []string
@@ -178,13 +180,24 @@ func vetMain(argv []string) int {
 		if *seed != "" {
 			vopts = append(vopts, facade.VetWithSeedViolation(*seed))
 		}
+		if *lifetimes {
+			vopts = append(vopts, facade.VetLifetimes())
+		}
 		r, err := facade.Vet(map[string]string{path: string(src)}, vopts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "facadec vet: %s: %v\n", path, err)
 			status = 1
 			continue
 		}
-		fmt.Printf("== %s ==\n%s", path, r.Report())
+		if *jsonOut {
+			r.File = path
+			if err := r.JSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "facadec vet: %s: %v\n", path, err)
+				status = 1
+			}
+		} else {
+			fmt.Printf("== %s ==\n%s", path, r.Report())
+		}
 		if !r.Clean() {
 			status = 1
 		}

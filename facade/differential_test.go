@@ -32,11 +32,16 @@ type diffProgram struct {
 }
 
 var diffGrid = struct {
-	heaps   []int
-	workers []int
+	heaps     []int
+	workers   []int
+	lifetimes []LifetimeMode
 }{
 	heaps:   []int{3 << 20, 32 << 20},
 	workers: []int{1, 4},
+	// The lifetime axis pins the §3.7 oracle for the placement machinery
+	// too: pretenuring and epoch regions change only where objects live
+	// and how much the collector copies, never what the program prints.
+	lifetimes: []LifetimeMode{LifetimesOff, LifetimesObserve, LifetimesEnforce},
 }
 
 var diffPrograms = []diffProgram{
@@ -167,8 +172,8 @@ class Main {
 
 // runCell executes one program in one grid cell, returning captured
 // output and the run error (nil for clean completion).
-func runCell(p *ir.Program, heapSize, gcWorkers int) (string, error) {
-	res, err := Run(p, WithHeapSize(heapSize), WithGCWorkers(gcWorkers))
+func runCell(p *ir.Program, heapSize, gcWorkers int, lt LifetimeMode) (string, error) {
+	res, err := Run(p, WithHeapSize(heapSize), WithGCWorkers(gcWorkers), WithLifetimes(lt))
 	out := ""
 	if res != nil {
 		out = res.Output()
@@ -193,33 +198,35 @@ func TestDifferentialBattery(t *testing.T) {
 			first := true
 			for _, heapSize := range diffGrid.heaps {
 				for _, gcw := range diffGrid.workers {
-					cell := fmt.Sprintf("heap=%dMiB,gcworkers=%d", heapSize>>20, gcw)
-					outP, errP := runCell(prog, heapSize, gcw)
-					outP2, errP2 := runCell(p2, heapSize, gcw)
-					if dp.trap == "" {
-						if errP != nil {
-							t.Fatalf("[%s] P failed: %v", cell, errP)
+					for _, lt := range diffGrid.lifetimes {
+						cell := fmt.Sprintf("heap=%dMiB,gcworkers=%d,lifetimes=%s", heapSize>>20, gcw, lt)
+						outP, errP := runCell(prog, heapSize, gcw, lt)
+						outP2, errP2 := runCell(p2, heapSize, gcw, lt)
+						if dp.trap == "" {
+							if errP != nil {
+								t.Fatalf("[%s] P failed: %v", cell, errP)
+							}
+							if errP2 != nil {
+								t.Fatalf("[%s] P' failed: %v", cell, errP2)
+							}
+						} else {
+							if errP == nil || !strings.Contains(errP.Error(), dp.trap) {
+								t.Fatalf("[%s] P trap = %v, want %q", cell, errP, dp.trap)
+							}
+							if errP2 == nil || !strings.Contains(errP2.Error(), dp.trap) {
+								t.Fatalf("[%s] P' trap = %v, want %q", cell, errP2, dp.trap)
+							}
+							// Same trap class is required; the message detail may
+							// differ (P' names facade twins and page records).
 						}
-						if errP2 != nil {
-							t.Fatalf("[%s] P' failed: %v", cell, errP2)
+						if outP != outP2 {
+							t.Fatalf("[%s] output diverges:\nP:  %q\nP': %q", cell, outP, outP2)
 						}
-					} else {
-						if errP == nil || !strings.Contains(errP.Error(), dp.trap) {
-							t.Fatalf("[%s] P trap = %v, want %q", cell, errP, dp.trap)
+						if first {
+							ref, first = outP, false
+						} else if outP != ref {
+							t.Fatalf("[%s] output depends on the grid cell:\nthis: %q\nref:  %q", cell, outP, ref)
 						}
-						if errP2 == nil || !strings.Contains(errP2.Error(), dp.trap) {
-							t.Fatalf("[%s] P' trap = %v, want %q", cell, errP2, dp.trap)
-						}
-						// Same trap class is required; the message detail may
-						// differ (P' names facade twins and page records).
-					}
-					if outP != outP2 {
-						t.Fatalf("[%s] output diverges:\nP:  %q\nP': %q", cell, outP, outP2)
-					}
-					if first {
-						ref, first = outP, false
-					} else if outP != ref {
-						t.Fatalf("[%s] output depends on the grid cell:\nthis: %q\nref:  %q", cell, outP, ref)
 					}
 				}
 			}
@@ -255,19 +262,21 @@ func TestDifferentialExamples(t *testing.T) {
 			first := true
 			for _, heapSize := range []int{32 << 20, 64 << 20} {
 				for _, gcw := range diffGrid.workers {
-					cell := fmt.Sprintf("heap=%dMiB,gcworkers=%d", heapSize>>20, gcw)
-					outP, errP := runCell(r.P, heapSize, gcw)
-					outP2, errP2 := runCell(r.P2, heapSize, gcw)
-					if errP != nil || errP2 != nil {
-						t.Fatalf("[%s] P err=%v, P' err=%v", cell, errP, errP2)
-					}
-					if outP != outP2 {
-						t.Fatalf("[%s] output diverges:\nP:  %q\nP': %q", cell, outP, outP2)
-					}
-					if first {
-						ref, first = outP, false
-					} else if outP != ref {
-						t.Fatalf("[%s] output depends on the grid cell", cell)
+					for _, lt := range diffGrid.lifetimes {
+						cell := fmt.Sprintf("heap=%dMiB,gcworkers=%d,lifetimes=%s", heapSize>>20, gcw, lt)
+						outP, errP := runCell(r.P, heapSize, gcw, lt)
+						outP2, errP2 := runCell(r.P2, heapSize, gcw, lt)
+						if errP != nil || errP2 != nil {
+							t.Fatalf("[%s] P err=%v, P' err=%v", cell, errP, errP2)
+						}
+						if outP != outP2 {
+							t.Fatalf("[%s] output diverges:\nP:  %q\nP': %q", cell, outP, outP2)
+						}
+						if first {
+							ref, first = outP, false
+						} else if outP != ref {
+							t.Fatalf("[%s] output depends on the grid cell", cell)
+						}
 					}
 				}
 			}

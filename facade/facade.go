@@ -37,6 +37,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/heap"
 	"repro/internal/ir"
 	"repro/internal/lang"
 	"repro/internal/lower"
@@ -153,6 +154,17 @@ func RunContext(ctx context.Context, p *ir.Program, opts ...Option) (*Result, er
 		faultCfg = &derived
 	}
 	inj := faults.New(faultCfg)
+	var lifetimes []ir.Lifetime
+	var lifeMode heap.LifetimeMode
+	if o.lifetimes != LifetimesOff && p.NumSites > 0 {
+		// Memoized on the program: repeated runs (benchmarks, the daemon's
+		// warm pool) pay for the analysis once.
+		lifetimes = analysis.Lifetimes(p)
+		lifeMode = heap.LifetimeObserve
+		if o.lifetimes == LifetimesEnforce {
+			lifeMode = heap.LifetimeEnforce
+		}
+	}
 	var m *vm.VM
 	if o.reuseVM != nil {
 		m = o.reuseVM
@@ -165,6 +177,7 @@ func RunContext(ctx context.Context, p *ir.Program, opts ...Option) (*Result, er
 		}
 		if err := m.ResetForReuse(vm.ResetConfig{
 			Out: w, RandSeed: o.randSeed, Obs: reg, Faults: inj,
+			Lifetimes: lifetimes, LifetimeMode: lifeMode,
 		}); err != nil {
 			return nil, err
 		}
@@ -172,8 +185,10 @@ func RunContext(ctx context.Context, p *ir.Program, opts ...Option) (*Result, er
 		var err error
 		m, err = vm.New(p, vm.Config{
 			HeapSize: o.heapSize, Out: w, RandSeed: o.randSeed, Obs: reg,
-			GCWorkers: o.gcWorkers,
-			Faults:    inj,
+			GCWorkers:    o.gcWorkers,
+			Faults:       inj,
+			Lifetimes:    lifetimes,
+			LifetimeMode: lifeMode,
 		})
 		if err != nil {
 			return nil, err

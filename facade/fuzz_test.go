@@ -204,6 +204,20 @@ func TestRandomProgramEquivalence(t *testing.T) {
 			}
 			outP := resP.Output()
 			resP.Close()
+			// Lifetime oracle: enforcing the static placement (pretenuring
+			// + epoch regions) must not change observable behavior. The
+			// generated programs allocate inside iteration boundaries
+			// (case 11), so this exercises region placement and bulk reset.
+			resPL, err := Run(prog, WithHeapSize(16<<20), WithLifetimes(LifetimesEnforce))
+			if err != nil {
+				t.Fatalf("P (lifetimes enforced): %v\n%s", err, src)
+			}
+			outPL := resPL.Output()
+			resPL.Close()
+			if outP != outPL {
+				t.Fatalf("lifetime-enforcement divergence (seed %d):\nP:          %q\nP enforced: %q\nprogram:\n%s",
+					seed, outP, outPL, src)
+			}
 			p2, err := Transform(prog, TransformOptions{DataClasses: []string{"Node", "Leaf", "Main"}})
 			if err != nil {
 				t.Fatalf("transform: %v\n%s", err, src)

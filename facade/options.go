@@ -25,14 +25,52 @@ type runOptions struct {
 	gcWorkers    int
 	reuseVM      *vm.VM
 	pageQuota    int64
+	lifetimes    LifetimeMode
 }
 
 func defaultRunOptions() runOptions {
 	return runOptions{
-		heapSize: 64 << 20,
-		entry:    "Main.main",
-		randSeed: 1,
+		heapSize:  64 << 20,
+		entry:     "Main.main",
+		randSeed:  1,
+		lifetimes: LifetimesObserve,
 	}
+}
+
+// LifetimeMode selects how a run consumes the lifetime-inference pass
+// (internal/analysis): off skips it, observe profiles allocation sites and
+// demotes mispredicted classifications without changing placement, and
+// enforce additionally pretenures long-lived sites into the old generation
+// and serves epoch-local sites from bulk-reset per-iteration regions.
+type LifetimeMode int
+
+// Lifetime modes for WithLifetimes.
+const (
+	LifetimesOff LifetimeMode = iota
+	LifetimesObserve
+	LifetimesEnforce
+)
+
+func (m LifetimeMode) String() string {
+	switch m {
+	case LifetimesObserve:
+		return "observe"
+	case LifetimesEnforce:
+		return "enforce"
+	default:
+		return "off"
+	}
+}
+
+// WithLifetimes sets the run's lifetime-inference mode. The default is
+// LifetimesObserve: the classification is computed (and cached on the
+// program) and the per-site profiler runs, but every allocation stays on
+// the default path, so heap behavior is identical to LifetimesOff.
+// LifetimesEnforce turns the classification into placement — program
+// output remains bit-identical (the differential battery enforces it);
+// only GC work changes.
+func WithLifetimes(mode LifetimeMode) Option {
+	return func(o *runOptions) { o.lifetimes = mode }
 }
 
 // WithHeapSize sets the managed heap budget in bytes (-Xmx). Default is

@@ -2,11 +2,13 @@ package facade
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // VetOption configures a Vet pipeline run (functional options, mirroring
@@ -18,6 +20,7 @@ type vetOptions struct {
 	strict       bool
 	seed         string
 	devirtualize bool
+	lifetimes    bool
 }
 
 // VetWithDataClasses names the data classes for the FACADE transform. When
@@ -44,10 +47,21 @@ func VetDevirtualize() VetOption {
 	return func(o *vetOptions) { o.devirtualize = true }
 }
 
+// VetLifetimes runs the lifetime-inference pass over program P and includes
+// its per-allocation-site file:line classification report (facadec vet
+// -lifetimes).
+func VetLifetimes() VetOption {
+	return func(o *vetOptions) { o.lifetimes = true }
+}
+
 // VetResult carries everything a vet run produced.
 type VetResult struct {
 	P  *ir.Program // compiled program (P)
 	P2 *ir.Program // transformed program (P'), nil if verification of P failed
+
+	// File optionally names the vetted source (set by callers vetting one
+	// file at a time, e.g. facadec); it appears in the JSON report.
+	File string
 
 	// VerifyErrs lists IR verifier failures (compiler bugs), formatted.
 	VerifyErrs []string
@@ -57,6 +71,11 @@ type VetResult struct {
 	VerifiedFuncs int
 	LintFindings  int
 	DCERemoved    int
+	// Lifetimes lists the per-site lifetime classifications of P as
+	// "file:line:col: [lifetime] ..." lines (VetLifetimes), and
+	// LifetimeCounts tallies them per class name.
+	Lifetimes      []string
+	LifetimeCounts map[string]int
 	// Bounds are P2's §3.3 pool bounds; TightBounds the liveness-tightened
 	// bounds a TightenBounds build would use (computed on a copy — P2
 	// itself keeps signature-sized pools).
@@ -76,8 +95,15 @@ func (r *VetResult) Report() string {
 	for _, d := range r.Diagnostics {
 		fmt.Fprintf(&sb, "%s\n", d)
 	}
+	for _, l := range r.Lifetimes {
+		fmt.Fprintf(&sb, "%s\n", l)
+	}
 	fmt.Fprintf(&sb, "vet: %d function(s) verified, %d finding(s), %d instruction(s) removed by DCE\n",
 		r.VerifiedFuncs, r.LintFindings, r.DCERemoved)
+	if r.LifetimeCounts != nil {
+		fmt.Fprintf(&sb, "vet: lifetimes: %d epoch-local, %d long-lived, %d unknown\n",
+			r.LifetimeCounts["epoch-local"], r.LifetimeCounts["long-lived"], r.LifetimeCounts["unknown"])
+	}
 	if len(r.Bounds) > 0 {
 		var names []string
 		for n := range r.Bounds {
@@ -114,6 +140,13 @@ func Vet(sources map[string]string, vopts ...VetOption) (*VetResult, error) {
 	}
 	r.VerifiedFuncs += len(p.FuncList)
 	r.addFindings(analysis.LintProgram(p))
+	if opts.lifetimes {
+		r.LifetimeCounts = make(map[string]int)
+		for _, sc := range analysis.LifetimeReport(p) {
+			r.Lifetimes = append(r.Lifetimes, sc.String())
+			r.LifetimeCounts[sc.Class.String()]++
+		}
+	}
 
 	data := opts.dataClasses
 	if len(data) == 0 {
@@ -157,6 +190,47 @@ func Vet(sources map[string]string, vopts ...VetOption) (*VetResult, error) {
 	}
 	r.TightBounds = analysis.TightenBounds(tight)
 	return r, nil
+}
+
+// VetJSONSchema identifies the machine-readable vet report format emitted
+// by VetResult.JSON (facadec vet -json).
+const VetJSONSchema = "facade.vet/v1"
+
+// JSON renders the result as the facade.vet/v1 machine-readable report.
+// The encoding is deterministic (obs.EncodeDeterministic: sorted keys,
+// stable number formatting, trailing newline), so the bytes are stable
+// across runs and Go versions — CI and the golden tests diff them
+// directly.
+func (r *VetResult) JSON(w io.Writer) error {
+	report := map[string]any{
+		"schema":         VetJSONSchema,
+		"clean":          r.Clean(),
+		"file":           r.File,
+		"verify_errors":  emptyNotNil(r.VerifyErrs),
+		"diagnostics":    emptyNotNil(r.Diagnostics),
+		"verified_funcs": r.VerifiedFuncs,
+		"lint_findings":  r.LintFindings,
+		"dce_removed":    r.DCERemoved,
+	}
+	if r.Bounds != nil {
+		report["bounds"] = r.Bounds
+	}
+	if len(r.TightBounds) > 0 {
+		report["tight_bounds"] = r.TightBounds
+	}
+	if r.LifetimeCounts != nil {
+		report["lifetimes"] = emptyNotNil(r.Lifetimes)
+		report["lifetime_counts"] = r.LifetimeCounts
+	}
+	return obs.EncodeDeterministic(w, report)
+}
+
+// emptyNotNil keeps empty lists as [] (not null) in the JSON report.
+func emptyNotNil(s []string) []string {
+	if s == nil {
+		return []string{}
+	}
+	return s
 }
 
 func (r *VetResult) addFindings(fs []analysis.Finding) {

@@ -1,0 +1,136 @@
+package analysis
+
+// Edge-case tests for BitSet: sizes that are not a multiple of 64, empty
+// sets, and mixed-capacity operands for the set operations.
+
+import "testing"
+
+func TestBitSetFillNonMultipleOf64(t *testing.T) {
+	for _, n := range []int{1, 63, 65, 100, 127, 130} {
+		s := NewBitSet(n)
+		s.Fill(n)
+		if got := s.Count(); got != n {
+			t.Errorf("Fill(%d): Count = %d, want %d", n, got, n)
+		}
+		for i := 0; i < n; i++ {
+			if !s.Has(i) {
+				t.Fatalf("Fill(%d): bit %d not set", n, i)
+			}
+		}
+		// No bits past n may leak into the tail word: Count above would
+		// catch them, but check the last word mask explicitly too.
+		if rem := uint(n % 64); rem != 0 {
+			if tail := s[len(s)-1] &^ ((1 << rem) - 1); tail != 0 {
+				t.Errorf("Fill(%d): tail bits set past n: %#x", n, tail)
+			}
+		}
+	}
+}
+
+func TestBitSetFillMultipleOf64(t *testing.T) {
+	s := NewBitSet(128)
+	s.Fill(128)
+	if got := s.Count(); got != 128 {
+		t.Fatalf("Fill(128): Count = %d, want 128", got)
+	}
+	// Partial fill of a larger set touches only the first n bits.
+	p := NewBitSet(128)
+	p.Fill(64)
+	if got := p.Count(); got != 64 {
+		t.Fatalf("Fill(64) on cap-128: Count = %d, want 64", got)
+	}
+	if p.Has(64) || !p.Has(63) {
+		t.Fatal("Fill(64) boundary wrong")
+	}
+}
+
+func TestBitSetEmpty(t *testing.T) {
+	e := NewBitSet(0)
+	if len(e) != 0 {
+		t.Fatalf("NewBitSet(0) has %d words, want 0", len(e))
+	}
+	if e.Count() != 0 {
+		t.Fatalf("empty Count = %d", e.Count())
+	}
+	e.Fill(0) // must not panic
+	if e.Count() != 0 {
+		t.Fatal("Fill(0) set bits on the empty set")
+	}
+	if !e.Equal(NewBitSet(0)) {
+		t.Fatal("empty != empty")
+	}
+	// Empty vs non-empty-capacity sets: equal while no bits are set,
+	// unequal as soon as the longer set has a bit.
+	s := NewBitSet(70)
+	if !e.Equal(s) || !s.Equal(e) {
+		t.Fatal("empty set != all-zero 70-bit set")
+	}
+	s.Set(69)
+	if e.Equal(s) || s.Equal(e) {
+		t.Fatal("empty set == 70-bit set with bit 69")
+	}
+	// Set operations with an empty operand are no-ops.
+	if e.UnionWith(s) {
+		t.Fatal("union into the empty set reported change")
+	}
+	if s.IntersectWith(e); s.Count() != 0 {
+		t.Fatal("intersect with empty did not clear")
+	}
+}
+
+func TestBitSetEqualMixedCapacity(t *testing.T) {
+	a := NewBitSet(70)
+	b := NewBitSet(200)
+	a.Set(0)
+	a.Set(69)
+	b.Set(0)
+	b.Set(69)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("same bits, different capacities: not equal")
+	}
+	b.Set(199)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("bit in the longer tail must break equality")
+	}
+	b.Clear(199)
+	b.Clear(69)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("differing low words must break equality")
+	}
+}
+
+func TestBitSetUnionIntersectMixedCapacity(t *testing.T) {
+	// Union from a longer set ignores bits past the receiver's capacity.
+	s := NewBitSet(70)
+	long := NewBitSet(200)
+	long.Set(3)
+	long.Set(69)
+	long.Set(150)
+	if !s.UnionWith(long) {
+		t.Fatal("union reported no change")
+	}
+	if !s.Has(3) || !s.Has(69) || s.Count() != 2 {
+		t.Fatalf("union from longer set: got count %d", s.Count())
+	}
+	// Union from a shorter set zero-extends.
+	s2 := NewBitSet(200)
+	s2.Set(150)
+	short := NewBitSet(64)
+	short.Set(10)
+	if !s2.UnionWith(short) || !s2.Has(10) || !s2.Has(150) {
+		t.Fatal("union from shorter set broken")
+	}
+	// Intersect with a shorter set clears everything past its length.
+	s3 := NewBitSet(200)
+	s3.Set(10)
+	s3.Set(150)
+	mask := NewBitSet(64)
+	mask.Set(10)
+	mask.Set(11)
+	if !s3.IntersectWith(mask) {
+		t.Fatal("intersect reported no change")
+	}
+	if !s3.Has(10) || s3.Has(150) || s3.Count() != 1 {
+		t.Fatalf("intersect with shorter set: count %d", s3.Count())
+	}
+}

@@ -28,10 +28,14 @@ func (s BitSet) Copy() BitSet {
 // CopyFrom overwrites s with t (same capacity).
 func (s BitSet) CopyFrom(t BitSet) { copy(s, t) }
 
-// UnionWith folds t into s and reports whether s changed.
+// UnionWith folds t into s and reports whether s changed. A shorter t is
+// treated as zero-extended; bits of t beyond s's capacity are ignored.
 func (s BitSet) UnionWith(t BitSet) bool {
+	if len(t) > len(s) {
+		t = t[:len(s)]
+	}
 	changed := false
-	for i := range s {
+	for i := range t {
 		n := s[i] | t[i]
 		if n != s[i] {
 			s[i] = n
@@ -41,11 +45,17 @@ func (s BitSet) UnionWith(t BitSet) bool {
 	return changed
 }
 
-// IntersectWith intersects s with t and reports whether s changed.
+// IntersectWith intersects s with t and reports whether s changed. A
+// shorter t is treated as zero-extended, so words of s past t's length are
+// cleared.
 func (s BitSet) IntersectWith(t BitSet) bool {
 	changed := false
 	for i := range s {
-		n := s[i] & t[i]
+		var tw uint64
+		if i < len(t) {
+			tw = t[i]
+		}
+		n := s[i] & tw
 		if n != s[i] {
 			s[i] = n
 			changed = true
@@ -56,15 +66,29 @@ func (s BitSet) IntersectWith(t BitSet) bool {
 
 // Fill sets the first n bits (the universal set for capacity n).
 func (s BitSet) Fill(n int) {
-	for i := 0; i < n; i++ {
-		s.Set(i)
+	full := n / 64
+	for i := 0; i < full; i++ {
+		s[i] = ^uint64(0)
+	}
+	if rem := uint(n % 64); rem != 0 {
+		s[full] |= (1 << rem) - 1
 	}
 }
 
-// Equal reports set equality.
+// Equal reports set equality. Capacities may differ: a bit present in the
+// longer set's tail makes the sets unequal, so Equal compares sets, not
+// representations.
 func (s BitSet) Equal(t BitSet) bool {
+	if len(s) > len(t) {
+		s, t = t, s
+	}
 	for i := range s {
 		if s[i] != t[i] {
+			return false
+		}
+	}
+	for _, w := range t[len(s):] {
+		if w != 0 {
 			return false
 		}
 	}

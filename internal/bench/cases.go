@@ -5,13 +5,16 @@ import (
 	"sync"
 
 	"repro/facade"
+	"repro/internal/analysis"
 	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/dfs"
 	"repro/internal/gps"
 	"repro/internal/graphchi"
+	"repro/internal/heap"
 	"repro/internal/hyracks"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/offheap"
 	"repro/internal/vm"
 )
@@ -30,6 +33,8 @@ func init() {
 	Register(Case{Name: "graphchi/pagerank/P2", Short: true, Run: lazyGraphchi(true)})
 	Register(Case{Name: "gps/pagerank/P2", Run: runGPS})
 	Register(Case{Name: "hyracks/wordcount/P2", Run: runHyracks})
+	Register(Case{Name: "lifetimes/pagerank", Short: true, Run: runLifetimes(graphchi.PageRank)})
+	Register(Case{Name: "lifetimes/cc", Run: runLifetimes(graphchi.ConnectedComponents)})
 }
 
 // runCalibration is a fixed pure-Go integer workload: no allocation, no
@@ -223,4 +228,71 @@ func runHyracks() (map[string]float64, error) {
 		ome = 1
 	}
 	return map[string]float64{"ome": ome, "gc_ms": float64(res.GT.Milliseconds())}, nil
+}
+
+var (
+	ltOnce  sync.Once
+	ltP     *ir.Program
+	ltLifes []ir.Lifetime
+	ltErr   error
+	ltPR    *graphchi.ShardedGraph
+	ltCC    *graphchi.ShardedGraph
+)
+
+// runLifetimes measures the lifetime pass's placement effect on the
+// Table 2 workloads: the same GraphChi run with lifetimes off and with
+// the inferred placement enforced. promoted_off vs promoted_enforce is
+// the young-generation evacuation-copy count the pretenuring removes.
+func runLifetimes(app graphchi.App) func() (map[string]float64, error) {
+	return func() (map[string]float64, error) {
+		ltOnce.Do(func() {
+			ltP, _, ltErr = graphchi.BuildPrograms()
+			if ltErr != nil {
+				return
+			}
+			ltLifes = analysis.Lifetimes(ltP)
+			g := datagen.PowerLawGraph(2000, 30000, 42)
+			ltPR = graphchi.Shard(g, 10, false)
+			ltCC = graphchi.Shard(g, 10, true)
+		})
+		if ltErr != nil {
+			return nil, ltErr
+		}
+		sg := ltPR
+		if app == graphchi.ConnectedComponents {
+			sg = ltCC
+		}
+		run := func(mode heap.LifetimeMode) (promoted, pretenured float64, err error) {
+			cfg := vm.Config{HeapSize: 10 << 20}
+			if mode != heap.LifetimeOff {
+				cfg.Lifetimes = ltLifes
+				cfg.LifetimeMode = mode
+			}
+			m, err := vm.New(ltP, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			if _, _, err := graphchi.Run(m, sg, graphchi.Config{
+				App: app, Workers: 2, Iterations: 2, MemoryBudget: 8 << 20,
+			}); err != nil {
+				return 0, 0, err
+			}
+			promoted = float64(m.Heap.Stats().Promoted)
+			pretenured = float64(m.Obs().Snapshot().Counters[obs.CtrLifetimePretenured])
+			return promoted, pretenured, nil
+		}
+		pOff, _, err := run(heap.LifetimeOff)
+		if err != nil {
+			return nil, err
+		}
+		pEnf, pretenured, err := run(heap.LifetimeEnforce)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"promoted_off":     pOff,
+			"promoted_enforce": pEnf,
+			"pretenured":       pretenured,
+		}, nil
+	}
 }

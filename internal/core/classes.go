@@ -231,6 +231,7 @@ func (tr *transformer) buildProgram() error {
 		Transformed: true,
 		Bounds:      tr.bounds,
 		DataClasses: tr.data,
+		NumSites:    tr.p.NumSites,
 	}
 	tr.out = out
 	tr.convFrom = make(map[string]*ir.Func)

@@ -82,6 +82,9 @@ type Config struct {
 	// ErrOutOfMemory ahead of true exhaustion (deterministic OOM
 	// injection for robustness tests).
 	Faults *faults.Injector
+	// Lifetimes carries the static per-site lifetime classification (see
+	// lifetime.go). The zero value disables lifetime handling.
+	Lifetimes LifetimeConfig
 }
 
 // Stats is a snapshot of allocation and collection counters.
@@ -107,6 +110,14 @@ type Heap struct {
 	oldBase  Addr
 	oldEnd   Addr
 	youngEnd Addr
+
+	// Epoch-region area: [regionBase, regionEnd) sits between the old
+	// generation and the nursery; the nursery proper starts at youngBase.
+	// With lifetimes off (or not enforced) the area is empty and
+	// youngBase == oldEnd, preserving the classic two-space layout.
+	regionBase Addr
+	regionEnd  Addr
+	youngBase  Addr
 
 	mu       sync.Mutex // guards oldPos, youngPos, remset, TLAB handout
 	oldPos   Addr
@@ -168,6 +179,27 @@ type Heap struct {
 	inj        *faults.Injector
 	cFaultsInj *obs.Counter
 
+	// Lifetime state (lifetime.go). lifeStatic is the immutable config;
+	// life is the working copy that runtime demotions mutate (read with
+	// atomics on the allocation path). The site* arrays hold the per-site
+	// allocation profile; freeChunks is the epoch-region chunk free list
+	// (guarded by mu).
+	lifeMode      LifetimeMode
+	lifeStatic    []Life
+	life          []uint32
+	siteAllocs    []int64
+	siteBytes     []int64
+	siteSampled   []int64
+	siteSurvived  []int64
+	freeChunks    []Addr
+	regionInUse   int64
+	verifyRegions bool
+	sampleActive  uint32 // survival sampling on while any long site lacks a verdict
+
+	cLifePretenured *obs.Counter // allocations routed old-gen by pretenuring
+	cLifeRegion     *obs.Counter // allocations served from epoch regions
+	cLifeDemoted    *obs.Counter // sites demoted to unknown at runtime
+
 	sp safepointState
 }
 
@@ -214,6 +246,7 @@ func New(cfg Config, h *lang.Hierarchy) *Heap {
 	hp.youngEnd = Addr(cfg.HeapSize)
 	hp.oldPos = hp.oldBase
 	hp.youngPos = hp.oldEnd
+	hp.SetLifetimes(cfg.Lifetimes) // sets youngBase/region and rewinds youngPos
 	hp.gcWorkers = cfg.GCWorkers
 	if hp.gcWorkers <= 0 {
 		hp.gcWorkers = runtime.GOMAXPROCS(0)
@@ -245,6 +278,9 @@ func (hp *Heap) bindInstruments(reg *obs.Registry, inj *faults.Injector) {
 	hp.cPromotedBytes = reg.Counter(obs.CtrPromotedBytes)
 	hp.cEvacuated = reg.Counter(obs.CtrEvacuated)
 	hp.cRemsetScanned = reg.Counter(obs.CtrRemsetScanned)
+	hp.cLifePretenured = reg.Counter(obs.CtrLifetimePretenured)
+	hp.cLifeRegion = reg.Counter(obs.CtrLifetimeRegionAllocs)
+	hp.cLifeDemoted = reg.Counter(obs.CtrLifetimeDemotions)
 	hp.inj = inj
 	hp.cFaultsInj = reg.Counter(obs.CtrFaultHeapAlloc)
 }
@@ -266,9 +302,11 @@ func (hp *Heap) Reset(reg *obs.Registry, inj *faults.Injector) error {
 	}
 	hp.mu.Lock()
 	hp.oldPos = hp.oldBase
-	hp.youngPos = hp.oldEnd
 	hp.remset = make(map[Addr]struct{})
 	hp.mu.Unlock()
+	// Re-derive the region layout and restore the static (pre-demotion)
+	// classification; also rewinds youngPos to youngBase.
+	hp.SetLifetimes(LifetimeConfig{Mode: hp.lifeMode, Sites: hp.lifeStatic})
 	for i := range hp.classCounts {
 		atomic.StoreInt64(&hp.classCounts[i], 0)
 	}
@@ -391,17 +429,19 @@ func (hp *Heap) ArrayElemOf(a Addr) *lang.Type {
 func (hp *Heap) ArrayLen(a Addr) int { return int(hp.getU32(a + 12)) }
 
 // inYoung reports whether a is in the nursery.
-func (hp *Heap) inYoung(a Addr) bool { return a >= hp.oldEnd }
+func (hp *Heap) inYoung(a Addr) bool { return a >= hp.youngBase }
 
 // inOld reports whether a is a non-null old-generation address.
 func (hp *Heap) inOld(a Addr) bool { return a != 0 && a < hp.oldEnd }
 
 // AllocObject allocates a zeroed instance of cls using the thread context's
 // TLAB, collecting if needed. Accounting is thread-local (noteAlloc), so
-// the common path performs no atomic operation and takes no lock.
-func (hp *Heap) AllocObject(tc *ThreadCtx, cls *lang.Class) (Addr, error) {
+// the common path performs no atomic operation and takes no lock. site is
+// the static allocation-site ID (0 for unnumbered/runtime allocations);
+// with lifetimes enabled it selects pretenuring or epoch-region placement.
+func (hp *Heap) AllocObject(tc *ThreadCtx, cls *lang.Class, site int32) (Addr, error) {
 	size := roundUp8(ScalarHeader + cls.BodySize)
-	a, err := hp.allocRaw(tc, size)
+	a, err := hp.allocSited(tc, size, site)
 	if err != nil {
 		return 0, err
 	}
@@ -412,13 +452,13 @@ func (hp *Heap) AllocObject(tc *ThreadCtx, cls *lang.Class) (Addr, error) {
 }
 
 // AllocArray allocates a zeroed array with the given element type.
-func (hp *Heap) AllocArray(tc *ThreadCtx, elem *lang.Type, n int) (Addr, error) {
+func (hp *Heap) AllocArray(tc *ThreadCtx, elem *lang.Type, n int, site int32) (Addr, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("negative array size %d", n)
 	}
 	idx := hp.ArrayTypeIndex(elem)
 	size := roundUp8(ArrayHeader + n*elem.FieldSize())
-	a, err := hp.allocRaw(tc, size)
+	a, err := hp.allocSited(tc, size, site)
 	if err != nil {
 		return 0, err
 	}
@@ -481,6 +521,23 @@ func (tc *ThreadCtx) flushAllocStats() {
 	tc.histSum = 0
 	tc.histMin = math.MaxInt64
 	tc.histMax = math.MinInt64
+	if tc.siteAllocs != nil && hp.siteAllocs != nil {
+		for site, c := range tc.siteAllocs {
+			if c != 0 {
+				atomic.AddInt64(&hp.siteAllocs[site], c)
+				atomic.AddInt64(&hp.siteBytes[site], tc.siteBytes[site])
+				tc.siteAllocs[site], tc.siteBytes[site] = 0, 0
+			}
+		}
+	}
+	if tc.pretenured != 0 {
+		hp.cLifePretenured.Add(tc.pretenured)
+		tc.pretenured = 0
+	}
+	if tc.regionAllocs != 0 {
+		hp.cLifeRegion.Add(tc.regionAllocs)
+		tc.regionAllocs = 0
+	}
 }
 
 // allocRaw returns size zeroed bytes. Small allocations come from the
@@ -554,7 +611,7 @@ func (hp *Heap) allocLarge(tc *ThreadCtx, size int) (Addr, error) {
 // notePeakLocked updates the high-water mark; callers hold hp.mu or have
 // the world stopped.
 func (hp *Heap) notePeakLocked() {
-	used := int64(hp.oldPos-hp.oldBase) + int64(hp.youngPos-hp.oldEnd)
+	used := int64(hp.oldPos-hp.oldBase) + int64(hp.youngPos-hp.youngBase) + hp.regionInUse
 	for {
 		cur := hp.stats.peakUsed.Load()
 		if used <= cur || hp.stats.peakUsed.CompareAndSwap(cur, used) {
@@ -767,5 +824,5 @@ func (hp *Heap) ClassAllocCounts() map[string]int64 {
 func (hp *Heap) UsedBytes() int64 {
 	hp.mu.Lock()
 	defer hp.mu.Unlock()
-	return int64(hp.oldPos-hp.oldBase) + int64(hp.youngPos-hp.oldEnd)
+	return int64(hp.oldPos-hp.oldBase) + int64(hp.youngPos-hp.youngBase) + hp.regionInUse
 }

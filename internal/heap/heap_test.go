@@ -49,7 +49,7 @@ func newTestHeap(t *testing.T, size int) (*Heap, *ThreadCtx) {
 func TestAllocAndFieldAccess(t *testing.T) {
 	hp, tc := newTestHeap(t, 4<<20)
 	node := hp.Hierarchy().Class("Node")
-	a, err := hp.AllocObject(tc, node)
+	a, err := hp.AllocObject(tc, node, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestAllocAndFieldAccess(t *testing.T) {
 	if hp.GetRef(a, next.Offset) != 0 {
 		t.Fatal("fresh ref field not null")
 	}
-	b, _ := hp.AllocObject(tc, node)
+	b, _ := hp.AllocObject(tc, node, 0)
 	hp.SetRef(a, next.Offset, b)
 	if hp.GetRef(a, next.Offset) != b {
 		t.Fatal("ref field roundtrip failed")
@@ -74,7 +74,7 @@ func TestAllocAndFieldAccess(t *testing.T) {
 
 func TestArrayAlloc(t *testing.T) {
 	hp, tc := newTestHeap(t, 4<<20)
-	arr, err := hp.AllocArray(tc, lang.IntType, 100)
+	arr, err := hp.AllocArray(tc, lang.IntType, 100, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestGCPreservesRandomGraph(t *testing.T) {
 
 		// Build chains hanging off each root with known values.
 		for i := range roots {
-			a, err := hp.AllocObject(tc, node)
+			a, err := hp.AllocObject(tc, node, 0)
 			if err != nil {
 				return false
 			}
@@ -129,7 +129,7 @@ func TestGCPreservesRandomGraph(t *testing.T) {
 			cur := a
 			depth := rng.Intn(10)
 			for d := 1; d <= depth; d++ {
-				b, err := hp.AllocObject(tc, node)
+				b, err := hp.AllocObject(tc, node, 0)
 				if err != nil {
 					return false
 				}
@@ -139,7 +139,7 @@ func TestGCPreservesRandomGraph(t *testing.T) {
 			}
 			// Allocate garbage in between.
 			for g := 0; g < rng.Intn(20); g++ {
-				if _, err := hp.AllocObject(tc, node); err != nil {
+				if _, err := hp.AllocObject(tc, node, 0); err != nil {
 					return false
 				}
 			}
@@ -215,7 +215,7 @@ func TestGCShadowModel(t *testing.T) {
 		for step := 0; step < 400; step++ {
 			switch rng.Intn(10) {
 			case 0, 1, 2, 3: // allocate a tracked node
-				a, err := hp.AllocObject(tc, node)
+				a, err := hp.AllocObject(tc, node, 0)
 				if err != nil {
 					t.Fatalf("seed %d: %v", seed, err)
 				}
@@ -238,7 +238,7 @@ func TestGCShadowModel(t *testing.T) {
 				}
 			case 7: // garbage
 				for k := 0; k < rng.Intn(30); k++ {
-					if _, err := hp.AllocObject(tc, node); err != nil {
+					if _, err := hp.AllocObject(tc, node, 0); err != nil {
 						t.Fatalf("seed %d: %v", seed, err)
 					}
 				}
@@ -287,15 +287,15 @@ func TestParallelAndSerialMarkAgree(t *testing.T) {
 			}
 		}))
 		// A dag: chains with cross links and a shared array.
-		arr, _ := hp.AllocArray(tc, lang.ClassType("Node"), 16)
+		arr, _ := hp.AllocArray(tc, lang.ClassType("Node"), 16, 0)
 		for i := range roots {
-			a, _ := hp.AllocObject(tc, node)
+			a, _ := hp.AllocObject(tc, node, 0)
 			hp.SetInt(a, val.Offset, int32(i))
 			hp.SetRef(a, kids.Offset, arr)
 			roots[i] = a
 			cur := a
 			for d := 0; d < 200; d++ {
-				b, _ := hp.AllocObject(tc, node)
+				b, _ := hp.AllocObject(tc, node, 0)
 				hp.SetInt(b, val.Offset, int32(i*1000+d))
 				hp.SetRef(cur, next.Offset, b)
 				if d%17 == 0 {
@@ -340,7 +340,7 @@ func TestGCReclaimsGarbage(t *testing.T) {
 	node := hp.Hierarchy().Class("Node")
 	// No roots: everything is garbage.
 	for i := 0; i < 100000; i++ {
-		if _, err := hp.AllocObject(tc, node); err != nil {
+		if _, err := hp.AllocObject(tc, node, 0); err != nil {
 			t.Fatalf("alloc %d: %v", i, err)
 		}
 	}
@@ -365,7 +365,7 @@ func TestOldToYoungBarrier(t *testing.T) {
 	hp.AddRoots(RootFunc(func(visit func(Addr) Addr) {
 		root = visit(root)
 	}))
-	a, _ := hp.AllocObject(tc, node)
+	a, _ := hp.AllocObject(tc, node, 0)
 	root = a
 	hp.SetInt(root, val.Offset, 7)
 	// Promote root to the old generation.
@@ -374,7 +374,7 @@ func TestOldToYoungBarrier(t *testing.T) {
 	}
 	// New young object referenced ONLY from the old object: the write
 	// barrier must keep it alive across a minor collection.
-	b, _ := hp.AllocObject(tc, node)
+	b, _ := hp.AllocObject(tc, node, 0)
 	hp.SetInt(b, val.Offset, 13)
 	hp.SetRef(root, next.Offset, b)
 	if err := hp.ForceGC(tc, false); err != nil {
@@ -394,14 +394,14 @@ func TestOutOfMemory(t *testing.T) {
 	hp.AddRoots(RootFunc(func(visit func(Addr) Addr) {
 		root = visit(root)
 	}))
-	a, err := hp.AllocObject(tc, node)
+	a, err := hp.AllocObject(tc, node, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	root = a
 	// Keep a growing live array chain until the heap cannot hold it.
 	for i := 0; ; i++ {
-		arr, err := hp.AllocArray(tc, lang.ClassType("Node"), 4096)
+		arr, err := hp.AllocArray(tc, lang.ClassType("Node"), 4096, 0)
 		if err != nil {
 			if err != ErrOutOfMemory {
 				t.Fatalf("wrong error: %v", err)
@@ -409,7 +409,7 @@ func TestOutOfMemory(t *testing.T) {
 			return
 		}
 		// Link to keep alive: kids field of a fresh node.
-		n, err := hp.AllocObject(tc, node)
+		n, err := hp.AllocObject(tc, node, 0)
 		if err != nil {
 			if err != ErrOutOfMemory {
 				t.Fatalf("wrong error: %v", err)
@@ -446,7 +446,7 @@ func TestConcurrentAllocAndGC(t *testing.T) {
 				hp.UnregisterThread(tc)
 			}()
 			for j := 0; j < perThread; j++ {
-				a, err := hp.AllocObject(tc, node)
+				a, err := hp.AllocObject(tc, node, 0)
 				if err != nil {
 					errs <- err
 					return
@@ -482,13 +482,13 @@ func TestArrayElementWriteBarrier(t *testing.T) {
 	hp.AddRoots(RootFunc(func(visit func(Addr) Addr) {
 		root = visit(root)
 	}))
-	arr, _ := hp.AllocArray(tc, lang.ClassType("Node"), 8)
+	arr, _ := hp.AllocArray(tc, lang.ClassType("Node"), 8, 0)
 	root = arr
 	if err := hp.ForceGC(tc, false); err != nil { // promote the array
 		t.Fatal(err)
 	}
 	arr = root
-	young, _ := hp.AllocObject(tc, node)
+	young, _ := hp.AllocObject(tc, node, 0)
 	hp.SetInt(young, val.Offset, 99)
 	hp.SetRef(arr, 3*8, young) // old array -> young element
 	if err := hp.ForceGC(tc, false); err != nil {
@@ -504,12 +504,12 @@ func TestAllocationCounters(t *testing.T) {
 	hp, tc := newTestHeap(t, 8<<20)
 	node := hp.Hierarchy().Class("Node")
 	for i := 0; i < 7; i++ {
-		if _, err := hp.AllocObject(tc, node); err != nil {
+		if _, err := hp.AllocObject(tc, node, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := hp.AllocArray(tc, lang.IntType, 4); err != nil {
+		if _, err := hp.AllocArray(tc, lang.IntType, 4, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -532,11 +532,11 @@ func TestLiveDataTypeObjects(t *testing.T) {
 		}
 	}))
 	for i := range roots {
-		a, _ := hp.AllocObject(tc, node)
+		a, _ := hp.AllocObject(tc, node, 0)
 		roots[i] = a
 	}
 	for i := 0; i < 100; i++ { // garbage
-		if _, err := hp.AllocObject(tc, node); err != nil {
+		if _, err := hp.AllocObject(tc, node, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -553,7 +553,7 @@ func TestPeakTracksUsage(t *testing.T) {
 	hp, tc := newTestHeap(t, 8<<20)
 	node := hp.Hierarchy().Class("Node")
 	for i := 0; i < 1000; i++ {
-		if _, err := hp.AllocObject(tc, node); err != nil {
+		if _, err := hp.AllocObject(tc, node, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -575,12 +575,12 @@ func TestInjectedAllocFault(t *testing.T) {
 	node := hp.Hierarchy().Class("Node")
 	// The first slow-path allocation is the scheduled fault: it must fail
 	// with the same sentinel a real exhaustion produces.
-	_, err := hp.AllocObject(tc, node)
+	_, err := hp.AllocObject(tc, node, 0)
 	if !errors.Is(err, ErrOutOfMemory) {
 		t.Fatalf("err = %v, want ErrOutOfMemory", err)
 	}
 	// A one-shot schedule leaves the heap fully usable afterwards.
-	if _, err := hp.AllocObject(tc, node); err != nil {
+	if _, err := hp.AllocObject(tc, node, 0); err != nil {
 		t.Fatal(err)
 	}
 	if got := inj.Fires()[string(faults.HeapAlloc)]; got != 1 {

@@ -66,10 +66,10 @@ func TestGCTorture(t *testing.T) {
 	// alloc retries once after a forced full collection, so transient
 	// nursery exhaustion under GC pressure is not a test failure.
 	alloc := func(tc *ThreadCtx) (Addr, error) {
-		a, err := hp.AllocObject(tc, node)
+		a, err := hp.AllocObject(tc, node, 0)
 		if errors.Is(err, ErrOutOfMemory) {
 			if err = hp.ForceGC(tc, true); err == nil {
-				a, err = hp.AllocObject(tc, node)
+				a, err = hp.AllocObject(tc, node, 0)
 			}
 		}
 		return a, err
@@ -144,7 +144,7 @@ func TestGCTorture(t *testing.T) {
 						// Array fan-out pointing back into the list, plus
 						// an old->young edge through the anchor: exactly
 						// the stores the batched barrier buffers.
-						arr, err := hp.AllocArray(tc, lang.ClassType("Node"), 4)
+						arr, err := hp.AllocArray(tc, lang.ClassType("Node"), 4, 0)
 						if err != nil {
 							t.Error(err)
 							return

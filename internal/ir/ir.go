@@ -222,6 +222,14 @@ type Instr struct {
 	Blk      int
 	Blk2     int
 	Pos      lang.Pos
+	// Site is the stable allocation-site ID of an OpNew/OpNewArr emitted
+	// by the lowering pass (1..Program.NumSites). 0 means "no site":
+	// either the instruction is not an allocation or it was synthesized
+	// after lowering (transform helpers), in which case lifetime analysis
+	// treats it as unknown. Site IDs survive the FACADE transform, so a
+	// site classified on P applies to the control-heap allocations P'
+	// retains.
+	Site int32
 	// Cache holds VM link data (resolved callee for OpCallStatic,
 	// intrinsic index for OpIntr). Owned by the VM that linked the
 	// program; programs are deep-copied by the transform so P and P'
@@ -280,6 +288,10 @@ type Program struct {
 	// DCERemoved counts instructions removed by dead-code elimination
 	// (internal/analysis), for observability.
 	DCERemoved int
+	// NumSites is the number of allocation sites the lowering pass
+	// numbered (Instr.Site ranges over 1..NumSites). Copied through the
+	// FACADE transform so site IDs stay aligned between P and P'.
+	NumSites int
 
 	// linkOnce serializes the one-time, in-place population of
 	// per-instruction dispatch caches (Instr.Imm/Instr.Cache, written by
@@ -289,6 +301,48 @@ type Program struct {
 	// VM construction over one shared program race-free.
 	linkOnce sync.Once
 	linkErr  error
+
+	// lifetimeOnce memoizes the allocation-site lifetime classification
+	// (internal/analysis computes it; facade.Run consumes it). Like the
+	// link caches, the classification is a pure function of the program,
+	// so memoizing it on the program makes repeated runs — warm daemon
+	// pools, benchmarks — pay for the analysis once.
+	lifetimeOnce sync.Once
+	lifetimes    []Lifetime
+}
+
+// Lifetime is the allocation-site lifetime class inferred by the
+// interprocedural lifetime pass (internal/analysis).
+type Lifetime uint8
+
+// Lifetime classes. The lattice is deliberately three-valued: the two
+// actionable classes carry a soundness obligation (epoch-local sites are
+// bulk-freed at iteration boundaries; long-lived sites skip the nursery),
+// and everything the analysis cannot prove stays LifetimeUnknown, which
+// allocates exactly as before.
+const (
+	LifetimeUnknown    Lifetime = iota // no proof either way; default young-gen path
+	LifetimeEpochLocal                 // provably unreachable past the iteration boundary
+	LifetimeLongLived                  // escapes and is not bounded by any epoch
+)
+
+func (l Lifetime) String() string {
+	switch l {
+	case LifetimeEpochLocal:
+		return "epoch-local"
+	case LifetimeLongLived:
+		return "long-lived"
+	default:
+		return "unknown"
+	}
+}
+
+// SiteLifetimes returns the memoized per-site lifetime classification,
+// computing it with fn on first use. The returned slice is indexed by
+// Instr.Site (index 0 is unused) and must not be mutated.
+func (p *Program) SiteLifetimes(fn func() []Lifetime) []Lifetime {
+	p.lifetimeOnce.Do(func() { p.lifetimes = fn() })
+	return p.lifetimes
 }
 
 // LinkInstrs runs fn at most once per program, memoizing its error. The

@@ -1,0 +1,42 @@
+package load
+
+// Every seeded scenario the load harness can drive must pass facade.Vet:
+// both P and P' verify, the facade-safety linter is silent, and the
+// lifetime pass classifies at least one site per program. kmeans and
+// wordcount allocate per-iteration scratch, so those must show
+// epoch-local sites; pagerank and randomwalk keep their scratch in vertex
+// fields and allocate nothing inside the boundary.
+
+import (
+	"testing"
+
+	"repro/facade"
+)
+
+func TestScenariosVetClean(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			r, err := facade.Vet(sc.Sources, facade.VetLifetimes())
+			if err != nil {
+				t.Fatalf("vet %s: %v", sc.Name, err)
+			}
+			if !r.Clean() {
+				t.Fatalf("%s does not vet clean:\nverify: %v\ndiagnostics: %v",
+					sc.Name, r.VerifyErrs, r.Diagnostics)
+			}
+			if r.VerifiedFuncs == 0 {
+				t.Fatalf("%s: no functions verified", sc.Name)
+			}
+			if len(r.Lifetimes) == 0 {
+				t.Fatalf("%s: lifetime pass classified no sites", sc.Name)
+			}
+			if sc.Name == "kmeans" || sc.Name == "wordcount" {
+				if r.LifetimeCounts["epoch-local"] == 0 {
+					t.Errorf("%s: no epoch-local site found; counts = %v (allocates per-iteration scratch)",
+						sc.Name, r.LifetimeCounts)
+				}
+			}
+		})
+	}
+}

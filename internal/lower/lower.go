@@ -128,6 +128,16 @@ func (b *builder) newReg(t *lang.Type) ir.Reg {
 	return r
 }
 
+// newSite numbers an allocation site. Lowering order is deterministic
+// (files sorted, classes and methods in declaration order), so the same
+// source always produces the same site IDs — the property that lets
+// classifications computed on P apply to P' and lets profiles be compared
+// across runs.
+func (b *builder) newSite() int32 {
+	b.p.NumSites++
+	return int32(b.p.NumSites)
+}
+
 // newBlock appends an empty block and returns its ID.
 func (b *builder) newBlock() int {
 	blk := &ir.Block{ID: len(b.fn.Blocks)}
@@ -571,6 +581,7 @@ func (b *builder) expr(e lang.Expr) (ir.Reg, error) {
 		in.Dst = r
 		in.A = n
 		in.Type = x.ElemT
+		in.Site = b.newSite()
 		b.emit(in)
 		return r, nil
 	case *lang.UnaryExpr:
@@ -703,6 +714,7 @@ func (b *builder) newExpr(x *lang.NewExpr) (ir.Reg, error) {
 	in := instr(ir.OpNew)
 	in.Dst = r
 	in.Cls = x.Cls
+	in.Site = b.newSite()
 	b.emit(in)
 	if x.Ctor != nil {
 		args := make([]ir.Reg, len(x.Args))

@@ -179,7 +179,7 @@ func (t *Thread) newValue(class string, args []Arg) (Value, error) {
 	if oc == nil {
 		return 0, fmt.Errorf("vm: unknown class %s", class)
 	}
-	a, err := t.vm.Heap.AllocObject(t.tc, oc)
+	a, err := t.vm.Heap.AllocObject(t.tc, oc, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -327,7 +327,7 @@ func (t *Thread) NewArr(elem string, n int) (Obj, error) {
 		}
 		return t.wrapObj(Value(ref)), nil
 	}
-	a, err := t.vm.Heap.AllocArray(t.tc, ty, n)
+	a, err := t.vm.Heap.AllocArray(t.tc, ty, n, 0)
 	if err != nil {
 		return NilObj, err
 	}

@@ -110,7 +110,7 @@ func hNewArr(t *Thread, regs []Value, in *ir.Instr) error {
 	if n < 0 {
 		return fmt.Errorf("NegativeArraySizeException: %d", n)
 	}
-	a, err := t.vm.Heap.AllocArray(t.tc, in.Type, n)
+	a, err := t.vm.Heap.AllocArray(t.tc, in.Type, n, in.Site)
 	if err != nil {
 		return err
 	}
@@ -290,7 +290,7 @@ blocks:
 				regs[in.Dst] = evalConv(in.NumKind, in.NumKind2, regs[in.A])
 
 			case ir.OpNew:
-				a, err := hp.AllocObject(t.tc, in.Cls)
+				a, err := hp.AllocObject(t.tc, in.Cls, in.Site)
 				if err != nil {
 					return 0, err
 				}

@@ -296,13 +296,13 @@ func (t *Thread) stringLiteral(idx int) (Value, error) {
 // makeHeapString builds a managed String object (byte[] + String).
 func (t *Thread) makeHeapString(s string) (Value, error) {
 	hp := t.vm.Heap
-	arr, err := hp.AllocArray(t.tc, lang.ByteType, len(s))
+	arr, err := hp.AllocArray(t.tc, lang.ByteType, len(s), 0)
 	if err != nil {
 		return 0, err
 	}
 	hp.WriteBody(arr, 0, []byte(s))
 	h := t.vm.NewHandle(Value(arr), true)
-	obj, err := hp.AllocObject(t.tc, t.vm.strClass)
+	obj, err := hp.AllocObject(t.tc, t.vm.strClass, 0)
 	if err != nil {
 		t.vm.Drop(h)
 		return 0, err

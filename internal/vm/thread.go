@@ -99,13 +99,13 @@ func (t *Thread) initPools() error {
 		fc := vm.Prog.H.ClassList[fcID]
 		pe := &poolEntry{params: make([]Value, bound)}
 		for i := 0; i < bound; i++ {
-			a, err := vm.Heap.AllocObject(t.tc, fc)
+			a, err := vm.Heap.AllocObject(t.tc, fc, 0)
 			if err != nil {
 				return err
 			}
 			pe.params[i] = Value(a)
 		}
-		a, err := vm.Heap.AllocObject(t.tc, fc)
+		a, err := vm.Heap.AllocObject(t.tc, fc, 0)
 		if err != nil {
 			return err
 		}
@@ -153,6 +153,7 @@ func (t *Thread) visitRoots(visit func(heap.Addr) heap.Addr) {
 // path. For untransformed programs this is a no-op; for transformed
 // programs it opens a child page manager (§3.6).
 func (t *Thread) IterationStart() {
+	t.vm.Heap.EpochBegin(t.tc)
 	if t.iter != nil {
 		iterIDMu.Lock()
 		t.iter.IterationStart()
@@ -160,8 +161,11 @@ func (t *Thread) IterationStart() {
 	}
 }
 
-// IterationEnd ends the innermost iteration, bulk-releasing its pages.
+// IterationEnd ends the innermost iteration, bulk-releasing its pages
+// (transformed programs) and resetting the epoch's heap region (enforced
+// lifetimes; see heap.EpochEnd).
 func (t *Thread) IterationEnd() {
+	t.vm.Heap.EpochEnd(t.tc)
 	if t.iter != nil {
 		t.iter.IterationEnd()
 	}

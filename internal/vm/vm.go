@@ -56,6 +56,31 @@ type Config struct {
 	// Faults, when non-nil, injects deterministic allocation failures into
 	// the heap and the page store (internal/faults).
 	Faults *faults.Injector
+	// Lifetimes is the static per-allocation-site lifetime classification
+	// (indexed by site ID; from analysis.Lifetimes). Nil disables
+	// lifetime-guided allocation.
+	Lifetimes []ir.Lifetime
+	// LifetimeMode selects how the heap consumes Lifetimes (off, observe,
+	// enforce).
+	LifetimeMode heap.LifetimeMode
+}
+
+// lifetimeHeapConfig converts the IR-level classification to the heap's
+// dependency-free form.
+func lifetimeHeapConfig(mode heap.LifetimeMode, lifetimes []ir.Lifetime) heap.LifetimeConfig {
+	if mode == heap.LifetimeOff || len(lifetimes) == 0 {
+		return heap.LifetimeConfig{}
+	}
+	sites := make([]heap.Life, len(lifetimes))
+	for i, l := range lifetimes {
+		switch l {
+		case ir.LifetimeEpochLocal:
+			sites[i] = heap.LifeEpoch
+		case ir.LifetimeLongLived:
+			sites[i] = heap.LifeLong
+		}
+	}
+	return heap.LifetimeConfig{Mode: mode, Sites: sites}
 }
 
 // VM executes one linked program.
@@ -145,7 +170,13 @@ func New(prog *ir.Program, cfg Config) (*VM, error) {
 		cBoundary: reg.Counter(obs.CtrBoundaryCalls),
 		cPoolHits: reg.Counter(obs.CtrFacadePoolHits),
 	}
-	vm.Heap = heap.New(heap.Config{HeapSize: cfg.HeapSize, GCWorkers: cfg.GCWorkers, Obs: reg, Faults: cfg.Faults}, prog.H)
+	vm.Heap = heap.New(heap.Config{
+		HeapSize:  cfg.HeapSize,
+		GCWorkers: cfg.GCWorkers,
+		Obs:       reg,
+		Faults:    cfg.Faults,
+		Lifetimes: lifetimeHeapConfig(cfg.LifetimeMode, cfg.Lifetimes),
+	}, prog.H)
 	if prog.Transformed {
 		vm.RT = cfg.NativeRT
 		if vm.RT == nil {
@@ -377,6 +408,10 @@ type ResetConfig struct {
 	Obs *obs.Registry
 	// Faults installs the next job's fault injector (nil disables).
 	Faults *faults.Injector
+	// Lifetimes and LifetimeMode install the next job's lifetime
+	// classification (see Config); nil/off disables it for the job.
+	Lifetimes    []ir.Lifetime
+	LifetimeMode heap.LifetimeMode
 }
 
 // ResetForReuse returns the VM to its post-New state so a daemon can run
@@ -409,6 +444,7 @@ func (vm *VM) ResetForReuse(cfg ResetConfig) error {
 	if err := vm.Heap.Reset(reg, cfg.Faults); err != nil {
 		return err
 	}
+	vm.Heap.SetLifetimes(lifetimeHeapConfig(cfg.LifetimeMode, cfg.Lifetimes))
 	if vm.RT != nil {
 		if err := vm.RT.Reset(reg, cfg.Faults); err != nil {
 			return err
