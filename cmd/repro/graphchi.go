@@ -9,6 +9,7 @@ import (
 	"repro/internal/graphchi"
 	"repro/internal/ir"
 	"repro/internal/metrics"
+	"repro/internal/offheap"
 )
 
 // table2Cmd reproduces Table 2: GraphChi PR and CC under three heap
@@ -22,6 +23,9 @@ func table2Cmd(args []string) error {
 	baseHeap := fs.Int64("heap", 32<<20, "largest heap budget in bytes (scaled 8:6:4)")
 	seed := fs.Uint64("seed", 42, "graph seed")
 	faultSpec := fs.String("faults", "", `deterministic fault-injection spec (e.g. "crash=1,allocat=8,seed=7")`)
+	tierDir := fs.String("tier-dir", "", "spill directory for P' runs' off-heap disk tier (requires -tier-high)")
+	tierHigh := fs.Int("tier-high", 0, "DRAM high watermark in pages for P' runs (0 = no tier)")
+	tierLow := fs.Int("tier-low", 0, "eviction target in pages (default half of -tier-high)")
 	rpt := reportFlag(fs)
 	fs.Parse(args)
 
@@ -33,12 +37,23 @@ func table2Cmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	var tiering *offheap.TierConfig
+	if *tierHigh > 0 {
+		low := *tierLow
+		if low <= 0 || low > *tierHigh {
+			if low = *tierHigh / 2; low < 1 {
+				low = 1
+			}
+		}
+		tiering = &offheap.TierConfig{Dir: *tierDir, HighWater: *tierHigh, LowWater: low}
+	}
 	heaps := []int64{*baseHeap, *baseHeap * 6 / 8, *baseHeap * 4 / 8}
 	labels := []string{"8g", "6g", "4g"} // paper-relative labels
 	tbl := metrics.NewTable(
 		fmt.Sprintf("Table 2: GraphChi on synthetic twitter-like graph (%dV/%dE, scaled heaps)", *v, *e),
 		"App", "ET(s)", "UT(s)", "LT(s)", "GT(s)", "PM(MB)", "dataObjs", "subIters")
 	var rec graphchi.Recovery
+	var tierSpilled, tierPromoted int64
 
 	for _, app := range []graphchi.App{graphchi.PageRank, graphchi.ConnectedComponents} {
 		g := datagen.PowerLawGraph(*v, *e, *seed)
@@ -46,7 +61,7 @@ func table2Cmd(args []string) error {
 		for hi, heap := range heaps {
 			cfg := graphchi.Config{
 				App: app, Workers: *workers, Iterations: *iters,
-				MemoryBudget: heap / 2, Faults: fcfg,
+				MemoryBudget: heap / 2, Faults: fcfg, Tiering: tiering,
 			}
 			m1, _, err := graphchi.RunProgram(p, int(heap), sg, cfg)
 			if err != nil {
@@ -60,6 +75,8 @@ func table2Cmd(args []string) error {
 			tbl.Row(fmt.Sprintf("%s'-%s", app, labels[hi]), m2.ET, m2.UT, m2.LT, m2.GT, metrics.MB(m2.PM), m2.DataObjects, m2.SubIters)
 			rpt.add(graphchiReport(fmt.Sprintf("table2/%s-%s", app, labels[hi]), "P", cfg, heap, m1))
 			rpt.add(graphchiReport(fmt.Sprintf("table2/%s'-%s", app, labels[hi]), "P'", cfg, heap, m2))
+			tierSpilled += m2.PagesSpilled
+			tierPromoted += m2.PagesPromoted
 			for _, m := range []*graphchi.Metrics{m1, m2} {
 				rec.IntervalRetries += m.Recovery.IntervalRetries
 				rec.WorkerCrashes += m.Recovery.WorkerCrashes
@@ -73,6 +90,10 @@ func table2Cmd(args []string) error {
 	if fcfg != nil {
 		fmt.Printf("fault injection: %d interval replays, %d worker crashes, %d worker restarts, %d OOM recoveries, %d budget halvings\n",
 			rec.IntervalRetries, rec.WorkerCrashes, rec.WorkerRestarts, rec.OOMRecoveries, rec.BudgetHalvings)
+	}
+	if tiering != nil {
+		fmt.Printf("disk tier (watermark %d/%d pages): %d pages spilled, %d promoted across P' runs\n",
+			tiering.HighWater, tiering.LowWater, tierSpilled, tierPromoted)
 	}
 	return rpt.flush()
 }

@@ -35,6 +35,7 @@ var diffGrid = struct {
 	heaps     []int
 	workers   []int
 	lifetimes []LifetimeMode
+	tiers     []string
 }{
 	heaps:   []int{3 << 20, 32 << 20},
 	workers: []int{1, 4},
@@ -42,6 +43,21 @@ var diffGrid = struct {
 	// too: pretenuring and epoch regions change only where objects live
 	// and how much the collector copies, never what the program prints.
 	lifetimes: []LifetimeMode{LifetimesOff, LifetimesObserve, LifetimesEnforce},
+	// The tiering axis does the same for the disk tier: "tight" runs P'
+	// with a watermark small enough that pages spill and promote
+	// constantly, and the output must not move. P is untransformed (no
+	// pages), so the axis applies to P' only.
+	tiers: []string{"off", "tight"},
+}
+
+// tierOpts returns the extra run options for one tiering mode. "tight"
+// keeps at most 4 pages resident (evicting down to 2) so any page-count
+// workload actually exercises spill and promote.
+func tierOpts(t *testing.T, mode string) []Option {
+	if mode == "off" {
+		return nil
+	}
+	return []Option{WithTiering(t.TempDir(), 4, 2)}
 }
 
 var diffPrograms = []diffProgram{
@@ -172,8 +188,9 @@ class Main {
 
 // runCell executes one program in one grid cell, returning captured
 // output and the run error (nil for clean completion).
-func runCell(p *ir.Program, heapSize, gcWorkers int, lt LifetimeMode) (string, error) {
-	res, err := Run(p, WithHeapSize(heapSize), WithGCWorkers(gcWorkers), WithLifetimes(lt))
+func runCell(p *ir.Program, heapSize, gcWorkers int, lt LifetimeMode, extra ...Option) (string, error) {
+	opts := append([]Option{WithHeapSize(heapSize), WithGCWorkers(gcWorkers), WithLifetimes(lt)}, extra...)
+	res, err := Run(p, opts...)
 	out := ""
 	if res != nil {
 		out = res.Output()
@@ -199,33 +216,35 @@ func TestDifferentialBattery(t *testing.T) {
 			for _, heapSize := range diffGrid.heaps {
 				for _, gcw := range diffGrid.workers {
 					for _, lt := range diffGrid.lifetimes {
-						cell := fmt.Sprintf("heap=%dMiB,gcworkers=%d,lifetimes=%s", heapSize>>20, gcw, lt)
 						outP, errP := runCell(prog, heapSize, gcw, lt)
-						outP2, errP2 := runCell(p2, heapSize, gcw, lt)
-						if dp.trap == "" {
-							if errP != nil {
-								t.Fatalf("[%s] P failed: %v", cell, errP)
+						for _, tier := range diffGrid.tiers {
+							cell := fmt.Sprintf("heap=%dMiB,gcworkers=%d,lifetimes=%s,tier=%s", heapSize>>20, gcw, lt, tier)
+							outP2, errP2 := runCell(p2, heapSize, gcw, lt, tierOpts(t, tier)...)
+							if dp.trap == "" {
+								if errP != nil {
+									t.Fatalf("[%s] P failed: %v", cell, errP)
+								}
+								if errP2 != nil {
+									t.Fatalf("[%s] P' failed: %v", cell, errP2)
+								}
+							} else {
+								if errP == nil || !strings.Contains(errP.Error(), dp.trap) {
+									t.Fatalf("[%s] P trap = %v, want %q", cell, errP, dp.trap)
+								}
+								if errP2 == nil || !strings.Contains(errP2.Error(), dp.trap) {
+									t.Fatalf("[%s] P' trap = %v, want %q", cell, errP2, dp.trap)
+								}
+								// Same trap class is required; the message detail may
+								// differ (P' names facade twins and page records).
 							}
-							if errP2 != nil {
-								t.Fatalf("[%s] P' failed: %v", cell, errP2)
+							if outP != outP2 {
+								t.Fatalf("[%s] output diverges:\nP:  %q\nP': %q", cell, outP, outP2)
 							}
-						} else {
-							if errP == nil || !strings.Contains(errP.Error(), dp.trap) {
-								t.Fatalf("[%s] P trap = %v, want %q", cell, errP, dp.trap)
+							if first {
+								ref, first = outP, false
+							} else if outP != ref {
+								t.Fatalf("[%s] output depends on the grid cell:\nthis: %q\nref:  %q", cell, outP, ref)
 							}
-							if errP2 == nil || !strings.Contains(errP2.Error(), dp.trap) {
-								t.Fatalf("[%s] P' trap = %v, want %q", cell, errP2, dp.trap)
-							}
-							// Same trap class is required; the message detail may
-							// differ (P' names facade twins and page records).
-						}
-						if outP != outP2 {
-							t.Fatalf("[%s] output diverges:\nP:  %q\nP': %q", cell, outP, outP2)
-						}
-						if first {
-							ref, first = outP, false
-						} else if outP != ref {
-							t.Fatalf("[%s] output depends on the grid cell:\nthis: %q\nref:  %q", cell, outP, ref)
 						}
 					}
 				}
@@ -263,19 +282,21 @@ func TestDifferentialExamples(t *testing.T) {
 			for _, heapSize := range []int{32 << 20, 64 << 20} {
 				for _, gcw := range diffGrid.workers {
 					for _, lt := range diffGrid.lifetimes {
-						cell := fmt.Sprintf("heap=%dMiB,gcworkers=%d,lifetimes=%s", heapSize>>20, gcw, lt)
 						outP, errP := runCell(r.P, heapSize, gcw, lt)
-						outP2, errP2 := runCell(r.P2, heapSize, gcw, lt)
-						if errP != nil || errP2 != nil {
-							t.Fatalf("[%s] P err=%v, P' err=%v", cell, errP, errP2)
-						}
-						if outP != outP2 {
-							t.Fatalf("[%s] output diverges:\nP:  %q\nP': %q", cell, outP, outP2)
-						}
-						if first {
-							ref, first = outP, false
-						} else if outP != ref {
-							t.Fatalf("[%s] output depends on the grid cell", cell)
+						for _, tier := range diffGrid.tiers {
+							cell := fmt.Sprintf("heap=%dMiB,gcworkers=%d,lifetimes=%s,tier=%s", heapSize>>20, gcw, lt, tier)
+							outP2, errP2 := runCell(r.P2, heapSize, gcw, lt, tierOpts(t, tier)...)
+							if errP != nil || errP2 != nil {
+								t.Fatalf("[%s] P err=%v, P' err=%v", cell, errP, errP2)
+							}
+							if outP != outP2 {
+								t.Fatalf("[%s] output diverges:\nP:  %q\nP': %q", cell, outP, outP2)
+							}
+							if first {
+								ref, first = outP, false
+							} else if outP != ref {
+								t.Fatalf("[%s] output depends on the grid cell", cell)
+							}
 						}
 					}
 				}

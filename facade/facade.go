@@ -42,6 +42,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/lower"
 	"repro/internal/obs"
+	"repro/internal/offheap"
 	"repro/internal/stdlib"
 	"repro/internal/vm"
 )
@@ -165,6 +166,18 @@ func RunContext(ctx context.Context, p *ir.Program, opts ...Option) (*Result, er
 			lifeMode = heap.LifetimeEnforce
 		}
 	}
+	var tiering *offheap.TierConfig
+	if o.tierHigh > 0 && p.Transformed {
+		low := o.tierLow
+		if low <= 0 || low > o.tierHigh {
+			// Default hysteresis: evict down to half the high watermark so
+			// one crossing doesn't immediately re-trigger the evictor.
+			if low = o.tierHigh / 2; low < 1 {
+				low = 1
+			}
+		}
+		tiering = &offheap.TierConfig{Dir: o.tierDir, HighWater: o.tierHigh, LowWater: low}
+	}
 	var m *vm.VM
 	if o.reuseVM != nil {
 		m = o.reuseVM
@@ -178,6 +191,7 @@ func RunContext(ctx context.Context, p *ir.Program, opts ...Option) (*Result, er
 		if err := m.ResetForReuse(vm.ResetConfig{
 			Out: w, RandSeed: o.randSeed, Obs: reg, Faults: inj,
 			Lifetimes: lifetimes, LifetimeMode: lifeMode,
+			Tiering: tiering,
 		}); err != nil {
 			return nil, err
 		}
@@ -189,6 +203,7 @@ func RunContext(ctx context.Context, p *ir.Program, opts ...Option) (*Result, er
 			Faults:       inj,
 			Lifetimes:    lifetimes,
 			LifetimeMode: lifeMode,
+			Tiering:      tiering,
 		})
 		if err != nil {
 			return nil, err

@@ -237,6 +237,19 @@ func TestRandomProgramEquivalence(t *testing.T) {
 			if outP != outP2 {
 				t.Fatalf("divergence (seed %d):\nP:  %q\nP': %q\nprogram:\n%s", seed, outP, outP2, src)
 			}
+			// Tiered leg: P' under a watermark tight enough that pages spill
+			// to disk mid-run. The disk tier is pure mechanism — residency
+			// moves, output must not.
+			resPT, err := Run(p2, WithHeapSize(16<<20), WithTiering(t.TempDir(), 2, 1))
+			if err != nil {
+				t.Fatalf("P' (tiered): %v\n%s", err, src)
+			}
+			outPT := resPT.Output()
+			resPT.Close()
+			if outP != outPT {
+				t.Fatalf("tiering divergence (seed %d):\nP:        %q\nP' tiered: %q\nprogram:\n%s",
+					seed, outP, outPT, src)
+			}
 			// Third variant: the devirtualizing transform (§3.6) must also
 			// preserve semantics.
 			p3, err := Transform(prog, TransformOptions{

@@ -62,6 +62,15 @@ type OffheapStats struct {
 	BytesInUse    int64 `json:"bytes_in_use"`
 	PeakBytes     int64 `json:"peak_bytes"`
 	Managers      int64 `json:"managers"`
+
+	// Tiering counters (WithTiering); all zero — and omitted from the
+	// JSON encoding — when the run had no disk tier.
+	PagesSpilled  int64 `json:"pages_spilled,omitempty"`
+	PagesPromoted int64 `json:"pages_promoted,omitempty"`
+	PagesResident int64 `json:"pages_resident,omitempty"`
+	PagesDisk     int64 `json:"pages_disk,omitempty"`
+	SpillBytes    int64 `json:"spill_bytes,omitempty"`
+	PromoteBytes  int64 `json:"promote_bytes,omitempty"`
 }
 
 // FaultStats counts the injected faults a run absorbed (all zero unless
@@ -69,6 +78,8 @@ type OffheapStats struct {
 type FaultStats struct {
 	HeapAllocInjected   int64 `json:"heap_alloc_injected"`
 	PageAcquireInjected int64 `json:"page_acquire_injected"`
+	TierSpillInjected   int64 `json:"tier_spill_injected,omitempty"`
+	TierLoadInjected    int64 `json:"tier_load_injected,omitempty"`
 }
 
 // RecoveryStats mirrors the runtime's recovery.* counters: the
@@ -201,6 +212,12 @@ func (r *Result) Stats() RunStats {
 			BytesInUse:    ns.BytesInUse,
 			PeakBytes:     ns.PeakBytes,
 			Managers:      ns.Managers,
+			PagesSpilled:  ns.PagesSpilled,
+			PagesPromoted: ns.PagesPromoted,
+			PagesResident: ns.PagesResident,
+			PagesDisk:     ns.PagesDisk,
+			SpillBytes:    ns.SpillBytes,
+			PromoteBytes:  ns.PromoteBytes,
 		}
 	}
 	snap := r.VM.Obs().Snapshot()
@@ -212,6 +229,8 @@ func (r *Result) Stats() RunStats {
 	st.Faults = FaultStats{
 		HeapAllocInjected:   snap.Counters[obs.CtrFaultHeapAlloc],
 		PageAcquireInjected: snap.Counters[obs.CtrFaultPageAcquire],
+		TierSpillInjected:   snap.Counters[obs.CtrFaultTierSpill],
+		TierLoadInjected:    snap.Counters[obs.CtrFaultTierLoad],
 	}
 	st.Recovery = RecoveryStats{
 		Checkpoints:        snap.Counters[obs.CtrCheckpoints],

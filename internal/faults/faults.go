@@ -57,6 +57,17 @@ const (
 	NetDelay Point = "net.delay"
 	// NetReorder delivers a frame ahead of frames already queued.
 	NetReorder Point = "net.reorder"
+	// TierSpill fails a page spill to the disk tier (counter-based).
+	// A failed spill is best-effort — the page stays resident and the
+	// store degrades toward the quota/OME rungs of the ladder — so the
+	// point models a full disk or a transient write error without ever
+	// corrupting data.
+	TierSpill Point = "offheap.tier_spill"
+	// TierLoad fails a promotion read from the disk tier (counter-based).
+	// Loads are not optional: the failure surfaces through the VM as a
+	// typed error wrapping ErrPageExhausted, so engines walk the same
+	// degradation ladder they use for memory exhaustion.
+	TierLoad Point = "offheap.tier_load"
 	// NodeCrash kills a whole node (planned via CrashPlan, not sampled).
 	NodeCrash Point = "node.crash"
 	// ServerCrash kills the whole daemon process at a scheduled journal
@@ -96,6 +107,13 @@ type Config struct {
 	PageProb float64
 	PageAt   int64
 
+	// TierSpillProb / TierSpillAt fail disk-tier spill writes;
+	// TierLoadProb / TierLoadAt fail disk-tier promotion reads.
+	TierSpillProb float64
+	TierSpillAt   int64
+	TierLoadProb  float64
+	TierLoadAt    int64
+
 	// KillAt crashes the daemon process at exactly the KillAt-th journal
 	// append (1-based) — the deterministic stand-in for SIGKILL that the
 	// daemon crash-recovery smoke schedules via "killat=N".
@@ -107,6 +125,8 @@ func (c Config) Enabled() bool {
 	return c.Drop > 0 || c.Dup > 0 || c.Reorder > 0 ||
 		(c.DelayProb > 0 && c.DelayMax > 0) || c.Crashes > 0 ||
 		c.AllocProb > 0 || c.AllocAt > 0 || c.PageProb > 0 || c.PageAt > 0 ||
+		c.TierSpillProb > 0 || c.TierSpillAt > 0 ||
+		c.TierLoadProb > 0 || c.TierLoadAt > 0 ||
 		c.KillAt > 0
 }
 
@@ -145,7 +165,7 @@ func Parse(spec string) (Config, error) {
 			return c, fmt.Errorf("faults: %q is not key=value", tok)
 		}
 		switch k {
-		case "drop", "dup", "reorder", "delayp", "alloc", "page":
+		case "drop", "dup", "reorder", "delayp", "alloc", "page", "tierspill", "tierload":
 			p, err := strconv.ParseFloat(v, 64)
 			if err != nil || p < 0 || p > 1 {
 				return c, fmt.Errorf("faults: %s wants a probability in [0,1], got %q", k, v)
@@ -164,6 +184,10 @@ func Parse(spec string) (Config, error) {
 				c.AllocProb = p
 			case "page":
 				c.PageProb = p
+			case "tierspill":
+				c.TierSpillProb = p
+			case "tierload":
+				c.TierLoadProb = p
 			}
 		case "delay":
 			d, err := time.ParseDuration(v)
@@ -177,7 +201,7 @@ func Parse(spec string) (Config, error) {
 				return c, fmt.Errorf("faults: crash wants a count, got %q", v)
 			}
 			c.Crashes = n
-		case "allocat", "pageat", "killat":
+		case "allocat", "pageat", "killat", "tierspillat", "tierloadat":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil || n < 1 {
 				return c, fmt.Errorf("faults: %s wants a positive index, got %q", k, v)
@@ -189,6 +213,10 @@ func Parse(spec string) (Config, error) {
 				c.PageAt = n
 			case "killat":
 				c.KillAt = n
+			case "tierspillat":
+				c.TierSpillAt = n
+			case "tierloadat":
+				c.TierLoadAt = n
 			}
 		case "seed":
 			n, err := strconv.ParseInt(v, 10, 64)
@@ -263,6 +291,10 @@ func (i *Injector) probAt(p Point) (float64, int64) {
 		return i.cfg.AllocProb, i.cfg.AllocAt
 	case PageAcquire:
 		return i.cfg.PageProb, i.cfg.PageAt
+	case TierSpill:
+		return i.cfg.TierSpillProb, i.cfg.TierSpillAt
+	case TierLoad:
+		return i.cfg.TierLoadProb, i.cfg.TierLoadAt
 	case ServerCrash:
 		return 0, i.cfg.KillAt
 	case NetDrop:

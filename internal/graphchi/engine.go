@@ -60,6 +60,13 @@ type Config struct {
 	// a sub-iteration that fails with memory exhaustion or a worker
 	// crash is replayed from the shard files instead of aborting.
 	Faults *faults.Config
+
+	// Tiering spills cold off-heap pages to a file-backed store
+	// (RunProgram threads it into the VM; nil keeps every page in DRAM).
+	// A failed promotion from disk surfaces as offheap.ErrPageExhausted
+	// and rides the same degradation ladder as page exhaustion. P only
+	// ignores it — untransformed programs have no pages.
+	Tiering *offheap.TierConfig
 }
 
 // Recovery counts the fault-tolerance work a run performed. The shard
@@ -91,7 +98,11 @@ type Metrics struct {
 	Pages       int64 // native pages created (P' only)
 	PagesLiveHW int64 // high-water mark of simultaneously live pages
 	Records     int64 // page records allocated (P' only)
-	Edges       int64 // edges processed (NumEdges * Iterations)
+
+	// Disk-tier traffic (P' with Config.Tiering only).
+	PagesSpilled  int64
+	PagesPromoted int64
+	Edges         int64 // edges processed (NumEdges * Iterations)
 
 	// Recovery reports the run's fault-tolerance activity (all zero for
 	// a failure-free run).
@@ -215,6 +226,8 @@ func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, err
 		met.Pages = ns.PagesCreated
 		met.PagesLiveHW = ns.PagesLiveHW
 		met.Records = ns.Records
+		met.PagesSpilled = ns.PagesSpilled
+		met.PagesPromoted = ns.PagesPromoted
 	}
 	met.PM = met.HeapPeak + met.NativePeak
 	met.DataObjects = countDataObjects(machine)
@@ -231,7 +244,11 @@ func Run(machine *vm.VM, sg *ShardedGraph, cfg Config) (*Metrics, []float64, err
 // wired into the VM here, so injected heap-alloc and page-acquire faults
 // fire alongside the engine's planned worker crashes.
 func RunProgram(prog *ir.Program, heapSize int, sg *ShardedGraph, cfg Config) (*Metrics, []float64, error) {
-	machine, err := vm.New(prog, vm.Config{HeapSize: heapSize, Faults: faults.New(cfg.Faults)})
+	vmCfg := vm.Config{HeapSize: heapSize, Faults: faults.New(cfg.Faults)}
+	if prog.Transformed {
+		vmCfg.Tiering = cfg.Tiering
+	}
+	machine, err := vm.New(prog, vmCfg)
 	if err != nil {
 		return nil, nil, err
 	}

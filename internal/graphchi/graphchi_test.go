@@ -7,6 +7,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/faults"
 	"repro/internal/ir"
+	"repro/internal/offheap"
 	"repro/internal/vm"
 )
 
@@ -329,18 +330,25 @@ func TestFaultMatrixIntervalRecovery(t *testing.T) {
 		name   string
 		faults faults.Config
 		only   string // restrict to one program ("" = both)
+		tiered bool   // run with the disk tier at a tight watermark
 	}{
 		// Planned worker-thread crash mid-sub-iteration.
-		{"crash", faults.Config{Seed: 21, Crashes: 1}, ""},
-		{"crash2", faults.Config{Seed: 97, Crashes: 2}, ""},
+		{"crash", faults.Config{Seed: 21, Crashes: 1}, "", false},
+		{"crash2", faults.Config{Seed: 97, Crashes: 2}, "", false},
 		// Heap allocation failure past setup, inside interval work;
 		// recovery halves the budget and re-splits the interval. Only P
 		// allocates data objects on the managed heap per interval — P'
 		// puts them in pages, so its slow-path heap allocations all
 		// happen during setup.
-		{"oom-alloc", faults.Config{Seed: 5, AllocAt: 8}, "P"},
+		{"oom-alloc", faults.Config{Seed: 5, AllocAt: 8}, "P", false},
 		// Off-heap page-acquire failure (P' allocates pages; P never does).
-		{"oom-page", faults.Config{Seed: 9, PageAt: 8}, "P'"},
+		{"oom-page", faults.Config{Seed: 9, PageAt: 8}, "P'", false},
+		// Disk-tier promotion failure: a record access needs a spilled
+		// page back and the read fails. It surfaces as ErrPageExhausted
+		// through the accessor's recover rail and must ride the same
+		// ladder — and the replay, re-reading the page from the spill
+		// file, must still match the untiered fault-free run bit for bit.
+		{"tier-load", faults.Config{Seed: 11, TierLoadAt: 1}, "P'", true},
 	}
 
 	for _, ac := range apps {
@@ -364,9 +372,15 @@ func TestFaultMatrixIntervalRecovery(t *testing.T) {
 					fc := tc.faults
 					cfg := base
 					cfg.Faults = &fc
+					if tc.tiered {
+						cfg.Tiering = &offheap.TierConfig{Dir: t.TempDir(), HighWater: 2, LowWater: 1}
+					}
 					met, vals, err := RunProgram(prog, 48<<20, sg, cfg)
 					if err != nil {
 						t.Fatalf("faulty run: %v", err)
+					}
+					if tc.tiered && met.PagesSpilled == 0 {
+						t.Fatal("tiered case never spilled; the tier-load fault cannot have fired")
 					}
 					for v := range cleanVals {
 						if vals[v] != cleanVals[v] {
@@ -383,7 +397,7 @@ func TestFaultMatrixIntervalRecovery(t *testing.T) {
 							t.Fatalf("crash not reflected in recovery stats: %+v", rec)
 						}
 					}
-					if fc.AllocAt > 0 || fc.PageAt > 0 {
+					if fc.AllocAt > 0 || fc.PageAt > 0 || fc.TierLoadAt > 0 {
 						if rec.OOMRecoveries < 1 || rec.BudgetHalvings < 1 {
 							t.Fatalf("OOM degradation ladder not exercised: %+v", rec)
 						}
@@ -395,6 +409,52 @@ func TestFaultMatrixIntervalRecovery(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// TestTieredPageRankAtScale is the tiering acceptance test: PageRank on
+// P' at 10x the Table 2 bench size (20000 vertices / 300000 edges), with
+// the DRAM watermark capping resident pages at 64 (2 MiB) — an order of
+// magnitude below what the dataset's records occupy — must complete by
+// spilling cold pages to disk, and produce values bit-identical to the
+// DRAM-only run.
+func TestTieredPageRankAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short")
+	}
+	_, p2, err := BuildPrograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datagen.PowerLawGraph(20000, 300000, 42)
+	sg := Shard(g, 10, false)
+	cfg := Config{App: PageRank, Workers: 2, Iterations: 2, MemoryBudget: 8 << 20}
+
+	_, ref, err := RunProgram(p2, 48<<20, sg, cfg)
+	if err != nil {
+		t.Fatalf("DRAM-only: %v", err)
+	}
+
+	tiered := cfg
+	tiered.Tiering = &offheap.TierConfig{Dir: t.TempDir(), HighWater: 64, LowWater: 32}
+	met, vals, err := RunProgram(p2, 48<<20, sg, tiered)
+	if err != nil {
+		t.Fatalf("tiered: %v", err)
+	}
+	for v := range ref {
+		if vals[v] != ref[v] {
+			t.Fatalf("vertex %d diverged: DRAM=%v tiered=%v", v, ref[v], vals[v])
+		}
+	}
+	if met.PagesSpilled == 0 {
+		t.Fatalf("DRAM cap of 64 pages never spilled (created %d, live hw %d)",
+			met.Pages, met.PagesLiveHW)
+	}
+	if met.PagesPromoted == 0 {
+		t.Fatal("no spilled page was ever promoted back; the data path never touched disk")
+	}
+	if c := met.Obs.Counters["offheap.pages_spilled"]; c != met.PagesSpilled {
+		t.Fatalf("obs pages_spilled = %d, Metrics say %d", c, met.PagesSpilled)
 	}
 }
 

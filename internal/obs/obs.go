@@ -221,6 +221,16 @@ const (
 	CtrPageRecycles = "offheap.page_recycles"
 	GaugePagesLive  = "offheap.pages_live"
 
+	// Disk tier (internal/offheap tiering).
+	CtrPagesSpilled    = "offheap.pages_spilled"    // evictions DRAM -> disk
+	CtrPagesPromoted   = "offheap.pages_promoted"   // promotions disk -> DRAM
+	CtrSpillBytes      = "offheap.spill_bytes"      // bytes written to the spill file
+	CtrPromoteBytes    = "offheap.promote_bytes"    // bytes read back from the spill file
+	GaugePagesResident = "offheap.pages_resident"   // live pages currently in DRAM
+	GaugePagesDisk     = "offheap.pages_disk"       // live pages currently spilled
+	HistSpillStall     = "offheap.spill_stall_ns"   // per-eviction write stall
+	HistPromoteStall   = "offheap.promote_stall_ns" // per-promotion read stall
+
 	// VM (internal/vm).
 	CtrInstructions   = "vm.instructions"
 	CtrBoundaryCalls  = "vm.boundary_crossings"
@@ -229,6 +239,8 @@ const (
 	// Fault injection (internal/faults consumers).
 	CtrFaultHeapAlloc   = "faults.heap_alloc_injected"   // injected allocation failures
 	CtrFaultPageAcquire = "faults.page_acquire_injected" // injected page-acquire failures
+	CtrFaultTierSpill   = "faults.tier_spill_injected"   // injected spill-write failures
+	CtrFaultTierLoad    = "faults.tier_load_injected"    // injected promotion-read failures
 
 	// Recovery (cluster engines and the single-machine GraphChi engine).
 	CtrCheckpoints        = "recovery.checkpoints"         // superstep checkpoints taken

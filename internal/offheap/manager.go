@@ -150,6 +150,9 @@ func (m *PageManager) alloc(size int) (PageRef, error) {
 		m.notePages()
 		p.pos = size
 		zero(p.buf[:size])
+		// The acquire pin held the page resident through the init writes;
+		// from here on record accessors pin it per operation.
+		m.rt.unpinAcquire(p)
 		return MakeRef(p.idx, 0), nil
 	}
 	p := m.cur[ci]
@@ -159,6 +162,10 @@ func (m *PageManager) alloc(size int) (PageRef, error) {
 		if err != nil {
 			return 0, err
 		}
+		// The new page keeps its acquire pin as the bump-page pin: the
+		// evictor must never target the page a manager is bump-allocating
+		// into. The replaced page's pin is dropped here.
+		m.rt.unpinAcquire(m.cur[ci])
 		m.pages = append(m.pages, p)
 		m.notePages()
 		m.cur[ci] = p
@@ -221,9 +228,15 @@ func (m *PageManager) ReleaseAll() {
 	for _, c := range children {
 		c.ReleaseAll()
 	}
+	for i := range m.cur {
+		m.rt.unpinAcquire(m.cur[i]) // drop the bump-page pins before releasing
+	}
+	tiered := m.rt.tier != nil
 	for _, p := range m.pages {
 		if m.cache != nil && !m.rt.DisablePageCache && !m.rt.DisableRecycle &&
-			len(p.buf) == PageSize {
+			(tiered || len(p.buf) == PageSize) {
+			// Tiered: cacheRelease checks the size itself, under the page's
+			// tier lock — p.buf may be concurrently nil'd by the evictor.
 			if m.rt.cacheRelease(m.cache, p, m.IterID) {
 				continue
 			}
@@ -260,9 +273,15 @@ func (m *PageManager) AllocRecord(typeID uint16, bodySize int) (PageRef, error) 
 	if err != nil {
 		return 0, err
 	}
-	b := m.rt.bytesFor(ref)
-	putU16(b, typeID)
+	if m.rt.tier == nil {
+		putU16(m.rt.bytesFast(ref), typeID)
+	} else {
+		b, p := m.rt.bytesPinned(ref)
+		putU16(b, typeID)
+		m.rt.unpin(p)
+	}
 	m.rt.stats.records.Add(1)
+	m.rt.maybeEvict()
 	return ref, nil
 }
 
@@ -280,10 +299,18 @@ func (m *PageManager) AllocArray(arrTypeIdx int, elemSize, n int) (PageRef, erro
 	if err != nil {
 		return 0, err
 	}
-	b := m.rt.bytesFor(ref)
-	putU16(b, arrayTypeBit|uint16(arrTypeIdx))
-	putU32(b[4:], uint32(n))
+	if m.rt.tier == nil {
+		b := m.rt.bytesFast(ref)
+		putU16(b, arrayTypeBit|uint16(arrTypeIdx))
+		putU32(b[4:], uint32(n))
+	} else {
+		b, p := m.rt.bytesPinned(ref)
+		putU16(b, arrayTypeBit|uint16(arrTypeIdx))
+		putU32(b[4:], uint32(n))
+		m.rt.unpin(p)
+	}
 	m.rt.stats.records.Add(1)
+	m.rt.maybeEvict()
 	return ref, nil
 }
 

@@ -89,6 +89,16 @@ type page struct {
 	// released guards against double release: oversize pages can be freed
 	// early (§3.6) and would otherwise be freed again at iteration end.
 	released atomic.Bool
+
+	// Disk-tier state; only touched when the runtime has a tier attached
+	// (see tier.go for the locking protocol).
+	pinned   atomic.Int32 // in-flight record ops + the manager's bump-page pin
+	evicting atomic.Bool  // spill in progress or completed (Dekker flag vs pinners)
+	accessed atomic.Bool  // second-chance bit for the clock sweep
+	tierMu   sync.Mutex   // serializes spill/promote/release transitions
+	spilled  bool         // under tierMu: the body lives in the spill file
+	slot     int          // under tierMu: spill-file slot while spilled
+	candIdx  int          // under tier.mu: index in the candidate list, -1 if absent
 }
 
 // Runtime owns all pages, the free-page pool, the array type registry, and
@@ -138,8 +148,14 @@ type Runtime struct {
 
 	// quota caps simultaneously live pages (0 = unlimited); acquires past
 	// the cap fail with ErrPageQuota. This is the per-tenant offheap
-	// budget hook the daemon's admission control leans on.
+	// budget hook the daemon's admission control leans on. With a disk
+	// tier attached the quota caps DRAM-resident pages instead, and an
+	// acquire at the cap tries to spill before failing.
 	quota atomic.Int64
+
+	// tier is the disk tier, nil unless EnableTiering attached one.
+	// Set before the store is shared between threads, cleared by Reset.
+	tier *tier
 }
 
 // Stats is a snapshot of the native store counters.
@@ -150,9 +166,17 @@ type Stats struct {
 	PagesRecycled int64 // page reuses through the free pool
 	Oversize      int64 // oversize allocations (> PageSize records)
 	Records       int64 // records ever allocated
-	BytesInUse    int64
+	BytesInUse    int64 // DRAM bytes held by live pages (spilled bodies excluded)
 	PeakBytes     int64
 	Managers      int64 // page managers ever created
+
+	// Disk tier (all zero when no tier is attached).
+	PagesSpilled  int64 // evictions DRAM -> disk
+	PagesPromoted int64 // promotions disk -> DRAM
+	PagesResident int64 // live pages currently in DRAM
+	PagesDisk     int64 // live pages currently spilled
+	SpillBytes    int64
+	PromoteBytes  int64
 }
 
 // NewRuntime creates an empty native store with a private observability
@@ -203,9 +227,25 @@ func (rt *Runtime) SetPageQuota(pages int64) { rt.quota.Store(pages) }
 // PageQuota returns the current live-page cap (0 = unlimited).
 func (rt *Runtime) PageQuota() int64 { return rt.quota.Load() }
 
-// checkQuota admits one more live page or returns ErrPageQuota.
+// checkQuota admits one more live page or returns ErrPageQuota. With a
+// disk tier the quota caps DRAM-resident pages, and eviction runs first —
+// spill is the new first rung of the degradation ladder, before
+// budget-halving, before OME.
 func (rt *Runtime) checkQuota() error {
-	if q := rt.quota.Load(); q > 0 && rt.stats.pagesLive.Load() >= q {
+	q := rt.quota.Load()
+	if q <= 0 {
+		return nil
+	}
+	if t := rt.tier; t != nil {
+		if t.resident.Load() >= q {
+			rt.evictTo(q - 1)
+		}
+		if t.resident.Load() >= q {
+			return fmt.Errorf("%w (quota %d resident pages)", ErrPageQuota, q)
+		}
+		return nil
+	}
+	if rt.stats.pagesLive.Load() >= q {
 		return fmt.Errorf("%w (quota %d pages)", ErrPageQuota, q)
 	}
 	return nil
@@ -228,6 +268,7 @@ func (rt *Runtime) Reset(reg *obs.Registry, inj *faults.Injector) error {
 		p.idx = i
 		p.pos = 0
 		p.released.Store(false)
+		p.candIdx = -1
 		next[i] = p
 	}
 	rt.table.Store(&next)
@@ -254,12 +295,17 @@ func (rt *Runtime) Reset(reg *obs.Registry, inj *faults.Injector) error {
 	if inj != nil {
 		rt.cFaultsInj = reg.Counter(obs.CtrFaultPageAcquire)
 	}
+	// Tear down the disk tier: a pooled warm VM must not leak spill files
+	// (or tier counters) across tenant jobs.
+	if err := rt.closeTier(); err != nil {
+		return fmt.Errorf("offheap: reset: %w", err)
+	}
 	return nil
 }
 
 // Stats returns a snapshot of the counters.
 func (rt *Runtime) Stats() Stats {
-	return Stats{
+	s := Stats{
 		PagesCreated:  rt.stats.pagesCreated.Load(),
 		PagesLive:     rt.stats.pagesLive.Load(),
 		PagesLiveHW:   rt.gPagesLive.HighWater(),
@@ -270,6 +316,15 @@ func (rt *Runtime) Stats() Stats {
 		PeakBytes:     rt.stats.peakBytes.Load(),
 		Managers:      rt.stats.managers.Load(),
 	}
+	if t := rt.tier; t != nil {
+		s.PagesSpilled = t.cSpilled.Load()
+		s.PagesPromoted = t.cPromoted.Load()
+		s.PagesResident = t.resident.Load()
+		s.PagesDisk = t.disk.Load()
+		s.SpillBytes = t.cSpillBytes.Load()
+		s.PromoteBytes = t.cPromoteBytes.Load()
+	}
+	return s
 }
 
 // ArrayTypeIndex returns the dense index for an array element type, or -1
@@ -326,19 +381,21 @@ func (rt *Runtime) getPage(size int) (*page, error) {
 			rt.stats.pagesRecycled.Add(1)
 			rt.cPageRecycles.Inc()
 			rt.addBytes(int64(len(p.buf)))
+			rt.tierAcquire(p)
 			return p, nil
 		}
 	} else {
 		rt.stats.oversize.Add(1)
 	}
 	old := *rt.table.Load()
-	p := &page{buf: make([]byte, size), idx: len(old)}
+	p := &page{buf: make([]byte, size), idx: len(old), candIdx: -1}
 	next := make([]*page, len(old)+1)
 	copy(next, old)
 	next[len(old)] = p
 	rt.table.Store(&next)
 	rt.stats.pagesCreated.Add(1)
 	rt.addBytes(int64(size))
+	rt.tierAcquire(p)
 	return p, nil
 }
 
@@ -365,6 +422,7 @@ func (rt *Runtime) noteCachedRecycle(p *page) error {
 	rt.cPageRecycles.Inc()
 	rt.addBytes(int64(len(p.buf)))
 	p.pos = 0
+	rt.tierAcquire(p)
 	return nil
 }
 
@@ -379,10 +437,14 @@ func (rt *Runtime) releasePage(p *page) {
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	// Settle tier state first: this serializes behind any in-flight spill
+	// and frees a spilled page's disk slot without reading it back. After
+	// it returns no evictor can touch p, so the buf reads below are safe.
+	rt.tierRelease(p)
 	rt.stats.pagesLive.Add(-1)
 	rt.cPageReleases.Inc()
 	rt.gPagesLive.Add(-1)
-	rt.addBytes(-int64(len(p.buf)))
+	rt.addBytes(-int64(len(p.buf))) // 0 for a spilled page: its DRAM was freed at spill
 	if len(p.buf) == PageSize && !rt.DisableRecycle {
 		p.released.Store(false) // recyclable pages are reborn via the pool
 		rt.free = append(rt.free, p)
@@ -391,14 +453,35 @@ func (rt *Runtime) releasePage(p *page) {
 
 // cacheRelease parks a recyclable PageSize page in a scope cache instead
 // of the global pool, replicating releasePage's statistics without taking
-// rt.mu. Reports false when the cache is full, in which case the caller
-// falls back to releasePage. The page's released flag stays false, exactly
-// like a page reborn through the pool.
+// rt.mu. Reports false when the page is not cacheable (oversize, spilled,
+// or the cache is full), in which case the caller falls back to
+// releasePage. The page's released flag stays false, exactly like a page
+// reborn through the pool.
 func (rt *Runtime) cacheRelease(c *pageCache, p *page, srcIter int) bool {
 	if p.released.Load() {
 		return true // freed early; nothing left to release
 	}
-	if !c.put(p, srcIter) {
+	if t := rt.tier; t != nil {
+		// tierMu serializes against an evictor mid-spill: once acquired,
+		// the page is either still resident (cache it, deregistered so no
+		// future sweep can take it) or spilled (release it through
+		// releasePage, which frees the slot without a read-back).
+		p.tierMu.Lock()
+		if p.spilled || len(p.buf) != PageSize {
+			p.tierMu.Unlock()
+			return false
+		}
+		if !c.put(p, srcIter) {
+			p.tierMu.Unlock()
+			return false
+		}
+		t.mu.Lock()
+		t.removeCandidateLocked(p)
+		t.mu.Unlock()
+		t.resident.Add(-1)
+		t.gResident.Add(-1)
+		p.tierMu.Unlock()
+	} else if len(p.buf) != PageSize || !c.put(p, srcIter) {
 		return false
 	}
 	rt.stats.pagesLive.Add(-1)
@@ -436,11 +519,4 @@ func (rt *Runtime) addBytes(d int64) {
 			return
 		}
 	}
-}
-
-// bytesFor resolves a page reference to the byte slice starting at the
-// record. No locking: the page table is copy-on-write.
-func (rt *Runtime) bytesFor(ref PageRef) []byte {
-	idx, off := splitRef(ref)
-	return (*rt.table.Load())[idx].buf[off:]
 }

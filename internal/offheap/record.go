@@ -8,6 +8,14 @@ import (
 // Record accessors. Field offsets are the same byte offsets the managed
 // heap uses (computed once per class in internal/lang), so the synthesized
 // conversion functions are field-by-field copies with no remapping.
+//
+// Every accessor branches on tier presence. Untiered (the common case) it
+// is the old lock-free copy-on-write table read — no pin, no atomics, and
+// small enough that the resolution inlines into the accessor. With a disk
+// tier attached it goes through bytesPinned/bodyPinned, which pin the page
+// resident for the duration of the operation (promoting it first when
+// spilled), so a reference resolves transparently whichever tier the page
+// is on.
 
 func putU16(b []byte, v uint16) { binary.LittleEndian.PutUint16(b, v) }
 func getU16(b []byte) uint16    { return binary.LittleEndian.Uint16(b) }
@@ -16,9 +24,33 @@ func getU32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
 func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
 func getU64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }
 
+// bytesFast resolves ref without pinning. Only valid when rt.tier == nil:
+// with a tier attached an unpinned read races the evictor mid-spill.
+func (rt *Runtime) bytesFast(ref PageRef) []byte {
+	idx, off := splitRef(ref)
+	return (*rt.table.Load())[idx].buf[off:]
+}
+
+// bodyFast is bytesFast skipping the record header.
+func (rt *Runtime) bodyFast(ref PageRef) []byte {
+	b := rt.bytesFast(ref)
+	if getU16(b)&arrayTypeBit != 0 {
+		return b[ArrayHeader:]
+	}
+	return b[ScalarHeader:]
+}
+
 // TypeID returns the record's raw type word (class ID, or array bit |
 // array type index).
-func (rt *Runtime) TypeID(ref PageRef) uint16 { return getU16(rt.bytesFor(ref)) }
+func (rt *Runtime) TypeID(ref PageRef) uint16 {
+	if rt.tier == nil {
+		return getU16(rt.bytesFast(ref))
+	}
+	b, p := rt.bytesPinned(ref)
+	v := getU16(b)
+	rt.unpin(p)
+	return v
+}
 
 // IsArrayRecord reports whether ref names an array record.
 func (rt *Runtime) IsArrayRecord(ref PageRef) bool {
@@ -35,52 +67,125 @@ func (rt *Runtime) ArrayTypeOf(ref PageRef) int {
 
 // ArrayLen returns the length of an array record.
 func (rt *Runtime) ArrayLen(ref PageRef) int {
-	return int(getU32(rt.bytesFor(ref)[4:]))
-}
-
-// body returns the record's field/element area.
-func (rt *Runtime) body(ref PageRef) []byte {
-	b := rt.bytesFor(ref)
-	if getU16(b)&arrayTypeBit != 0 {
-		return b[ArrayHeader:]
+	if rt.tier == nil {
+		return int(getU32(rt.bytesFast(ref)[4:]))
 	}
-	return b[ScalarHeader:]
+	b, p := rt.bytesPinned(ref)
+	n := int(getU32(b[4:]))
+	rt.unpin(p)
+	return n
 }
 
 // GetLockID reads the record's 2-byte lock field.
-func (rt *Runtime) GetLockID(ref PageRef) uint16 { return getU16(rt.bytesFor(ref)[2:]) }
+func (rt *Runtime) GetLockID(ref PageRef) uint16 {
+	if rt.tier == nil {
+		return getU16(rt.bytesFast(ref)[2:])
+	}
+	b, p := rt.bytesPinned(ref)
+	v := getU16(b[2:])
+	rt.unpin(p)
+	return v
+}
 
 // SetLockID writes the record's lock field. Callers serialize through the
 // lock pool.
-func (rt *Runtime) SetLockID(ref PageRef, id uint16) { putU16(rt.bytesFor(ref)[2:], id) }
+func (rt *Runtime) SetLockID(ref PageRef, id uint16) {
+	if rt.tier == nil {
+		putU16(rt.bytesFast(ref)[2:], id)
+		return
+	}
+	b, p := rt.bytesPinned(ref)
+	putU16(b[2:], id)
+	rt.unpin(p)
+}
 
 // GetByte reads a byte/boolean slot.
-func (rt *Runtime) GetByte(ref PageRef, off int) int8 { return int8(rt.body(ref)[off]) }
+func (rt *Runtime) GetByte(ref PageRef, off int) int8 {
+	if rt.tier == nil {
+		return int8(rt.bodyFast(ref)[off])
+	}
+	b, p := rt.bodyPinned(ref)
+	v := int8(b[off])
+	rt.unpin(p)
+	return v
+}
 
 // SetByte writes a byte/boolean slot.
-func (rt *Runtime) SetByte(ref PageRef, off int, v int8) { rt.body(ref)[off] = byte(v) }
+func (rt *Runtime) SetByte(ref PageRef, off int, v int8) {
+	if rt.tier == nil {
+		rt.bodyFast(ref)[off] = byte(v)
+		return
+	}
+	b, p := rt.bodyPinned(ref)
+	b[off] = byte(v)
+	rt.unpin(p)
+}
 
 // GetInt reads an int slot.
-func (rt *Runtime) GetInt(ref PageRef, off int) int32 { return int32(getU32(rt.body(ref)[off:])) }
+func (rt *Runtime) GetInt(ref PageRef, off int) int32 {
+	if rt.tier == nil {
+		return int32(getU32(rt.bodyFast(ref)[off:]))
+	}
+	b, p := rt.bodyPinned(ref)
+	v := int32(getU32(b[off:]))
+	rt.unpin(p)
+	return v
+}
 
 // SetInt writes an int slot.
-func (rt *Runtime) SetInt(ref PageRef, off int, v int32) { putU32(rt.body(ref)[off:], uint32(v)) }
+func (rt *Runtime) SetInt(ref PageRef, off int, v int32) {
+	if rt.tier == nil {
+		putU32(rt.bodyFast(ref)[off:], uint32(v))
+		return
+	}
+	b, p := rt.bodyPinned(ref)
+	putU32(b[off:], uint32(v))
+	rt.unpin(p)
+}
 
 // GetLong reads a long slot (also used for reference slots, which store
 // page references).
-func (rt *Runtime) GetLong(ref PageRef, off int) int64 { return int64(getU64(rt.body(ref)[off:])) }
+func (rt *Runtime) GetLong(ref PageRef, off int) int64 {
+	if rt.tier == nil {
+		return int64(getU64(rt.bodyFast(ref)[off:]))
+	}
+	b, p := rt.bodyPinned(ref)
+	v := int64(getU64(b[off:]))
+	rt.unpin(p)
+	return v
+}
 
 // SetLong writes a long slot.
-func (rt *Runtime) SetLong(ref PageRef, off int, v int64) { putU64(rt.body(ref)[off:], uint64(v)) }
+func (rt *Runtime) SetLong(ref PageRef, off int, v int64) {
+	if rt.tier == nil {
+		putU64(rt.bodyFast(ref)[off:], uint64(v))
+		return
+	}
+	b, p := rt.bodyPinned(ref)
+	putU64(b[off:], uint64(v))
+	rt.unpin(p)
+}
 
 // GetDouble reads a double slot.
 func (rt *Runtime) GetDouble(ref PageRef, off int) float64 {
-	return math.Float64frombits(getU64(rt.body(ref)[off:]))
+	if rt.tier == nil {
+		return math.Float64frombits(getU64(rt.bodyFast(ref)[off:]))
+	}
+	b, p := rt.bodyPinned(ref)
+	v := math.Float64frombits(getU64(b[off:]))
+	rt.unpin(p)
+	return v
 }
 
 // SetDouble writes a double slot.
 func (rt *Runtime) SetDouble(ref PageRef, off int, v float64) {
-	putU64(rt.body(ref)[off:], math.Float64bits(v))
+	if rt.tier == nil {
+		putU64(rt.bodyFast(ref)[off:], math.Float64bits(v))
+		return
+	}
+	b, p := rt.bodyPinned(ref)
+	putU64(b[off:], math.Float64bits(v))
+	rt.unpin(p)
 }
 
 // GetRef reads a reference slot (a nested page reference).
@@ -93,20 +198,52 @@ func (rt *Runtime) SetRef(ref PageRef, off int, v PageRef) { rt.SetLong(ref, off
 // WriteBody copies data into the record body at off (bulk byte-array
 // fills).
 func (rt *Runtime) WriteBody(ref PageRef, off int, data []byte) {
-	copy(rt.body(ref)[off:], data)
+	if rt.tier == nil {
+		copy(rt.bodyFast(ref)[off:], data)
+		return
+	}
+	b, p := rt.bodyPinned(ref)
+	copy(b[off:], data)
+	rt.unpin(p)
 }
 
 // ReadBody copies n body bytes starting at off out of the record.
 func (rt *Runtime) ReadBody(ref PageRef, off, n int) []byte {
 	out := make([]byte, n)
-	copy(out, rt.body(ref)[off:])
+	if rt.tier == nil {
+		copy(out, rt.bodyFast(ref)[off:])
+		return out
+	}
+	b, p := rt.bodyPinned(ref)
+	copy(out, b[off:])
+	rt.unpin(p)
 	return out
 }
 
 // ArrayCopy copies n elements of elemSize bytes between array records,
-// the native-memory model of System.arraycopy.
+// the native-memory model of System.arraycopy. Both pages stay pinned for
+// the copy; a tier-load failure on the second pin releases the first
+// before surfacing (pins must not leak — a leaked pin makes a page
+// unevictable for the rest of the run).
 func (rt *Runtime) ArrayCopy(src PageRef, srcPos int, dst PageRef, dstPos, n, elemSize int) {
-	sb := rt.body(src)[srcPos*elemSize : (srcPos+n)*elemSize]
-	db := rt.body(dst)[dstPos*elemSize : (dstPos+n)*elemSize]
-	copy(db, sb)
+	if rt.tier == nil {
+		sb := rt.bodyFast(src)
+		db := rt.bodyFast(dst)
+		copy(db[dstPos*elemSize:(dstPos+n)*elemSize], sb[srcPos*elemSize:(srcPos+n)*elemSize])
+		return
+	}
+	sb, sp := rt.bodyPinned(src)
+	db, dp, err := rt.pinResident(dst)
+	if err != nil {
+		rt.unpin(sp)
+		panic(&TierFault{Err: err})
+	}
+	if getU16(db)&arrayTypeBit != 0 {
+		db = db[ArrayHeader:]
+	} else {
+		db = db[ScalarHeader:]
+	}
+	copy(db[dstPos*elemSize:(dstPos+n)*elemSize], sb[srcPos*elemSize:(srcPos+n)*elemSize])
+	rt.unpin(dp)
+	rt.unpin(sp)
 }

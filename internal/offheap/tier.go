@@ -1,0 +1,497 @@
+package offheap
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// The disk tier extends the page store down one storage level: cold pages
+// spill to a file and promote back on access, so a dataset can exceed the
+// DRAM the store is allowed to keep resident. Because records are
+// self-contained native pages (no object graph, no GC metadata), eviction
+// is a PageSize copy, not a serialization pass — "move the data, don't
+// serialize it".
+//
+// Resolution stays transparent: a PageRef is valid whether its page is in
+// DRAM or on disk. Record accessors pin the page (a per-page counter)
+// before touching its bytes and promote it first when spilled; the evictor
+// only takes unpinned pages, selected by a second-chance clock sweep over
+// per-page access bits. The watermark policy is synchronous — eviction
+// runs at allocation and promotion points on the allocating thread, never
+// on a background goroutine — so a single-threaded run spills and promotes
+// on a deterministic schedule.
+//
+// Lock order: rt.mu → page.tierMu → tier.mu. The victim sweep holds
+// tier.mu and TryLocks page.tierMu (reverse order, non-blocking, so it
+// cannot deadlock). All spill-file I/O happens under tier.mu.
+
+// TierConfig configures the disk tier (EnableTiering).
+type TierConfig struct {
+	// Dir is the directory for the spill file (created with
+	// os.CreateTemp, removed at Reset/teardown). Empty means os.TempDir.
+	Dir string
+	// HighWater is the DRAM-resident page count that triggers eviction;
+	// LowWater is the count eviction drains down to. 0 < LowWater <=
+	// HighWater.
+	HighWater int
+	LowWater  int
+	// ForcePortable selects the pread/pwrite backend even on platforms
+	// with an mmap backend (tests exercise both on linux).
+	ForcePortable bool
+}
+
+// TierFault carries a disk-tier I/O failure across the infallible record
+// accessors: a failed promotion panics with *TierFault, which the VM call
+// boundary recovers into the wrapped error. Err wraps ErrPageExhausted, so
+// engines walk the same degradation ladder they use for memory exhaustion.
+type TierFault struct{ Err error }
+
+func (f *TierFault) Error() string { return "offheap: tier fault: " + f.Err.Error() }
+func (f *TierFault) Unwrap() error { return f.Err }
+
+// tierBackend is the spill-file I/O abstraction: fixed PageSize slots.
+// All calls are serialized under tier.mu.
+type tierBackend interface {
+	writeSlot(slot int, buf []byte) error
+	readSlot(slot int, buf []byte) error
+	close(remove bool) error
+}
+
+// fileBackend is the portable pread/pwrite backend.
+type fileBackend struct{ f *os.File }
+
+func (b *fileBackend) writeSlot(slot int, buf []byte) error {
+	_, err := b.f.WriteAt(buf, int64(slot)*PageSize)
+	return err
+}
+
+func (b *fileBackend) readSlot(slot int, buf []byte) error {
+	_, err := b.f.ReadAt(buf, int64(slot)*PageSize)
+	return err
+}
+
+func (b *fileBackend) close(remove bool) error {
+	name := b.f.Name()
+	err := b.f.Close()
+	if remove {
+		if rerr := os.Remove(name); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
+// tier is the disk tier's state: the backend, the slot allocator, and the
+// eviction candidate list (live resident PageSize pages).
+type tier struct {
+	cfg TierConfig
+
+	mu         sync.Mutex
+	backend    tierBackend
+	freeSlots  []int
+	nextSlot   int
+	candidates []*page
+	hand       int // clock hand into candidates
+
+	// resident/disk split of pagesLive (resident + disk == live).
+	resident atomic.Int64
+	disk     atomic.Int64
+
+	cSpilled      *obs.Counter
+	cPromoted     *obs.Counter
+	cSpillBytes   *obs.Counter
+	cPromoteBytes *obs.Counter
+	gResident     *obs.Gauge
+	gDisk         *obs.Gauge
+	hSpillStall   *obs.Histogram
+	hPromoteStall *obs.Histogram
+	cFaultSpill   *obs.Counter
+	cFaultLoad    *obs.Counter
+}
+
+// EnableTiering attaches a disk tier to the store. Must be called before
+// any page is allocated (the candidate list is built from acquires) and
+// after SetFaultInjector. Reset tears the tier down again — a reused store
+// does not inherit the previous job's tier.
+func (rt *Runtime) EnableTiering(cfg TierConfig) error {
+	if rt.tier != nil {
+		return errors.New("offheap: tiering already enabled")
+	}
+	if cfg.HighWater <= 0 {
+		return errors.New("offheap: tiering needs a positive high watermark")
+	}
+	if cfg.LowWater <= 0 || cfg.LowWater > cfg.HighWater {
+		return fmt.Errorf("offheap: low watermark %d must be in 1..%d", cfg.LowWater, cfg.HighWater)
+	}
+	if rt.stats.pagesLive.Load() != 0 {
+		return errors.New("offheap: tiering must be enabled before pages are live")
+	}
+	f, err := os.CreateTemp(cfg.Dir, "spill-*.pages")
+	if err != nil {
+		return fmt.Errorf("offheap: spill file: %w", err)
+	}
+	var backend tierBackend
+	if cfg.ForcePortable {
+		backend = &fileBackend{f: f}
+	} else {
+		backend = newMmapBackend(f)
+	}
+	reg := rt.obs
+	rt.tier = &tier{
+		cfg:           cfg,
+		backend:       backend,
+		cSpilled:      reg.Counter(obs.CtrPagesSpilled),
+		cPromoted:     reg.Counter(obs.CtrPagesPromoted),
+		cSpillBytes:   reg.Counter(obs.CtrSpillBytes),
+		cPromoteBytes: reg.Counter(obs.CtrPromoteBytes),
+		gResident:     reg.Gauge(obs.GaugePagesResident),
+		gDisk:         reg.Gauge(obs.GaugePagesDisk),
+		hSpillStall:   reg.Histogram(obs.HistSpillStall, obs.GCPauseBounds),
+		hPromoteStall: reg.Histogram(obs.HistPromoteStall, obs.GCPauseBounds),
+		cFaultSpill:   reg.Counter(obs.CtrFaultTierSpill),
+		cFaultLoad:    reg.Counter(obs.CtrFaultTierLoad),
+	}
+	return nil
+}
+
+// Tiered reports whether the store has a disk tier attached.
+func (rt *Runtime) Tiered() bool { return rt.tier != nil }
+
+// closeTier tears down the tier: unmap/close/remove the spill file and
+// detach. Pages still spilled lose their bodies — callers (Reset) ensure
+// no page is live.
+func (rt *Runtime) closeTier() error {
+	t := rt.tier
+	if t == nil {
+		return nil
+	}
+	rt.tier = nil
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.candidates = nil
+	return t.backend.close(true)
+}
+
+// --- candidate list (tier.mu held) ---
+
+func (t *tier) addCandidateLocked(p *page) {
+	if p.candIdx != -1 {
+		return
+	}
+	p.candIdx = len(t.candidates)
+	t.candidates = append(t.candidates, p)
+}
+
+func (t *tier) removeCandidateLocked(p *page) {
+	i := p.candIdx
+	if i < 0 {
+		return
+	}
+	last := len(t.candidates) - 1
+	t.candidates[i] = t.candidates[last]
+	t.candidates[i].candIdx = i
+	t.candidates[last] = nil
+	t.candidates = t.candidates[:last]
+	p.candIdx = -1
+	if t.hand > last {
+		t.hand = 0
+	}
+}
+
+// --- acquire/release bookkeeping ---
+
+// tierAcquire records a page entering the live set resident, registers it
+// as an eviction candidate when it is a standard PageSize page, and
+// returns it pre-pinned so it cannot be evicted before the allocating
+// manager has initialized it. No-op when untiered.
+func (rt *Runtime) tierAcquire(p *page) {
+	t := rt.tier
+	if t == nil {
+		return
+	}
+	p.pinned.Add(1)
+	p.accessed.Store(true)
+	t.resident.Add(1)
+	t.gResident.Add(1)
+	if len(p.buf) == PageSize {
+		t.mu.Lock()
+		t.addCandidateLocked(p)
+		t.mu.Unlock()
+	}
+}
+
+// unpinAcquire drops the pin tierAcquire installed. Managers call it when
+// the page stops being an allocation target (immediately for dedicated and
+// oversize pages, on replacement or release for bump pages).
+func (rt *Runtime) unpinAcquire(p *page) {
+	if rt.tier == nil || p == nil {
+		return
+	}
+	p.pinned.Add(-1)
+}
+
+// tierRelease records a page leaving the live set: a resident page is
+// deregistered from the candidate list; a spilled page has its disk slot
+// freed without ever being read back — the whole point of iteration-end
+// bulk release. Returns with the page resident-state fields cleared.
+// No-op when untiered.
+func (rt *Runtime) tierRelease(p *page) {
+	t := rt.tier
+	if t == nil {
+		return
+	}
+	p.tierMu.Lock()
+	defer p.tierMu.Unlock()
+	if p.spilled {
+		t.mu.Lock()
+		t.freeSlots = append(t.freeSlots, p.slot)
+		t.mu.Unlock()
+		p.spilled = false
+		p.slot = -1
+		p.evicting.Store(false)
+		t.disk.Add(-1)
+		t.gDisk.Add(-1)
+		return
+	}
+	t.resident.Add(-1)
+	t.gResident.Add(-1)
+	t.mu.Lock()
+	t.removeCandidateLocked(p)
+	t.mu.Unlock()
+}
+
+// --- eviction ---
+
+// maybeEvict spills cold pages down to the low watermark when the
+// resident count crosses the high watermark. Callers must hold no page
+// tierMu and not rt.mu.
+// maybeEvict is split from evictIfOver so the untiered fast path inlines
+// into the allocators; the tiered path can afford the extra call.
+func (rt *Runtime) maybeEvict() {
+	if rt.tier != nil {
+		rt.evictIfOver()
+	}
+}
+
+func (rt *Runtime) evictIfOver() {
+	t := rt.tier
+	if t.resident.Load() <= int64(t.cfg.HighWater) {
+		return
+	}
+	rt.evictTo(int64(t.cfg.LowWater))
+}
+
+// evictTo spills candidates until at most target pages are resident or
+// nothing evictable remains (everything pinned or spill failing).
+func (rt *Runtime) evictTo(target int64) {
+	t := rt.tier
+	if target < 0 {
+		target = 0
+	}
+	for t.resident.Load() > target {
+		p := t.selectVictim()
+		if p == nil {
+			return
+		}
+		err := rt.spillLocked(p)
+		p.tierMu.Unlock()
+		if err != nil {
+			return // best effort: the page stays resident
+		}
+	}
+}
+
+// selectVictim runs the second-chance clock sweep and returns an unpinned
+// resident candidate with its tierMu held and evicting set, or nil when a
+// full sweep finds nothing evictable. The pinned check under both
+// tier.mu-TryLock(tierMu) and the evicting flag close the race against
+// accessors pinning concurrently (see pinResident).
+func (t *tier) selectVictim() *page {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 2 * len(t.candidates); i > 0; i-- {
+		if len(t.candidates) == 0 {
+			return nil
+		}
+		if t.hand >= len(t.candidates) {
+			t.hand = 0
+		}
+		p := t.candidates[t.hand]
+		t.hand++
+		if p.pinned.Load() > 0 {
+			continue
+		}
+		if p.accessed.Load() {
+			p.accessed.Store(false) // second chance
+			continue
+		}
+		if !p.tierMu.TryLock() {
+			continue // busy; treat like pinned
+		}
+		p.evicting.Store(true)
+		if p.pinned.Load() > 0 || p.spilled || p.released.Load() {
+			p.evicting.Store(false)
+			p.tierMu.Unlock()
+			continue
+		}
+		return p
+	}
+	return nil
+}
+
+// spillLocked writes p's body to a disk slot and drops the DRAM buffer.
+// p.tierMu is held, evicting is set, and p is a validated victim. On error
+// the page stays resident (the caller clears nothing; evicting is reset
+// here) — spill is best effort, the store degrades toward the quota/OME
+// rungs instead.
+func (rt *Runtime) spillLocked(p *page) error {
+	t := rt.tier
+	if rt.inj != nil && rt.inj.Fire(faults.TierSpill) {
+		n := t.cFaultSpill.Load() + 1
+		t.cFaultSpill.Inc()
+		rt.obs.Emit(obs.EvFault, string(faults.TierSpill), n, 0, 0)
+		p.evicting.Store(false)
+		return fmt.Errorf("offheap: tier spill: injected fault")
+	}
+	start := time.Now()
+	t.mu.Lock()
+	var slot int
+	if n := len(t.freeSlots); n > 0 {
+		slot = t.freeSlots[n-1]
+		t.freeSlots = t.freeSlots[:n-1]
+	} else {
+		slot = t.nextSlot
+		t.nextSlot++
+	}
+	err := t.backend.writeSlot(slot, p.buf)
+	if err != nil {
+		t.freeSlots = append(t.freeSlots, slot)
+		t.mu.Unlock()
+		p.evicting.Store(false)
+		return fmt.Errorf("offheap: tier spill: %w", err)
+	}
+	t.removeCandidateLocked(p)
+	t.mu.Unlock()
+	t.hSpillStall.Observe(time.Since(start).Nanoseconds())
+	p.slot = slot
+	p.spilled = true
+	p.buf = nil
+	t.resident.Add(-1)
+	t.gResident.Add(-1)
+	t.disk.Add(1)
+	t.gDisk.Add(1)
+	t.cSpilled.Inc()
+	t.cSpillBytes.Add(PageSize)
+	rt.addBytes(-PageSize) // bytesInUse counts DRAM only
+	return nil
+}
+
+// promoteLocked reads p's body back from its disk slot. p.tierMu is held
+// and p.spilled is true. A failed read (injected TierLoad or real I/O
+// error) leaves the page spilled and returns an error wrapping
+// ErrPageExhausted so the caller's panic rides the OOM degradation rails.
+func (rt *Runtime) promoteLocked(p *page) error {
+	t := rt.tier
+	if rt.inj != nil && rt.inj.Fire(faults.TierLoad) {
+		n := t.cFaultLoad.Load() + 1
+		t.cFaultLoad.Inc()
+		rt.obs.Emit(obs.EvFault, string(faults.TierLoad), n, 0, 0)
+		return fmt.Errorf("%w (injected tier load fault)", ErrPageExhausted)
+	}
+	buf := make([]byte, PageSize)
+	start := time.Now()
+	t.mu.Lock()
+	if err := t.backend.readSlot(p.slot, buf); err != nil {
+		t.mu.Unlock()
+		return fmt.Errorf("%w (tier load: %v)", ErrPageExhausted, err)
+	}
+	t.freeSlots = append(t.freeSlots, p.slot)
+	t.addCandidateLocked(p)
+	t.mu.Unlock()
+	t.hPromoteStall.Observe(time.Since(start).Nanoseconds())
+	p.slot = -1
+	p.buf = buf
+	p.spilled = false
+	p.evicting.Store(false)
+	p.accessed.Store(true)
+	t.disk.Add(-1)
+	t.gDisk.Add(-1)
+	t.resident.Add(1)
+	t.gResident.Add(1)
+	t.cPromoted.Inc()
+	t.cPromoteBytes.Add(PageSize)
+	rt.addBytes(PageSize)
+	return nil
+}
+
+// --- pinned access ---
+
+// pinResident pins ref's page resident and returns the record bytes plus
+// the page to unpin (nil page when untiered — unpin is a no-op then).
+//
+// The pin/evict handshake is a Dekker pair: the accessor stores its pin
+// and then loads evicting; the evictor stores evicting and then loads the
+// pin (both under seq-cst atomics). Whichever ordering the race resolves
+// to, either the evictor sees the pin and skips, or the accessor sees
+// evicting and takes the slow path, serializing on tierMu behind the
+// spill and promoting the page back. There is no interleaving where the
+// accessor reads a buffer the evictor is tearing down.
+func (rt *Runtime) pinResident(ref PageRef) ([]byte, *page, error) {
+	idx, off := splitRef(ref)
+	p := (*rt.table.Load())[idx]
+	if rt.tier == nil {
+		return p.buf[off:], nil, nil
+	}
+	p.pinned.Add(1)
+	p.accessed.Store(true)
+	if p.evicting.Load() {
+		p.tierMu.Lock()
+		if p.spilled {
+			if err := rt.promoteLocked(p); err != nil {
+				p.tierMu.Unlock()
+				p.pinned.Add(-1)
+				return nil, nil, err
+			}
+			p.tierMu.Unlock()
+			// Promotion raised the resident count; rebalance. The pin
+			// keeps this page out of the sweep.
+			rt.maybeEvict()
+		} else {
+			p.tierMu.Unlock()
+		}
+	}
+	return p.buf[off:], p, nil
+}
+
+// bytesPinned is pinResident for infallible callers: a tier-load failure
+// panics with *TierFault, recovered at the VM call boundary.
+func (rt *Runtime) bytesPinned(ref PageRef) ([]byte, *page) {
+	b, p, err := rt.pinResident(ref)
+	if err != nil {
+		panic(&TierFault{Err: err})
+	}
+	return b, p
+}
+
+// bodyPinned is bytesPinned skipping the record header.
+func (rt *Runtime) bodyPinned(ref PageRef) ([]byte, *page) {
+	b, p := rt.bytesPinned(ref)
+	if getU16(b)&arrayTypeBit != 0 {
+		return b[ArrayHeader:], p
+	}
+	return b[ScalarHeader:], p
+}
+
+// unpin releases a pin taken by bytesPinned/bodyPinned/pinResident.
+func (rt *Runtime) unpin(p *page) {
+	if p != nil {
+		p.pinned.Add(-1)
+	}
+}

@@ -1,0 +1,87 @@
+//go:build linux
+
+package offheap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapBackend maps the spill file and serves slot reads/writes as memory
+// copies. The mapping grows geometrically (Ftruncate + remap); remapping
+// is safe because page bodies are always copied in and out under tier.mu —
+// no PageRef ever resolves into the mapping itself.
+type mmapBackend struct {
+	f     *os.File
+	data  []byte
+	slots int
+}
+
+func newMmapBackend(f *os.File) tierBackend { return &mmapBackend{f: f} }
+
+func (b *mmapBackend) ensure(slot int) error {
+	if slot < b.slots {
+		return nil
+	}
+	n := b.slots * 2
+	if n < slot+1 {
+		n = slot + 1
+	}
+	if n < 64 {
+		n = 64
+	}
+	if err := syscall.Ftruncate(int(b.f.Fd()), int64(n)*PageSize); err != nil {
+		return err
+	}
+	if b.data != nil {
+		if err := syscall.Munmap(b.data); err != nil {
+			return err
+		}
+		b.data = nil
+		b.slots = 0
+	}
+	data, err := syscall.Mmap(int(b.f.Fd()), 0, n*PageSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return err
+	}
+	b.data = data
+	b.slots = n
+	return nil
+}
+
+func (b *mmapBackend) writeSlot(slot int, buf []byte) error {
+	if err := b.ensure(slot); err != nil {
+		return err
+	}
+	copy(b.data[slot*PageSize:(slot+1)*PageSize], buf)
+	return nil
+}
+
+func (b *mmapBackend) readSlot(slot int, buf []byte) error {
+	if slot < 0 || slot >= b.slots {
+		return fmt.Errorf("offheap: tier slot %d out of range", slot)
+	}
+	copy(buf, b.data[slot*PageSize:(slot+1)*PageSize])
+	return nil
+}
+
+func (b *mmapBackend) close(remove bool) error {
+	var err error
+	if b.data != nil {
+		err = syscall.Munmap(b.data)
+		b.data = nil
+		b.slots = 0
+	}
+	name := b.f.Name()
+	if cerr := b.f.Close(); err == nil {
+		err = cerr
+	}
+	if remove {
+		if rerr := os.Remove(name); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package offheap
+
+import "os"
+
+// Platforms without an mmap backend fall back to pread/pwrite.
+func newMmapBackend(f *os.File) tierBackend { return &fileBackend{f: f} }

@@ -1,0 +1,102 @@
+package offheap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTierTorture churns allocation, spill, promotion, and iteration
+// release from several goroutines at once under a watermark tight enough
+// that the evictor runs constantly. Every goroutine re-verifies a shared
+// set of pinned-by-access records each round, so a lost page body, a
+// double spill, or a promote racing an eviction shows up as a value
+// mismatch — and the -race run in CI checks the locking protocol itself.
+// Sibling of internal/heap's GC torture test, one storage level down.
+func TestTierTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test skipped in -short")
+	}
+	rt, _ := newTieredRuntime(t, 6, 3, false)
+	ic := 0
+	root := newScope(rt, &ic, 0)
+	defer root.Close()
+
+	// Shared records, one dedicated page each, written once and read by
+	// every worker: they spill and promote continuously under pressure.
+	const nShared = 8
+	shared := make([]PageRef, nShared)
+	for i := range shared {
+		shared[i] = dedicated(t, root.Current(), uint16(i+1))
+		rt.SetLong(shared[i], 0, int64(i)*7919)
+		rt.SetDouble(shared[i], 8, float64(i)+0.25)
+	}
+
+	const (
+		workers = 4
+		rounds  = 60
+	)
+	// iterMu serializes scope/iteration transitions: the iteration-ID
+	// counter is shared and plain (the VM serializes it the same way).
+	var iterMu sync.Mutex
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			iterMu.Lock()
+			s := rt.NewIterScope(root.Current(), &ic, w+1)
+			iterMu.Unlock()
+			defer func() {
+				iterMu.Lock()
+				s.Close()
+				iterMu.Unlock()
+			}()
+			for r := 0; r < rounds; r++ {
+				iterMu.Lock()
+				s.IterationStart()
+				iterMu.Unlock()
+				// Private churn: allocations that force eviction, written
+				// and immediately re-read.
+				priv := make([]PageRef, 0, 6)
+				for i := 0; i < 6; i++ {
+					ref, err := s.Current().AllocRecord(100, 20000)
+					if err != nil {
+						failures.Add(1)
+						continue
+					}
+					rt.SetLong(ref, 0, int64(w*1_000_000+r*1_000+i))
+					priv = append(priv, ref)
+				}
+				for i, ref := range priv {
+					if got := rt.GetLong(ref, 0); got != int64(w*1_000_000+r*1_000+i) {
+						t.Errorf("worker %d round %d: private record %d = %d", w, r, i, got)
+					}
+				}
+				// Shared records must read the same values from any tier.
+				for i, ref := range shared {
+					if got := rt.GetLong(ref, 0); got != int64(i)*7919 {
+						t.Errorf("worker %d round %d: shared record %d long = %d", w, r, i, got)
+					}
+					if got := rt.GetDouble(ref, 8); got != float64(i)+0.25 {
+						t.Errorf("worker %d round %d: shared record %d double = %v", w, r, i, got)
+					}
+				}
+				iterMu.Lock()
+				s.IterationEnd()
+				iterMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d allocation failures without fault injection", n)
+	}
+	checkTierAccounting(t, rt)
+	for i, ref := range shared {
+		if got := rt.GetLong(ref, 0); got != int64(i)*7919 {
+			t.Fatalf("shared record %d = %d after torture", i, got)
+		}
+	}
+}

@@ -926,6 +926,13 @@ func runOptions(req *SubmitRequest) []facade.Option {
 	if req.PageQuota > 0 {
 		opts = append(opts, facade.WithPageQuota(req.PageQuota))
 	}
+	if req.TierHighPages > 0 {
+		dir := req.TierDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		opts = append(opts, facade.WithTiering(dir, req.TierHighPages, req.TierLowPages))
+	}
 	if req.Faults != "" {
 		opts = append(opts, facade.WithFaults(req.Faults))
 	}

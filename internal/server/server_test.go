@@ -174,6 +174,86 @@ func TestWarmReuseAcrossTransformedRuns(t *testing.T) {
 	}
 }
 
+// TestTieredJobOnWarmPool: a job running with the off-heap disk tier must
+// produce output bit-identical to an untiered one-shot of the same
+// request, report its spill traffic in the job stats, and leave no spill
+// file behind once its VM returns to the warm pool (put-time reset tears
+// the tier down). The warm rerun re-enables the tier from scratch.
+func TestTieredJobOnWarmPool(t *testing.T) {
+	// Unlike churnSrc, this workload keeps records live across iterations
+	// (the pad arrays give each record real bulk), so the resident page
+	// set genuinely exceeds a small watermark and pages must spill.
+	const tieredSrc = `
+// facadec: data=Big,Main
+class Big {
+    long a;
+    int[] pad;
+    Big(long a) { this.a = a; this.pad = new int[900]; }
+}
+class Main {
+    static void main() {
+        Big[] keep = new Big[30];
+        for (int i = 0; i < 30; i = i + 1) { keep[i] = new Big(i * 17L); }
+        long acc = 0L;
+        for (int it = 0; it < 5; it = it + 1) {
+            Sys.iterStart();
+            for (int i = 0; i < 200; i = i + 1) {
+                Big b = new Big(i);
+                acc = acc + b.a + b.pad.length;
+            }
+            Sys.iterEnd();
+            for (int i = 0; i < 30; i = i + 1) { acc = acc + keep[i].a; }
+        }
+        Sys.println(acc);
+    }
+}
+`
+	_, c := newTestServer(t, Config{MaxConcurrent: 1})
+	tierDir := t.TempDir()
+	req := SubmitRequest{
+		Sources:   map[string]string{"tiered.fj": tieredSrc},
+		Transform: true,
+		HeapSize:  8 << 20,
+	}
+	want := oneShot(t, req) // untiered oracle
+
+	req.TierDir = tierDir
+	req.TierHighPages = 2
+	req.TierLowPages = 1
+	first := submitWait(t, c, req)
+	second := submitWait(t, c, req)
+	for i, st := range []JobStatus{first, second} {
+		if st.State != StateDone {
+			t.Fatalf("job %d: %s (%s)", i, st.State, st.Error)
+		}
+		if st.Output != want {
+			t.Fatalf("tiered job %d diverges from untiered one-shot: %q vs %q", i, st.Output, want)
+		}
+		if st.Stats == nil || st.Stats.Offheap.PagesSpilled == 0 {
+			t.Fatalf("tiered job %d reports no spill traffic", i)
+		}
+	}
+	if !second.WarmHit {
+		t.Fatal("tiered rerun must hit the warm pool")
+	}
+	// The put-time reset closes the tier; the spill file must be gone
+	// shortly after the last job reaches a terminal state.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ents, err := os.ReadDir(tierDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spill files leaked after jobs finished: %v", ents)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestFaultCrashDoesNotPoisonPool is the chaos case from the issue: a
 // tenant job crashing mid-run (injected faults) must leave the daemon
 // healthy, and the next job on the same program must succeed with

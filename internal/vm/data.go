@@ -112,10 +112,28 @@ func (t *Thread) makeString(s string) (Value, error) {
 	return t.makeHeapString(s)
 }
 
+// recoverTier converts an *offheap.TierFault panic — a disk-tier
+// promotion failure escaping an infallible record accessor — into its
+// wrapped error, for boundary helpers that do not push interpreter frames
+// (those go through recoverTierFault, which also rewinds the thread
+// stacks). Any other panic propagates.
+func recoverTier(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	tf, ok := r.(*offheap.TierFault)
+	if !ok {
+		panic(r)
+	}
+	*err = tf.Err
+}
+
 // NewString converts a Go string at the boundary and returns a handle.
-func (t *Thread) NewString(s string) (Obj, error) {
+func (t *Thread) NewString(s string) (o Obj, err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer recoverTier(&err)
 	v, err := t.makeString(s)
 	if err != nil {
 		return NilObj, err
@@ -125,9 +143,10 @@ func (t *Thread) NewString(s string) (Obj, error) {
 
 // GoString reads a String object/record back into a Go string (an
 // exit-point conversion).
-func (t *Thread) GoString(o Obj) (string, error) {
+func (t *Thread) GoString(o Obj) (s string, err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer recoverTier(&err)
 	if o == NilObj {
 		return "", nil
 	}
@@ -143,9 +162,10 @@ func (t *Thread) GoString(o Obj) (string, error) {
 
 // NewObj allocates a data object of class and runs its constructor with
 // the given arguments.
-func (t *Thread) NewObj(class string, args ...Arg) (Obj, error) {
+func (t *Thread) NewObj(class string, args ...Arg) (o Obj, err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer t.recoverTierFault(len(t.frames), t.sp, &err)
 	v, err := t.newValue(class, args)
 	if err != nil {
 		return NilObj, err
@@ -313,13 +333,14 @@ func (t *Thread) isFacadeType(ty *lang.Type) bool {
 // NewArr allocates a data array with the given element type ("int",
 // "byte", "double", "long", "boolean", or a class name, with optional []
 // suffixes).
-func (t *Thread) NewArr(elem string, n int) (Obj, error) {
+func (t *Thread) NewArr(elem string, n int) (o Obj, err error) {
 	ty, err := t.parseTypeName(elem)
 	if err != nil {
 		return NilObj, err
 	}
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer recoverTier(&err)
 	if t.vm.Prog.Transformed {
 		ref, err := t.iter.Current().AllocArray(t.vm.RT.ArrayTypeIndex(ty), ty.FieldSize(), n)
 		if err != nil {
@@ -383,9 +404,10 @@ func (t *Thread) InvokeObj(o Obj, method string, args ...Arg) (Obj, error) {
 	return ro, err
 }
 
-func (t *Thread) invokeBoundary(o Obj, method string, args []Arg, retObj bool) (Value, Obj, error) {
+func (t *Thread) invokeBoundary(o Obj, method string, args []Arg, retObj bool) (v0 Value, o0 Obj, err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer t.recoverTierFault(len(t.frames), t.sp, &err)
 	if o == NilObj {
 		return 0, NilObj, errNPE("boundary call " + method)
 	}
@@ -452,9 +474,10 @@ func (t *Thread) InvokeStaticObj(class, method string, args ...Arg) (Obj, error)
 	return ro, err
 }
 
-func (t *Thread) invokeStatic(class, method string, args []Arg, retObj bool) (Value, Obj, error) {
+func (t *Thread) invokeStatic(class, method string, args []Arg, retObj bool) (v0 Value, o0 Obj, err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer t.recoverTierFault(len(t.frames), t.sp, &err)
 	key := ir.FuncKey(class, method)
 	if t.vm.Prog.Transformed {
 		if fc := t.vm.facadeOf(class); fc != nil {
@@ -469,7 +492,6 @@ func (t *Thread) invokeStatic(class, method string, args []Arg, retObj bool) (Va
 	}
 	var vals []Value
 	var v Value
-	var err error
 	if t.vm.Prog.Transformed {
 		v, err = t.staticFacadeCall(fn, args)
 	} else {
@@ -539,9 +561,10 @@ func (t *Thread) fieldOf(o Obj, class, field string) (*lang.Field, Value, error)
 }
 
 // GetField reads a primitive field as a raw value.
-func (t *Thread) GetField(o Obj, class, field string) (Value, error) {
+func (t *Thread) GetField(o Obj, class, field string) (val Value, err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer recoverTier(&err)
 	f, v, err := t.fieldOf(o, class, field)
 	if err != nil {
 		return 0, err
@@ -553,9 +576,10 @@ func (t *Thread) GetField(o Obj, class, field string) (Value, error) {
 }
 
 // SetField writes a primitive field.
-func (t *Thread) SetField(o Obj, class, field string, val Value) error {
+func (t *Thread) SetField(o Obj, class, field string, val Value) (err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer recoverTier(&err)
 	f, v, err := t.fieldOf(o, class, field)
 	if err != nil {
 		return err
@@ -589,9 +613,10 @@ func (t *Thread) SetObjField(o Obj, class, field string, val Obj) error {
 }
 
 // ArrLen returns the length of a data array.
-func (t *Thread) ArrLen(o Obj) (int, error) {
+func (t *Thread) ArrLen(o Obj) (n int, err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer recoverTier(&err)
 	if o == NilObj {
 		return 0, errNPE("array length")
 	}
@@ -603,9 +628,10 @@ func (t *Thread) ArrLen(o Obj) (int, error) {
 }
 
 // ArrGet reads element i of a data array as a raw value.
-func (t *Thread) ArrGet(o Obj, i int) (Value, error) {
+func (t *Thread) ArrGet(o Obj, i int) (val Value, err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer recoverTier(&err)
 	v := t.vm.Get(o)
 	if t.vm.Prog.Transformed {
 		rt := t.vm.RT
@@ -624,9 +650,10 @@ func (t *Thread) ArrGet(o Obj, i int) (Value, error) {
 }
 
 // ArrSet writes element i of a data array.
-func (t *Thread) ArrSet(o Obj, i int, val Value) error {
+func (t *Thread) ArrSet(o Obj, i int, val Value) (err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer recoverTier(&err)
 	v := t.vm.Get(o)
 	if t.vm.Prog.Transformed {
 		rt := t.vm.RT
@@ -675,9 +702,10 @@ func f64bits(f float64) Value { return math.Float64bits(f) }
 // little-endian layouts with identical element sizes).
 
 // arrBody returns raw write access parameters for a data array.
-func (t *Thread) arrCopyIn(o Obj, data []byte) error {
+func (t *Thread) arrCopyIn(o Obj, data []byte) (err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer recoverTier(&err)
 	v := t.vm.Get(o)
 	if t.vm.Prog.Transformed {
 		t.vm.RT.WriteBody(offheap.PageRef(v), 0, data)
@@ -687,9 +715,10 @@ func (t *Thread) arrCopyIn(o Obj, data []byte) error {
 	return nil
 }
 
-func (t *Thread) arrCopyOut(o Obj, n int) ([]byte, error) {
+func (t *Thread) arrCopyOut(o Obj, n int) (b []byte, err error) {
 	t.enterBoundary()
 	defer t.tc.BeginExternal()
+	defer recoverTier(&err)
 	v := t.vm.Get(o)
 	if t.vm.Prog.Transformed {
 		return t.vm.RT.ReadBody(offheap.PageRef(v), 0, n), nil

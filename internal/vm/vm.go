@@ -49,6 +49,11 @@ type Config struct {
 	// NativeRT supplies the page store for transformed programs; a fresh
 	// one is created when nil and the program is transformed.
 	NativeRT *offheap.Runtime
+	// Tiering, when non-nil, attaches a disk tier to the page store
+	// (offheap.EnableTiering): cold pages spill to a file under the
+	// configured watermarks and promote back on access. Ignored for
+	// untransformed programs (they have no page store).
+	Tiering *offheap.TierConfig
 	// Obs receives the run's observability instruments (heap pause
 	// histograms, page-store counters, VM execution counters, events). A
 	// fresh registry is created when nil.
@@ -184,6 +189,11 @@ func New(prog *ir.Program, cfg Config) (*VM, error) {
 		}
 		if cfg.Faults != nil {
 			vm.RT.SetFaultInjector(cfg.Faults)
+		}
+		if cfg.Tiering != nil {
+			if err := vm.RT.EnableTiering(*cfg.Tiering); err != nil {
+				return nil, err
+			}
 		}
 		vm.rootScope = vm.RT.NewManager(nil, -2, -1)
 	}
@@ -412,6 +422,10 @@ type ResetConfig struct {
 	// classification (see Config); nil/off disables it for the job.
 	Lifetimes    []ir.Lifetime
 	LifetimeMode heap.LifetimeMode
+	// Tiering attaches a disk tier to the page store for the next job
+	// (see Config.Tiering); nil leaves the store DRAM-only. The previous
+	// job's tier was torn down by the store reset either way.
+	Tiering *offheap.TierConfig
 }
 
 // ResetForReuse returns the VM to its post-New state so a daemon can run
@@ -448,6 +462,11 @@ func (vm *VM) ResetForReuse(cfg ResetConfig) error {
 	if vm.RT != nil {
 		if err := vm.RT.Reset(reg, cfg.Faults); err != nil {
 			return err
+		}
+		if cfg.Tiering != nil {
+			if err := vm.RT.EnableTiering(*cfg.Tiering); err != nil {
+				return err
+			}
 		}
 		vm.rootScope = vm.RT.NewManager(nil, -2, -1)
 	}
